@@ -1,0 +1,46 @@
+"""Shared helpers for the paper-reproduction benchmark suite.
+
+Each benchmark regenerates one table or figure of the paper: it runs the
+corresponding harness, prints the same rows/series the paper reports
+(run pytest with ``-s`` to see them), and asserts the *shape* — who
+wins, by roughly what factor, where crossovers fall. EXPERIMENTS.md
+records measured-vs-paper values.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def print_table(title: str, headers, rows) -> None:
+    """Render one experiment's output in the units the paper uses."""
+    widths = [max(len(str(h)), *(len(_fmt(r[i])) for r in rows))
+              for i, h in enumerate(headers)] if rows else \
+             [len(str(h)) for h in headers]
+    line = "  ".join(str(h).rjust(w) for h, w in zip(headers, widths))
+    print(f"\n=== {title} ===", file=sys.stderr)
+    print(line, file=sys.stderr)
+    print("-" * len(line), file=sys.stderr)
+    for row in rows:
+        print("  ".join(_fmt(v).rjust(w) for v, w in zip(row, widths)),
+              file=sys.stderr)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value >= 100:
+            return f"{value:.0f}"
+        if value >= 1:
+            return f"{value:.2f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark.
+
+    Whole-system simulations are deterministic and expensive; a single
+    round measures wall-clock cost without re-simulating.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

@@ -1,0 +1,222 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper's evaluation.
+
+Runs the same harnesses the pytest benchmarks use and prints each
+experiment's rows in the paper's units. Use ``--quick`` for a reduced
+sweep (CI-sized runs).
+
+    python benchmarks/run_all.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def banner(title: str) -> None:
+    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}")
+
+
+def fig1():
+    from repro.baselines import TCPNetworkModel
+
+    banner("Fig. 1 — Netpipe on a Calxeda microserver (commodity TCP)")
+    model = TCPNetworkModel()
+    print(f"{'size (B)':>10} {'latency (us)':>14} {'bandwidth (Gbps)':>18}")
+    for size, lat, bw in model.netpipe_sweep(
+            (64, 256, 1024, 4096, 16384, 65536, 262144, 524288)):
+        print(f"{size:>10} {lat:>14.1f} {bw:>18.2f}")
+    print("paper: >40us small-message latency, <2 Gbps peak")
+
+
+def fig7(quick: bool):
+    from repro.emulation import dev_platform_cluster_config
+    from repro.workloads import (
+        local_dram_latency,
+        remote_read_bandwidth,
+        remote_read_latency,
+    )
+
+    sizes = (64, 256, 1024, 4096, 8192)
+    iters = 6 if quick else 12
+
+    banner("Fig. 7a — remote read latency, simulated HW")
+    local = local_dram_latency()
+    single = remote_read_latency(sizes=sizes, iterations=iters)
+    double = remote_read_latency(sizes=sizes, iterations=iters,
+                                 double_sided=True)
+    print(f"{'size (B)':>10} {'single (us)':>12} {'double (us)':>12}")
+    for s, d in zip(single, double):
+        print(f"{s.size:>10} {s.mean_us:>12.3f} {d.mean_us:>12.3f}")
+    print(f"local DRAM read: {local:.0f} ns; "
+          f"remote/local @64B = {single[0].mean_ns / local:.2f}x "
+          f"(paper: ~4x)")
+
+    banner("Fig. 7b — remote read bandwidth, simulated HW")
+    reqs = 60 if quick else 120
+    bw_single = remote_read_bandwidth(sizes=sizes, requests=reqs)
+    bw_double = remote_read_bandwidth(sizes=(8192,), requests=reqs,
+                                      double_sided=True)
+    print(f"{'size (B)':>10} {'Gbps':>8} {'GB/s':>8} {'Mops/s':>8}")
+    for r in bw_single:
+        print(f"{r.size:>10} {r.gbps:>8.1f} {r.gbytes_per_sec:>8.2f} "
+              f"{r.mops:>8.2f}")
+    print(f"double-sided @8KB: {bw_double[0].gbytes_per_sec:.2f} GB/s "
+          f"(paper: ~2x single-sided)")
+
+    banner("Fig. 7c — remote read latency, development platform")
+    dev = remote_read_latency(sizes=sizes, iterations=4,
+                              cluster_config=dev_platform_cluster_config(2))
+    print(f"{'size (B)':>10} {'latency (us)':>14}")
+    for r in dev:
+        print(f"{r.size:>10} {r.mean_us:>14.2f}")
+    print("paper: 1.5 us base, growing steeply (software unroll)")
+
+
+def fig8(quick: bool):
+    from repro.emulation import (
+        DEV_PLATFORM_MESSAGING_THRESHOLD,
+        dev_platform_cluster_config,
+    )
+    from repro.workloads import (
+        PULL_ONLY,
+        PUSH_ONLY,
+        send_recv_bandwidth,
+        send_recv_latency,
+    )
+
+    lat_sizes = (32, 128, 512, 2048)
+    rounds = 4 if quick else 8
+
+    banner("Fig. 8a — send/recv half-duplex latency, simulated HW")
+    print(f"{'size (B)':>10} {'push (us)':>10} {'pull (us)':>10} "
+          f"{'thr=256B (us)':>14}")
+    curves = {t: send_recv_latency(sizes=lat_sizes, threshold=t,
+                                   rounds=rounds)
+              for t in (PUSH_ONLY, PULL_ONLY, 256)}
+    for i, size in enumerate(lat_sizes):
+        print(f"{size:>10} {curves[PUSH_ONLY][i].latency_us:>10.3f} "
+              f"{curves[PULL_ONLY][i].latency_us:>10.3f} "
+              f"{curves[256][i].latency_us:>14.3f}")
+
+    banner("Fig. 8b — send/recv bandwidth, simulated HW")
+    msgs = 15 if quick else 30
+    bw = send_recv_bandwidth(sizes=(256, 1024, 4096, 8192), threshold=256,
+                             messages=msgs)
+    print(f"{'size (B)':>10} {'Gbps':>8}")
+    for r in bw:
+        print(f"{r.size:>10} {r.gbps:>8.2f}")
+    print("paper: >10 Gbps @4KB, 12.8 Gbps @8KB")
+
+    banner("Fig. 8c — send/recv latency, development platform")
+    dev = send_recv_latency(
+        sizes=(32, 512), threshold=DEV_PLATFORM_MESSAGING_THRESHOLD,
+        rounds=3, cluster_config=dev_platform_cluster_config(2))
+    for r in dev:
+        print(f"{r.size:>10} {r.latency_us:>10.2f} us")
+    print("paper: 1.4 us minimum, optimal threshold 1KB")
+
+
+def table2(quick: bool):
+    from repro.baselines import RDMAModel
+    from repro.emulation import dev_platform_cluster_config
+    from repro.workloads import (
+        atomic_latency,
+        remote_iops,
+        remote_read_bandwidth,
+        remote_read_latency,
+    )
+
+    banner("Table 2 — soNUMA vs InfiniBand/RDMA")
+    iters = 6 if quick else 12
+    simd_lat = remote_read_latency(sizes=(64,),
+                                   iterations=iters)[0].mean_ns / 1000
+    simd_bw = remote_read_bandwidth(sizes=(8192,),
+                                    requests=60 if quick else 100)[0].gbps
+    simd_iops = remote_iops(requests=100 if quick else 300)
+    simd_atomic = atomic_latency(iterations=iters) / 1000
+
+    dev_cfg = dev_platform_cluster_config(2)
+    dev_lat = remote_read_latency(sizes=(64,), iterations=4,
+                                  cluster_config=dev_cfg)[0].mean_ns / 1000
+    dev_bw = remote_read_bandwidth(sizes=(4096,), requests=25, warmup=5,
+                                   cluster_config=dev_cfg)[0].gbps
+    dev_iops = remote_iops(requests=60, warmup=15, cluster_config=dev_cfg)
+    dev_atomic = atomic_latency(iterations=4,
+                                cluster_config=dev_cfg) / 1000
+
+    rdma = RDMAModel()
+    rows = [
+        ("Max BW (Gbps)", 1.8, dev_bw, 77, simd_bw, 50,
+         rdma.effective_bandwidth_gbps),
+        ("Read RTT (us)", 1.5, dev_lat, 0.3, simd_lat, 1.19,
+         rdma.read_rtt_us()),
+        ("Fetch+add (us)", 1.5, dev_atomic, 0.3, simd_atomic, 1.15,
+         rdma.fetch_add_rtt_us()),
+        ("IOPS (Mops/s)", 1.97, dev_iops, 10.9, simd_iops, 35.0,
+         rdma.iops_millions()),
+    ]
+    header = (f"{'metric':<16} {'dev/paper':>10} {'dev/ours':>10} "
+              f"{'sim/paper':>10} {'sim/ours':>10} {'ib/paper':>9} "
+              f"{'ib/ours':>9}")
+    print(header)
+    for name, dp, do, sp, so, ip, io in rows:
+        print(f"{name:<16} {dp:>10.2f} {do:>10.2f} {sp:>10.2f} "
+              f"{so:>10.2f} {ip:>9.2f} {io:>9.2f}")
+
+
+def fig9(quick: bool):
+    from repro.emulation import dev_platform_cluster_config
+    from repro.workloads import pagerank_speedups
+
+    banner("Fig. 9 (left) — PageRank speedup, simulated HW")
+    if quick:
+        rows = pagerank_speedups(node_counts=(2, 4), num_vertices=4096,
+                                 avg_degree=6, llc_total_bytes=64 * 1024)
+    else:
+        rows = pagerank_speedups(node_counts=(2, 4, 8))
+    print(f"{'nodes':>6} {'SHM':>7} {'bulk':>7} {'fine':>7}")
+    for r in rows:
+        print(f"{r.parallelism:>6} {r.shm:>7.2f} {r.bulk:>7.2f} "
+              f"{r.fine:>7.2f}")
+
+    banner("Fig. 9 (right) — PageRank speedup, development platform")
+    dev_rows = pagerank_speedups(
+        node_counts=(2, 4) if quick else (2, 4, 8),
+        num_vertices=2048 if quick else 4096, avg_degree=6,
+        llc_total_bytes=64 * 1024,
+        cluster_config_factory=dev_platform_cluster_config)
+    print(f"{'nodes':>6} {'SHM':>7} {'bulk':>7} {'fine':>7}")
+    for r in dev_rows:
+        print(f"{r.parallelism:>6} {r.shm:>7.2f} {r.bulk:>7.2f} "
+              f"{r.fine:>7.2f}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced sweeps for CI-sized runs")
+    parser.add_argument("--only", choices=["fig1", "fig7", "fig8",
+                                           "table2", "fig9"],
+                        help="run a single experiment")
+    args = parser.parse_args()
+
+    experiments = {
+        "fig1": lambda: fig1(),
+        "fig7": lambda: fig7(args.quick),
+        "fig8": lambda: fig8(args.quick),
+        "table2": lambda: table2(args.quick),
+        "fig9": lambda: fig9(args.quick),
+    }
+    chosen = [args.only] if args.only else list(experiments)
+    start = time.time()
+    for name in chosen:
+        experiments[name]()
+    print(f"\nall experiments completed in {time.time() - start:.0f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

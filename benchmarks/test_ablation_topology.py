@@ -1,0 +1,75 @@
+"""Ablation — fabric topology at rack scale: crossbar vs 2-D torus.
+
+The paper's simulations model a full crossbar; §6 argues
+"low-dimensional k-ary n-cubes (e.g., 3D torii) seem well-matched to
+rack-scale deployments". This ablation quantifies the topology tax:
+multi-hop routing adds per-hop router delay and link serialization to
+every request/reply, stretching remote read latency with hop distance
+while everything completes thanks to credit flow control.
+"""
+
+from conftest import print_table, run_once
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.fabric import FabricConfig, torus2d
+from repro.runtime import RMCSession
+from repro.sim import LatencyStat
+from repro.vm import PAGE_SIZE
+
+NODES = 16
+CTX = 1
+
+
+def _read_latency(cluster, gctx, src, dst, reads=6):
+    session = RMCSession(cluster.nodes[src].core, gctx.qp(src),
+                         gctx.entry(src))
+    stats = LatencyStat()
+    lbuf = session.alloc_buffer(4096)
+
+    def app(sim):
+        for i in range(reads + 2):
+            start = sim.now
+            yield from session.read_sync(dst, i * 64, lbuf, 64)
+            if i >= 2:
+                stats.record(sim.now - start)
+
+    cluster.sim.process(app(cluster.sim))
+    cluster.run()
+    return stats.mean
+
+
+def _measure():
+    # Crossbar: every destination is one 50 ns hop away.
+    xbar = Cluster(config=ClusterConfig(num_nodes=NODES))
+    xbar_ctx = xbar.create_global_context(CTX, 32 * PAGE_SIZE)
+    xbar_near = _read_latency(xbar, xbar_ctx, 0, 1)
+
+    # 4x4 torus with per-hop links: distance now matters.
+    per_hop = FabricConfig(link_latency_ns=15.0, router_delay_ns=11.0)
+    topo = torus2d(4, 4)
+    torus = Cluster(config=ClusterConfig(num_nodes=NODES, fabric=per_hop,
+                                         topology=topo))
+    torus_ctx = torus.create_global_context(CTX, 32 * PAGE_SIZE)
+    torus_near = _read_latency(torus, torus_ctx, 0, 1)     # 1 hop
+    far_node = 10                                          # (2,2): 4 hops
+    hops = topo.hops(0, far_node)
+    torus2_far = _read_latency(torus, torus_ctx, 0, far_node)
+    return xbar_near, torus_near, torus2_far, hops
+
+
+def test_ablation_topology(benchmark):
+    xbar_near, torus_near, torus_far, far_hops = run_once(benchmark,
+                                                          _measure)
+    print_table("Ablation: crossbar vs 4x4 torus (64B read latency, ns)",
+                ["path", "latency"],
+                [("crossbar, any pair (1 hop @50ns)", xbar_near),
+                 ("torus, neighbor (1 hop)", torus_near),
+                 (f"torus, far corner ({far_hops} hops)", torus_far)])
+
+    # A short torus hop beats the conservative 50 ns crossbar constant.
+    assert torus_near < xbar_near
+    # Distance costs: the far path pays per-hop router + link latency
+    # in both directions.
+    assert torus_far > torus_near + 2 * (far_hops - 1) * (15.0 + 11.0) * 0.8
+    # Everything stays comfortably sub-microsecond at rack scale.
+    assert torus_far < 1000

@@ -1,0 +1,34 @@
+"""Fig. 1 — Netpipe benchmark on a Calxeda microserver (commodity TCP).
+
+Paper: "we observe high latency (in excess of 40us) for small packet
+sizes and poor bandwidth scalability (under 2 Gbps) with large packets"
+over a 10 Gb/s integrated fabric (§2.2).
+"""
+
+from conftest import print_table, run_once
+
+from repro.baselines import TCPNetworkModel
+
+SIZES = (64, 256, 1024, 4096, 16384, 65536, 262144, 524288)
+
+
+def _sweep():
+    return TCPNetworkModel().netpipe_sweep(SIZES)
+
+
+def test_fig1_netpipe_tcp(benchmark):
+    rows = run_once(benchmark, _sweep)
+    print_table("Fig. 1: netpipe over commodity TCP (Calxeda-class)",
+                ["size (B)", "latency (us)", "bandwidth (Gbps)"], rows)
+
+    by_size = {size: (lat, bw) for size, lat, bw in rows}
+
+    # Small-message latency exceeds 40 us (the paper's headline).
+    assert by_size[64][0] > 40.0
+    # Bandwidth never reaches 2 Gb/s despite the 10 Gb/s fabric.
+    assert max(bw for _s, _l, bw in rows) < 2.0
+    # Latency is monotonically non-decreasing with size.
+    latencies = [lat for _s, lat, _bw in rows]
+    assert all(a <= b * 1.001 for a, b in zip(latencies, latencies[1:]))
+    # The local-DRAM comparison the paper draws: ~3 orders of magnitude.
+    assert by_size[64][0] * 1000.0 / 100.0 > 300  # vs ~100 ns local DRAM

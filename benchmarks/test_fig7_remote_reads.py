@@ -1,0 +1,103 @@
+"""Fig. 7 — remote read latency and bandwidth (§7.2).
+
+7a: simulated HW latency ~300 ns for small reads, within ~4x of local
+    DRAM; double-sided latency worsens at large sizes (cache contention).
+7b: simulated HW bandwidth: ~10 M ops/s at 64 B; 9.6 GB/s at 8 KB (the
+    DDR3-1600 practical maximum); double-sided delivers ~2x.
+7c: development platform: ~1.5 us base latency (~5x sim'd HW), growing
+    steeply with request size (software unrolling bottleneck).
+"""
+
+import pytest
+from conftest import print_table, run_once
+
+from repro.emulation import dev_platform_cluster_config
+from repro.workloads import (
+    local_dram_latency,
+    remote_read_bandwidth,
+    remote_read_latency,
+)
+
+SIZES = (64, 256, 1024, 4096, 8192)
+
+
+def _fig7a():
+    single = remote_read_latency(sizes=SIZES, iterations=10)
+    double = remote_read_latency(sizes=SIZES, iterations=10,
+                                 double_sided=True)
+    local = local_dram_latency()
+    return single, double, local
+
+
+def test_fig7a_read_latency_simulated_hw(benchmark):
+    single, double, local = run_once(benchmark, _fig7a)
+    rows = [(s.size, s.mean_us, d.mean_us)
+            for s, d in zip(single, double)]
+    print_table("Fig. 7a: remote read latency, sim'd HW (us)",
+                ["size (B)", "single-sided", "double-sided"], rows)
+    print_table("local DRAM anchor", ["metric", "value"],
+                [("local read (ns)", local),
+                 ("remote/local ratio @64B", single[0].mean_ns / local)])
+
+    # ~300 ns small reads, within a small factor (~4x) of local DRAM.
+    assert 200 < single[0].mean_ns < 450
+    assert single[0].mean_ns / local < 5.0
+    # Latency grows with request size but stays sub-2us through 8KB
+    # (hardware unrolling pipelines the lines).
+    assert single[-1].mean_ns < 2000
+    means = [r.mean_ns for r in single]
+    assert all(a <= b * 1.05 for a, b in zip(means, means[1:]))
+    # Double-sided is no better than single-sided at large sizes
+    # (both nodes serve requests and absorb reply data).
+    assert double[-1].mean_ns >= single[-1].mean_ns * 0.95
+
+
+def _fig7b():
+    single = remote_read_bandwidth(sizes=SIZES, requests=100, warmup=15)
+    double = remote_read_bandwidth(sizes=(8192,), requests=100, warmup=15,
+                                   double_sided=True)
+    return single, double
+
+
+def test_fig7b_read_bandwidth_simulated_hw(benchmark):
+    single, double = run_once(benchmark, _fig7b)
+    rows = [(r.size, r.gbps, r.gbytes_per_sec, r.mops) for r in single]
+    rows.append(("8192 (2-sided)", double[0].gbps,
+                 double[0].gbytes_per_sec, double[0].mops))
+    print_table("Fig. 7b: remote read bandwidth, sim'd HW",
+                ["size (B)", "Gbps", "GB/s", "Mops/s"], rows)
+
+    by_size = {r.size: r for r in single}
+    # ~10 M 64-byte operations per second per core.
+    assert 7.0 < by_size[64].mops < 15.0
+    # 8 KB requests saturate the DDR3-1600 channel (~9.6 GB/s).
+    assert 8.5 < by_size[8192].gbytes_per_sec < 11.0
+    # Bandwidth rises with request size until the DRAM channel
+    # saturates, then plateaus (no strict ordering within the plateau).
+    series = [r.gbytes_per_sec for r in single]
+    assert all(b > a * 0.97 for a, b in zip(series, series[1:]))
+    assert series[-1] > 3 * series[0]
+    # Decoupled pipelines: double-sided delivers ~2x aggregate.
+    assert double[0].gbytes_per_sec > 1.6 * by_size[8192].gbytes_per_sec
+
+
+def _fig7c():
+    config = dev_platform_cluster_config(2)
+    return remote_read_latency(sizes=SIZES, iterations=6,
+                               cluster_config=config)
+
+
+def test_fig7c_read_latency_dev_platform(benchmark):
+    rows_data = run_once(benchmark, _fig7c)
+    rows = [(r.size, r.mean_us) for r in rows_data]
+    print_table("Fig. 7c: remote read latency, dev platform (us)",
+                ["size (B)", "latency"], rows)
+
+    # Base latency ~1.5 us, which is ~5x the simulated hardware.
+    assert 1.0 < rows_data[0].mean_us < 2.5
+    # Software unrolling: latency grows steeply (superlinear in lines) —
+    # 8 KB (128 lines) costs >> 128x the per-line budget of the base.
+    assert rows_data[-1].mean_us > 10 * rows_data[0].mean_us
+    # Strictly increasing across the sweep.
+    means = [r.mean_us for r in rows_data]
+    assert all(a < b for a, b in zip(means, means[1:]))

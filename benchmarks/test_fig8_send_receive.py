@@ -1,0 +1,126 @@
+"""Fig. 8 — send/receive performance of the software messaging library.
+
+8a: sim'd HW latency: push wins small messages, pull wins large; with
+    the threshold at 256 B the combined curve tracks the lower envelope;
+    minimal half-duplex latency ~340 ns.
+8b: sim'd HW bandwidth: >10 Gb/s with messages as small as 4 KB;
+    12.8 Gb/s at 8 KB (1.6x QDR InfiniBand's 8 Gb/s at that size).
+8c: dev platform: minimal half-duplex latency ~1.4 us (~4x sim'd HW),
+    optimal threshold at the larger value of 1 KB.
+"""
+
+import pytest
+from conftest import print_table, run_once
+
+from repro.emulation import (
+    DEV_PLATFORM_MESSAGING_THRESHOLD,
+    dev_platform_cluster_config,
+)
+from repro.workloads import (
+    PULL_ONLY,
+    PUSH_ONLY,
+    send_recv_bandwidth,
+    send_recv_latency,
+)
+
+LAT_SIZES = (32, 128, 512, 2048)
+BW_SIZES = (256, 1024, 4096, 8192)
+TUNED = 256  # the paper's optimal threshold on simulated hardware
+
+
+def _fig8a():
+    results = {}
+    for threshold in (PULL_ONLY, TUNED, PUSH_ONLY):
+        results[threshold] = send_recv_latency(
+            sizes=LAT_SIZES, threshold=threshold, rounds=8)
+    return results
+
+
+def test_fig8a_send_recv_latency_simulated_hw(benchmark):
+    results = run_once(benchmark, _fig8a)
+    rows = []
+    for i, size in enumerate(LAT_SIZES):
+        rows.append((size,
+                     results[PUSH_ONLY][i].latency_us,
+                     results[PULL_ONLY][i].latency_us,
+                     results[TUNED][i].latency_us))
+    print_table("Fig. 8a: send/recv half-duplex latency, sim'd HW (us)",
+                ["size (B)", "push-only", "pull-only", "thresh=256B"],
+                rows)
+
+    push = {r.size: r.latency_us for r in results[PUSH_ONLY]}
+    pull = {r.size: r.latency_us for r in results[PULL_ONLY]}
+    tuned = {r.size: r.latency_us for r in results[TUNED]}
+
+    # Push beats pull for small messages (no control round-trip).
+    assert push[32] < pull[32]
+    # Pull beats push for large messages (no per-chunk packetization).
+    assert pull[2048] < push[2048]
+    # The tuned threshold tracks the better mechanism at both ends.
+    assert tuned[32] <= push[32] * 1.10
+    assert tuned[2048] <= pull[2048] * 1.10
+    # Minimal half-duplex latency lands in the sub-microsecond regime
+    # the paper reports (340 ns there; same order here).
+    assert tuned[32] < 1.0
+
+
+def _fig8b():
+    tuned = send_recv_bandwidth(sizes=BW_SIZES, threshold=TUNED,
+                                messages=30, warmup=6)
+    push = send_recv_bandwidth(sizes=(8192,), threshold=PUSH_ONLY,
+                               messages=30, warmup=6)
+    return tuned, push
+
+
+def test_fig8b_send_recv_bandwidth_simulated_hw(benchmark):
+    tuned, push = run_once(benchmark, _fig8b)
+    rows = [(r.size, r.gbps) for r in tuned]
+    rows.append(("8192 (push-only)", push[0].gbps))
+    print_table("Fig. 8b: send/recv bandwidth, sim'd HW (Gbps)",
+                ["size (B)", "bandwidth"], rows)
+
+    by_size = {r.size: r.gbps for r in tuned}
+    # The paper: bandwidth exceeds 10 Gb/s with messages as small as 4KB.
+    assert by_size[4096] > 10.0
+    assert by_size[8192] > by_size[4096] * 0.9
+    # 8 KB bandwidth beats QDR InfiniBand's ~8 Gb/s at that size.
+    assert by_size[8192] > 8.0
+    # Push-only collapses for large messages (packetization overhead) —
+    # the reason the pull mechanism exists.
+    assert push[0].gbps < by_size[8192] / 3.0
+    # Bandwidth grows with message size.
+    series = [r.gbps for r in tuned]
+    assert all(a < b for a, b in zip(series, series[1:]))
+
+
+def _fig8c():
+    config = dev_platform_cluster_config(2)
+    small = {}
+    for threshold in (PULL_ONLY, DEV_PLATFORM_MESSAGING_THRESHOLD,
+                      PUSH_ONLY):
+        small[threshold] = send_recv_latency(
+            sizes=(32, 512), threshold=threshold, rounds=4,
+            cluster_config=config)
+    return small
+
+
+def test_fig8c_send_recv_latency_dev_platform(benchmark):
+    small = run_once(benchmark, _fig8c)
+    thr = DEV_PLATFORM_MESSAGING_THRESHOLD
+    rows = []
+    for i, size in enumerate((32, 512)):
+        rows.append((size,
+                     small[PUSH_ONLY][i].latency_us,
+                     small[PULL_ONLY][i].latency_us,
+                     small[thr][i].latency_us))
+    print_table("Fig. 8c: send/recv latency, dev platform (us)",
+                ["size (B)", "push-only", "pull-only", "thresh=1KB"],
+                rows)
+
+    # Minimal latency ~1.4 us on the dev platform (ours: same order,
+    # several times the simulated hardware's).
+    assert 0.9 < small[thr][0].latency_us < 4.0
+    # At 512 B the dev platform still pushes (threshold 1 KB) and that
+    # is the right call: push is no slower than pull there.
+    assert small[PUSH_ONLY][1].latency_us <= \
+        small[PULL_ONLY][1].latency_us * 1.15

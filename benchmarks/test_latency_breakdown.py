@@ -1,0 +1,101 @@
+"""Latency decomposition of a small remote read (§7.2's narrative).
+
+"For small request sizes, the latency is around 300ns, of which 80ns
+are attributed to accessing the memory (cache hierarchy and DRAM
+combined) at the remote node and 100ns to round-trip socket-to-socket
+link latency."
+
+The bench separates the three components experimentally:
+
+* link round trip — from the fabric configuration (2 x 50 ns);
+* remote memory — measured as the latency difference between reads that
+  miss to DRAM at the destination and reads served from the
+  destination's LLC (the destination core touches the target line first
+  for the warm case);
+* everything else (RMC pipelines, WQ/CQ interaction, software issue and
+  poll) — the residual.
+"""
+
+from conftest import print_table, run_once
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.runtime import RMCSession
+from repro.sim import LatencyStat
+from repro.vm import PAGE_SIZE
+
+CTX = 1
+REGION = 6 * 1024 * 1024  # exceeds the LLC: cold reads miss to DRAM
+
+
+def _measure(warm: bool, reads: int = 16):
+    cluster = Cluster(config=ClusterConfig(num_nodes=2))
+    gctx = cluster.create_global_context(CTX, REGION + (1 << 20))
+    session = RMCSession(cluster.nodes[0].core, gctx.qp(0), gctx.entry(0))
+    lbuf = session.alloc_buffer(4096)
+    stats = LatencyStat()
+    stride = 128 * 1024
+    offsets = [(i * stride) % REGION for i in range(reads + 4)]
+
+    server = cluster.nodes[1]
+    server_entry = gctx.entry(1)
+
+    def server_warmer(sim):
+        """Touch every target line so remote reads hit the LLC."""
+        space = server_entry.address_space
+        base = server_entry.segment.base_vaddr
+        for offset in offsets:
+            yield from server.core.mem_write(space, base + offset,
+                                             b"\x55" * 64)
+
+    def reader(sim):
+        if warm:
+            yield sim.timeout(50_000)  # after the warmer finished
+        for i, offset in enumerate(offsets):
+            start = sim.now
+            yield from session.read_sync(1, offset, lbuf, 64)
+            if i >= 4:
+                stats.record(sim.now - start)
+
+    if warm:
+        cluster.sim.process(server_warmer(cluster.sim))
+    cluster.sim.process(reader(cluster.sim))
+    cluster.run()
+    return stats.mean, cluster.config.fabric.link_latency_ns
+
+
+def _breakdown():
+    cold, link_latency = _measure(warm=False)
+    warm, _ = _measure(warm=True)
+    memory_component = cold - warm  # DRAM visit minus LLC visit at dest
+    link_rtt = 2 * link_latency
+    residual = warm - link_rtt     # pipelines + queues + software
+    return {
+        "total_cold_ns": cold,
+        "total_warm_ns": warm,
+        "memory_ns": memory_component,
+        "link_rtt_ns": link_rtt,
+        "residual_ns": residual,
+    }
+
+
+def test_latency_breakdown(benchmark):
+    parts = run_once(benchmark, _breakdown)
+    print_table(
+        "Remote 64B read latency decomposition (paper: ~300 = 80 mem "
+        "+ 100 link + rest)",
+        ["component", "ns"],
+        [("total (destination DRAM)", parts["total_cold_ns"]),
+         ("total (destination LLC)", parts["total_warm_ns"]),
+         ("remote memory (DRAM - LLC)", parts["memory_ns"]),
+         ("link round trip", parts["link_rtt_ns"]),
+         ("pipelines + queues + software", parts["residual_ns"])])
+
+    # The paper's composition, within generous bands.
+    assert 250 < parts["total_cold_ns"] < 400       # ~300 ns
+    assert 50 < parts["memory_ns"] < 110            # ~80 ns
+    assert parts["link_rtt_ns"] == 100.0            # 2 x 50 ns
+    assert 50 < parts["residual_ns"] < 200          # the rest
+    # Sanity: components sum back to the cold total.
+    total = parts["memory_ns"] + parts["link_rtt_ns"] \
+        + parts["residual_ns"]
+    assert abs(total - parts["total_cold_ns"]) < 1.0

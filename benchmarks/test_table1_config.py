@@ -1,0 +1,67 @@
+"""Table 1 — system parameters for simulation.
+
+Not a performance experiment: this bench asserts that the library's
+*defaults* transcribe Table 1, so every other benchmark inherits the
+paper's configuration without per-test plumbing.
+"""
+
+from conftest import print_table, run_once
+
+from repro.cluster import ClusterConfig
+from repro.memory import DRAMConfig, MemoryConfig
+from repro.rmc import MMUConfig, RMCConfig
+
+
+def _collect():
+    cluster = ClusterConfig()
+    memory = cluster.node.memory
+    return cluster, memory
+
+
+def test_table1_parameters(benchmark):
+    cluster, memory = run_once(benchmark, _collect)
+
+    rows = [
+        ("L1 caches", "32KB 2-way, 64B blocks, 32 MSHRs, 3-cycle",
+         f"{memory.l1.size_bytes // 1024}KB {memory.l1.associativity}-way, "
+         f"{memory.l1.line_size}B, {memory.l1.mshrs} MSHRs, "
+         f"{memory.l1.latency_ns}ns"),
+        ("L2 cache", "4MB, 16-way, 6-cycle",
+         f"{memory.l2.size_bytes // (1024 * 1024)}MB "
+         f"{memory.l2.associativity}-way, {memory.l2.latency_ns}ns"),
+        ("Memory", "60ns latency, 12GBps, 8KB pages",
+         f"{memory.dram.latency_ns}ns, {memory.dram.bandwidth_gbps}GBps"),
+        ("RMC", "3 pipelines, 32-entry MAQ, 32-entry TLB",
+         f"MAQ={cluster.node.rmc.mmu.maq_entries}, "
+         f"TLB={cluster.node.rmc.mmu.tlb_entries}"),
+        ("Fabric", "inter-node delay 50ns",
+         f"{cluster.fabric.link_latency_ns}ns"),
+    ]
+    print_table("Table 1: system parameters (paper vs defaults)",
+                ["component", "paper", "this repo"], rows)
+
+    # L1: split 32KB 2-way, 64B blocks, 32 MSHRs, 3 cycles @ 2 GHz.
+    assert memory.l1.size_bytes == 32 * 1024
+    assert memory.l1.associativity == 2
+    assert memory.l1.line_size == 64
+    assert memory.l1.mshrs == 32
+    assert memory.l1.latency_ns == 1.5
+
+    # L2: 4MB, 16-way, 6 cycles.
+    assert memory.l2.size_bytes == 4 * 1024 * 1024
+    assert memory.l2.associativity == 16
+    assert memory.l2.latency_ns == 3.0
+
+    # Memory: 8KB pages, DDR3-1600: 60ns, 12 GB/s.
+    from repro.vm import PAGE_SIZE
+    assert PAGE_SIZE == 8192
+    assert memory.dram.latency_ns == 60.0
+    assert memory.dram.bandwidth_gbps == 12.0
+
+    # RMC: 32-entry MAQ, 32-entry TLB, three independent pipelines.
+    assert cluster.node.rmc.mmu.maq_entries == 32
+    assert cluster.node.rmc.mmu.tlb_entries == 32
+
+    # Fabric: flat 50ns inter-node delay on a full crossbar.
+    assert cluster.fabric.link_latency_ns == 50.0
+    assert cluster.topology is None  # crossbar

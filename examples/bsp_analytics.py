@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Iterative analytics on the mini-Pregel engine, with notifications.
+
+Combines two higher-level pieces built on the soNUMA primitives:
+
+* the BSP engine (Pregel-style vertex programs over bulk shuffles) runs
+  PageRank *to convergence* and connected-component label propagation;
+* the §8 notification extension signals an idle observer node when the
+  computation finishes — no polling at the observer.
+
+Run:  python examples/bsp_analytics.py
+"""
+
+from repro.apps import (
+    BSPEngine,
+    MinLabelProgram,
+    PageRankProgram,
+    pagerank_reference,
+    zipf_graph,
+)
+from repro.cluster import Cluster, ClusterConfig
+from repro.runtime import RMCSession
+
+
+def converged_pagerank():
+    graph = zipf_graph(512, avg_degree=6, seed=23)
+    engine = BSPEngine(graph, num_nodes=4)
+    result = engine.run(PageRankProgram(), max_supersteps=100,
+                        stop_on_convergence=True, tolerance=1e-9)
+    reference = pagerank_reference(graph, result.supersteps_run)
+    error = max(abs(a - b) for a, b in zip(reference, result.values))
+    print(f"PageRank on 4 nodes: converged in {result.supersteps_run} "
+          f"supersteps ({result.elapsed_ns / 1e6:.2f} ms simulated)")
+    print(f"  {result.remote_reads} bulk shuffle reads; "
+          f"max deviation from reference: {error:.2e}")
+    top = sorted(range(graph.num_vertices),
+                 key=lambda v: -result.values[v])[:5]
+    print(f"  top-5 vertices by rank: {top}")
+
+
+def label_propagation():
+    graph = zipf_graph(512, avg_degree=6, seed=23)
+    engine = BSPEngine(graph, num_nodes=4)
+    result = engine.run(MinLabelProgram(), max_supersteps=100,
+                        stop_on_convergence=True)
+    labels = {int(v) for v in result.values}
+    print(f"\nmin-label propagation: fixpoint in "
+          f"{result.supersteps_run} supersteps; "
+          f"{len(labels)} distinct labels remain")
+
+
+def notify_when_done():
+    """A worker notifies an idle observer when its job completes."""
+    cluster = Cluster(config=ClusterConfig(num_nodes=2))
+    gctx = cluster.create_global_context(1, 1 << 20)
+    worker = RMCSession(cluster.nodes[0].core, gctx.qp(0), gctx.entry(0))
+    queue = cluster.nodes[1].driver.enable_notifications()
+    woke = {}
+
+    def observer(sim):
+        notification = yield from queue.wait()   # blocks, zero polling
+        woke["at"] = sim.now
+        woke["payload"] = notification.payload
+
+    def job(sim):
+        lbuf = worker.alloc_buffer(4096)
+        yield sim.timeout(25_000)                # ... the job runs ...
+        worker.buffer_poke(lbuf, b"job done")
+        yield from worker.notify_sync(1, lbuf, 8)
+
+    cluster.sim.process(observer(cluster.sim))
+    cluster.sim.process(job(cluster.sim))
+    cluster.run()
+    print(f"\nnotification: observer slept 25 us with zero polling, "
+          f"woke at t={woke['at'] / 1000:.1f} us "
+          f"with payload {woke['payload']!r}")
+
+
+def main():
+    converged_pagerank()
+    label_propagation()
+    notify_when_done()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Messaging over one-sided operations: the push/pull tradeoff (§5.3).
+
+soNUMA has no hardware send/receive — unsolicited communication is
+built in software from remote writes (push) and remote reads (pull),
+switched by a message-size threshold. This example runs a netpipe-style
+ping-pong and a streaming transfer at several thresholds, showing the
+crossover the paper tunes to 256 B on simulated hardware, and finishes
+with a 4-node barrier.
+
+Run:  python examples/netpipe_messaging.py
+"""
+
+from repro import (
+    Barrier,
+    Cluster,
+    ClusterConfig,
+    Messenger,
+    MessagingConfig,
+    RMCSession,
+)
+from repro.workloads import (
+    PULL_ONLY,
+    PUSH_ONLY,
+    send_recv_bandwidth,
+    send_recv_latency,
+)
+
+CTX_ID = 1
+
+
+def latency_and_bandwidth():
+    sizes = (32, 256, 2048)
+    print("half-duplex latency (us) by push/pull policy:")
+    print(f"{'size (B)':>9} {'push-only':>10} {'pull-only':>10} "
+          f"{'thr=256B':>10}")
+    curves = {}
+    for threshold in (PUSH_ONLY, PULL_ONLY, 256):
+        curves[threshold] = send_recv_latency(sizes=sizes,
+                                              threshold=threshold,
+                                              rounds=5)
+    for i, size in enumerate(sizes):
+        print(f"{size:>9} {curves[PUSH_ONLY][i].latency_us:>10.3f} "
+              f"{curves[PULL_ONLY][i].latency_us:>10.3f} "
+              f"{curves[256][i].latency_us:>10.3f}")
+
+    print("\nstreaming bandwidth (Gbps), threshold=256B:")
+    for row in send_recv_bandwidth(sizes=(1024, 4096, 8192),
+                                   threshold=256, messages=20, warmup=5):
+        print(f"{row.size:>9} {row.gbps:>10.2f}")
+
+
+def barrier_demo():
+    num_nodes = 4
+    cluster = Cluster(config=ClusterConfig(num_nodes=num_nodes))
+    ctx = cluster.create_global_context(CTX_ID, 2 << 20)
+    sessions = {n: RMCSession(cluster.nodes[n].core, ctx.qp(n),
+                              ctx.entry(n)) for n in range(num_nodes)}
+    barriers = {n: Barrier(sessions[n], n, list(range(num_nodes)))
+                for n in range(num_nodes)}
+    arrival, departure = {}, {}
+
+    def worker(sim, node_id):
+        # Nodes arrive staggered by 2 us each; nobody leaves early.
+        yield sim.timeout(node_id * 2000)
+        arrival[node_id] = sim.now
+        yield from barriers[node_id].wait()
+        departure[node_id] = sim.now
+
+    for n in range(num_nodes):
+        cluster.sim.process(worker(cluster.sim, n))
+    cluster.run()
+
+    print("\nbarrier over one-sided writes (4 nodes, staggered arrivals):")
+    for n in range(num_nodes):
+        print(f"  node {n}: arrived {arrival[n] / 1000:>6.1f} us, "
+              f"released {departure[n] / 1000:>6.1f} us")
+    spread = (max(departure.values()) - min(departure.values())) / 1000
+    print(f"  release spread: {spread:.2f} us after the last arrival")
+
+
+def main():
+    latency_and_bandwidth()
+    barrier_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""repro — a full-system reproduction of Scale-Out NUMA (ASPLOS 2014).
+
+Scale-Out NUMA (soNUMA) is an architecture, programming model, and
+communication protocol for low-latency, distributed in-memory processing
+(Novakovic, Daglis, Bugnion, Falsafi, Grot — ASPLOS 2014).
+
+This package implements the complete system as a calibrated-functional
+discrete-event simulation:
+
+* :mod:`repro.sim` — the discrete-event kernel and measurement tools;
+* :mod:`repro.vm` / :mod:`repro.memory` — virtual memory and the
+  node-local coherent cache hierarchy (Table 1 parameters);
+* :mod:`repro.fabric` / :mod:`repro.protocol` — the NUMA memory fabric
+  and the stateless request/reply wire protocol;
+* :mod:`repro.rmc` — the Remote Memory Controller (RGP/RRPP/RCP
+  pipelines, CT/CT$, ITT, MAQ, TLB);
+* :mod:`repro.node` / :mod:`repro.cluster` — node and rack assembly,
+  device driver, security model;
+* :mod:`repro.runtime` — the access library (sync/async one-sided
+  reads/writes/atomics), messaging (send/receive with the push/pull
+  threshold), and barriers;
+* :mod:`repro.baselines` — RDMA/InfiniBand, commodity TCP/IP, and
+  cache-coherent SHM comparators;
+* :mod:`repro.emulation` — the Xen/RMCemu development platform;
+* :mod:`repro.apps` — PageRank (three variants) and a key-value store.
+
+Quickstart::
+
+    from repro import Cluster, ClusterConfig, RMCSession
+
+    cluster = Cluster(config=ClusterConfig(num_nodes=2))
+    ctx = cluster.create_global_context(ctx_id=1, segment_size=1 << 20)
+    node0 = cluster.nodes[0]
+    session = RMCSession(node0.core, ctx.qp(0), ctx.entry(0))
+    buf = session.alloc_buffer(4096)
+
+    def app(sim):
+        yield from session.read_sync(dst_nid=1, offset=0,
+                                     local_vaddr=buf, length=64)
+
+    cluster.sim.process(app(cluster.sim))
+    cluster.run()
+"""
+
+from .cluster import Cluster, ClusterConfig, GlobalContext
+from .node import Node, NodeConfig
+from .runtime import (
+    Barrier,
+    Messenger,
+    MessagingConfig,
+    RemoteOpError,
+    RMCSession,
+)
+from .sim import Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Barrier",
+    "Cluster",
+    "ClusterConfig",
+    "GlobalContext",
+    "Messenger",
+    "MessagingConfig",
+    "Node",
+    "NodeConfig",
+    "RemoteOpError",
+    "RMCSession",
+    "Simulator",
+    "__version__",
+]

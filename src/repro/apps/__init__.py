@@ -1,0 +1,49 @@
+"""Applications: graph substrate, PageRank x3, BFS x2, key-value store."""
+
+from .bfs import BFSResult, bfs_reference, run_bfs_fine, run_bfs_push
+from .bsp import BSPEngine, BSPResult, MinLabelProgram, PageRankProgram
+from .transactions import AccountStore, TransactionClient, run_transfer_mix
+from .graph import (
+    Graph,
+    Partition,
+    pagerank_reference,
+    partition_random,
+    zipf_graph,
+)
+from .kvstore import KVClient, KVServer, KVStats
+from .pagerank import (
+    PageRankResult,
+    PageRankTiming,
+    VERTEX_BYTES,
+    run_shm,
+    run_sonuma_bulk,
+    run_sonuma_fine,
+)
+
+__all__ = [
+    "AccountStore",
+    "BFSResult",
+    "BSPEngine",
+    "TransactionClient",
+    "run_transfer_mix",
+    "BSPResult",
+    "Graph",
+    "MinLabelProgram",
+    "PageRankProgram",
+    "KVClient",
+    "bfs_reference",
+    "run_bfs_fine",
+    "run_bfs_push",
+    "KVServer",
+    "KVStats",
+    "PageRankResult",
+    "PageRankTiming",
+    "Partition",
+    "VERTEX_BYTES",
+    "pagerank_reference",
+    "partition_random",
+    "run_shm",
+    "run_sonuma_bulk",
+    "run_sonuma_fine",
+    "zipf_graph",
+]

@@ -1,0 +1,323 @@
+"""Distributed breadth-first search — on-line graph query processing.
+
+The paper names "on-line graph query processing" among soNUMA's killer
+applications (§8, §2.1: "applications that traverse large data
+structures (e.g., graph algorithms)"). Where PageRank (§7.5) is the
+batch workload, BFS is the query-style one: irregular, data-dependent
+access, little work per vertex.
+
+Two timed implementations over the partitioned global address space:
+
+* :func:`run_bfs_fine` — one-sided: each node expands its frontier and
+  issues a fine-grain ``rmc_read`` for every cross-partition adjacency
+  list it must inspect (the Fig. 4 idiom applied to traversal). Remote
+  adjacency lists are read directly out of the owner's context segment.
+* :func:`run_bfs_push` — message-passing: newly discovered remote
+  vertices are batched and sent to their owners with the §5.3 messaging
+  library at the end of each level (the classic BSP frontier exchange).
+
+Both are validated against :func:`bfs_reference`.
+
+Graph layout in each node's segment: a CSR-style encoding of the local
+partition — an index array (one u32 pair per local vertex: start, count
+into the edge array) followed by the edge array (u32 global vertex ids)
+— so a remote node can fetch any vertex's adjacency with two one-sided
+reads (index, then edges), exactly how a real soNUMA deployment would
+share read-only graph data.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from ..cluster.cluster import Cluster, ClusterConfig
+from ..runtime.barrier import Barrier
+from ..runtime.layout import MessagingConfig
+from ..runtime.messaging import Messenger
+from ..runtime.qp_api import RMCSession
+from .graph import Graph, partition_random
+
+__all__ = ["bfs_reference", "run_bfs_fine", "run_bfs_push", "BFSResult"]
+
+_CTX = 1
+_INDEX_ENTRY = 8     # u32 start + u32 count per local vertex
+_EDGE_BYTES = 4      # u32 neighbor id
+
+#: Per-vertex / per-edge computation costs (visited-set updates etc.).
+_VERTEX_NS = 4.0
+_EDGE_NS = 1.5
+
+
+@dataclass
+class BFSResult:
+    """Outcome of one timed BFS run."""
+
+    variant: str
+    parallelism: int
+    distances: List[int]          # -1 = unreachable
+    elapsed_ns: float
+    levels: int
+    remote_reads: int = 0
+    messages: int = 0
+
+    @property
+    def reached(self) -> int:
+        return sum(1 for d in self.distances if d >= 0)
+
+
+def _out_neighbors(graph: Graph) -> List[List[int]]:
+    """BFS traverses *out*-edges; Graph stores in-neighbor lists."""
+    out: List[List[int]] = [[] for _ in range(graph.num_vertices)]
+    for v in range(graph.num_vertices):
+        for u in graph.in_neighbors[v]:
+            out[u].append(v)
+    return out
+
+
+def bfs_reference(graph: Graph, source: int) -> List[int]:
+    """Untimed BFS distances from ``source`` (-1 for unreachable)."""
+    out = _out_neighbors(graph)
+    distances = [-1] * graph.num_vertices
+    distances[source] = 0
+    frontier = deque([source])
+    while frontier:
+        u = frontier.popleft()
+        for v in out[u]:
+            if distances[v] < 0:
+                distances[v] = distances[u] + 1
+                frontier.append(v)
+    return distances
+
+
+class _BFSSetup:
+    """Cluster with the CSR partition of the graph loaded into segments."""
+
+    def __init__(self, graph: Graph, num_nodes: int,
+                 cluster_config: Optional[ClusterConfig], seed: int):
+        self.graph = graph
+        self.out = _out_neighbors(graph)
+        self.partition = partition_random(graph, num_nodes, seed=seed)
+        max_part = max(len(m) for m in self.partition.members)
+        max_edges = max(
+            sum(len(self.out[v]) for v in members)
+            for members in self.partition.members)
+        self.index_bytes = max_part * _INDEX_ENTRY
+        segment = (self.index_bytes + max_edges * _EDGE_BYTES
+                   + (2 << 20))
+        self.cluster = Cluster(config=cluster_config
+                               or ClusterConfig(num_nodes=num_nodes))
+        self.gctx = self.cluster.create_global_context(_CTX, segment)
+        self.sessions = {
+            n: RMCSession(self.cluster.nodes[n].core, self.gctx.qp(n),
+                          self.gctx.entry(n))
+            for n in range(num_nodes)
+        }
+        self._load_partitions(num_nodes)
+
+    def _load_partitions(self, num_nodes: int) -> None:
+        for n in range(num_nodes):
+            members = self.partition.members[n]
+            index_blob = bytearray()
+            edge_blob = bytearray()
+            for v in members:
+                start = len(edge_blob) // _EDGE_BYTES
+                for w in self.out[v]:
+                    edge_blob += struct.pack("<I", w)
+                index_blob += struct.pack("<II", start, len(self.out[v]))
+            self.cluster.poke_segment(n, _CTX, 0, bytes(index_blob))
+            if edge_blob:
+                self.cluster.poke_segment(n, _CTX, self.index_bytes,
+                                          bytes(edge_blob))
+
+    def adjacency_offsets(self, vertex: int):
+        """(index_offset, owner) for a vertex's CSR index entry."""
+        owner = self.partition.owner[vertex]
+        local = self.partition.local_index[vertex]
+        return local * _INDEX_ENTRY, owner
+
+
+def run_bfs_fine(graph: Graph, num_nodes: int, source: int = 0,
+                 cluster_config: Optional[ClusterConfig] = None,
+                 seed: int = 7) -> BFSResult:
+    """One-sided BFS: remote adjacency lists fetched with rmc_reads.
+
+    Level-synchronous expansion: frontiers are double-buffered
+    (``current`` is read-only during a level; discoveries go into
+    ``pending``), with two barriers per level framing the swap so every
+    node sees a consistent frontier and the termination decision. A
+    node that discovers a remote vertex fetches that vertex's adjacency
+    itself (index read + edge read) — expansion never blocks on peer
+    CPUs, the one-sided property the paper's killer apps rely on.
+    """
+    setup = _BFSSetup(graph, num_nodes, cluster_config, seed)
+    sim = setup.cluster.sim
+    partition = setup.partition
+    barriers = {n: Barrier(setup.sessions[n], n, list(range(num_nodes)))
+                for n in range(num_nodes)}
+
+    distances = [-1] * graph.num_vertices
+    distances[source] = 0
+    remote_reads = [0]
+    # Keyed by the *discovering* node: whoever finds a vertex expands it
+    # next level, fetching the adjacency from its owner one-sidedly —
+    # no shuffle, no owner involvement (the contrast with run_bfs_push).
+    current: Dict[int, Set[int]] = {n: set() for n in range(num_nodes)}
+    pending: Dict[int, Set[int]] = {n: set() for n in range(num_nodes)}
+    pending[0].add(source)
+
+    def fetch_adjacency(node_id, session, lbuf, vertex):
+        index_offset, owner = setup.adjacency_offsets(vertex)
+        if owner == node_id:
+            base = session.ctx.segment.base_vaddr
+            raw = yield from session.core.mem_read(
+                session.space, base + index_offset, _INDEX_ENTRY)
+            start, count = struct.unpack("<II", raw)
+            if count == 0:
+                return []
+            raw = yield from session.core.mem_read(
+                session.space,
+                base + setup.index_bytes + start * _EDGE_BYTES,
+                count * _EDGE_BYTES)
+        else:
+            remote_reads[0] += 1
+            yield from session.read_sync(owner, index_offset, lbuf,
+                                         _INDEX_ENTRY)
+            start, count = struct.unpack(
+                "<II", session.buffer_peek(lbuf, _INDEX_ENTRY))
+            if count == 0:
+                return []
+            remote_reads[0] += 1
+            yield from session.read_sync(
+                owner, setup.index_bytes + start * _EDGE_BYTES,
+                lbuf, count * _EDGE_BYTES)
+            raw = session.buffer_peek(lbuf, count * _EDGE_BYTES)
+        return [struct.unpack_from("<I", raw, i * _EDGE_BYTES)[0]
+                for i in range(count)]
+
+    def worker(node_id: int):
+        session = setup.sessions[node_id]
+        core = session.core
+        lbuf = session.alloc_buffer(64 * 1024)
+        level = 0
+        while True:
+            yield from barriers[node_id].wait()   # everyone idle
+            if node_id == 0:
+                for n in range(num_nodes):
+                    current[n] = pending[n]
+                    pending[n] = set()
+            yield from barriers[node_id].wait()   # swap visible, frozen
+            if not any(current[n] for n in range(num_nodes)):
+                break                              # consistent decision
+            for u in sorted(current[node_id]):
+                yield core.compute(_VERTEX_NS)
+                neighbors = yield from fetch_adjacency(node_id, session,
+                                                       lbuf, u)
+                for w in neighbors:
+                    yield core.compute(_EDGE_NS)
+                    if distances[w] < 0:
+                        distances[w] = distances[u] + 1
+                        pending[node_id].add(w)
+            level += 1
+        return level
+
+    start_time = sim.now
+    procs = [sim.process(worker(n), name=f"bfs.fine{n}")
+             for n in range(num_nodes)]
+    sim.run()
+    for proc in procs:
+        if not proc.ok:  # pragma: no cover
+            raise proc.value
+    reached = [d for d in distances if d >= 0]
+    return BFSResult(variant="bfs-fine", parallelism=num_nodes,
+                     distances=distances, elapsed_ns=sim.now - start_time,
+                     levels=max(reached) if reached else 0,
+                     remote_reads=remote_reads[0])
+
+
+def run_bfs_push(graph: Graph, num_nodes: int, source: int = 0,
+                 cluster_config: Optional[ClusterConfig] = None,
+                 seed: int = 7) -> BFSResult:
+    """Message-passing BFS: frontier exchange via the §5.3 library.
+
+    Each node expands only vertices it owns; discoveries of remote
+    vertices are batched into one message per peer per level (u32 ids),
+    sent with the messaging library, and merged before the next level.
+    """
+    setup = _BFSSetup(graph, num_nodes, cluster_config, seed)
+    sim = setup.cluster.sim
+    partition = setup.partition
+    messengers = {n: Messenger(setup.sessions[n], n, num_nodes,
+                               MessagingConfig(staging_bytes=128 * 1024))
+                  for n in range(num_nodes)}
+    barriers = {n: Barrier(setup.sessions[n], n, list(range(num_nodes)))
+                for n in range(num_nodes)}
+
+    distances = [-1] * graph.num_vertices
+    distances[source] = 0
+    messages = [0]
+    current: Dict[int, List[int]] = {n: [] for n in range(num_nodes)}
+    pending: Dict[int, List[int]] = {n: [] for n in range(num_nodes)}
+    pending[partition.owner[source]].append(source)
+
+    def worker(node_id: int):
+        session = setup.sessions[node_id]
+        core = session.core
+        messenger = messengers[node_id]
+        peers = [p for p in range(num_nodes) if p != node_id]
+        level = 0
+        while True:
+            yield from barriers[node_id].wait()   # everyone idle
+            if node_id == 0:
+                for n in range(num_nodes):
+                    current[n] = pending[n]
+                    pending[n] = []
+            yield from barriers[node_id].wait()   # swap visible, frozen
+            if not any(current[n] for n in range(num_nodes)):
+                break
+            outbound: Dict[int, List[tuple]] = {p: [] for p in peers}
+            for u in current[node_id]:
+                yield core.compute(_VERTEX_NS)
+                for w in setup.out[u]:
+                    yield core.compute(_EDGE_NS)
+                    if distances[w] >= 0:
+                        continue
+                    owner = partition.owner[w]
+                    if owner == node_id:
+                        distances[w] = distances[u] + 1
+                        pending[node_id].append(w)
+                    else:
+                        outbound[owner].append((w, distances[u] + 1))
+            # Batched frontier exchange: one message per peer per level
+            # (an empty sentinel keeps send/recv counts matched).
+            for p in peers:
+                blob = b"".join(struct.pack("<II", w, d)
+                                for w, d in outbound[p]) or b"\xff" * 4
+                yield from messenger.send(p, blob)
+                messages[0] += 1
+            for p in peers:
+                blob = yield from messenger.recv(p)
+                if blob == b"\xff" * 4:
+                    continue
+                for i in range(0, len(blob), 8):
+                    w, d = struct.unpack_from("<II", blob, i)
+                    if distances[w] < 0:
+                        distances[w] = d
+                        pending[node_id].append(w)
+            level += 1
+        return level
+
+    start_time = sim.now
+    procs = [sim.process(worker(n), name=f"bfs.push{n}")
+             for n in range(num_nodes)]
+    sim.run()
+    for proc in procs:
+        if not proc.ok:  # pragma: no cover
+            raise proc.value
+    return BFSResult(variant="bfs-push", parallelism=num_nodes,
+                     distances=distances, elapsed_ns=sim.now - start_time,
+                     levels=max((d for d in distances if d >= 0),
+                                default=0),
+                     messages=messages[0])

@@ -1,0 +1,171 @@
+"""Graph structures, synthetic generation, and partitioning.
+
+The paper evaluates PageRank "on a subset of the Twitter graph [29]
+using a naive algorithm that randomly partitions the vertices into sets
+of equal cardinality" (§7.5). The Twitter crawl is not redistributable;
+we substitute a synthetic graph with a Zipf (power-law) degree
+distribution, which preserves what the experiment depends on — the
+skewed degree distribution that causes partition imbalance and a high
+cut-edge fraction under random partitioning (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+__all__ = ["Graph", "Partition", "zipf_graph", "partition_random",
+           "pagerank_reference"]
+
+
+@dataclass
+class Graph:
+    """A directed graph stored as in-neighbor lists.
+
+    PageRank pulls rank from in-neighbors, so adjacency is stored as
+    ``in_neighbors[v]`` (who points at v); ``out_degree[u]`` is the
+    divisor for u's rank contribution.
+    """
+
+    num_vertices: int
+    in_neighbors: List[List[int]]
+    out_degree: List[int]
+
+    def __post_init__(self):
+        if self.num_vertices <= 0:
+            raise ValueError("graph needs at least one vertex")
+        if len(self.in_neighbors) != self.num_vertices \
+                or len(self.out_degree) != self.num_vertices:
+            raise ValueError("adjacency arrays must match num_vertices")
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(adj) for adj in self.in_neighbors)
+
+    def validate(self) -> None:
+        """Consistency check: out-degrees match the in-neighbor lists."""
+        recount = [0] * self.num_vertices
+        for v in range(self.num_vertices):
+            for u in self.in_neighbors[v]:
+                if not 0 <= u < self.num_vertices:
+                    raise ValueError(f"edge {u}->{v} out of range")
+                recount[u] += 1
+        if recount != list(self.out_degree):
+            raise ValueError("out_degree inconsistent with in_neighbors")
+
+
+@dataclass
+class Partition:
+    """A vertex-to-node assignment plus derived indexing."""
+
+    num_parts: int
+    owner: List[int]                       # vertex -> node
+    members: List[List[int]] = field(default_factory=list)
+    local_index: Dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not self.members:
+            self.members = [[] for _ in range(self.num_parts)]
+            for v, node in enumerate(self.owner):
+                if not 0 <= node < self.num_parts:
+                    raise ValueError(f"vertex {v} assigned to bad node")
+                self.local_index[v] = len(self.members[node])
+                self.members[node].append(v)
+
+    def cut_edges(self, graph: Graph) -> int:
+        """Edges whose endpoints live on different nodes — each one is a
+        remote read in the fine-grain soNUMA variant."""
+        cut = 0
+        for v in range(graph.num_vertices):
+            for u in graph.in_neighbors[v]:
+                if self.owner[u] != self.owner[v]:
+                    cut += 1
+        return cut
+
+    def imbalance(self, graph: Graph) -> float:
+        """Max over mean per-node edge load (drives Fig. 9's shape)."""
+        loads = [0] * self.num_parts
+        for v in range(graph.num_vertices):
+            loads[self.owner[v]] += len(graph.in_neighbors[v])
+        mean = sum(loads) / self.num_parts
+        return max(loads) / mean if mean else 1.0
+
+
+def zipf_graph(num_vertices: int, avg_degree: float = 8.0,
+               exponent: float = 2.0, seed: int = 42) -> Graph:
+    """Synthetic power-law graph (Twitter-subset stand-in).
+
+    Out-degrees are Zipf-distributed (scaled to the requested average);
+    edge destinations are chosen preferentially (by degree rank) so both
+    in- and out-degree distributions are skewed, as in social graphs.
+    """
+    if num_vertices < 2:
+        raise ValueError("need at least two vertices")
+    if avg_degree <= 0 or exponent <= 1.0:
+        raise ValueError("avg_degree must be > 0 and exponent > 1")
+    rng = np.random.default_rng(seed)
+
+    raw = rng.zipf(exponent, size=num_vertices).astype(np.float64)
+    raw = np.minimum(raw, num_vertices / 4)  # cap megahubs
+    degrees = np.maximum(1, np.round(
+        raw * (avg_degree / raw.mean()))).astype(np.int64)
+
+    # Preferential destinations: sample vertices weighted by their own
+    # degree (creates skewed in-degree too).
+    weights = degrees / degrees.sum()
+    in_neighbors: List[List[int]] = [[] for _ in range(num_vertices)]
+    out_degree = [0] * num_vertices
+    for u in range(num_vertices):
+        targets = rng.choice(num_vertices, size=int(degrees[u]),
+                             replace=True, p=weights)
+        for v in targets:
+            v = int(v)
+            if v == u:
+                continue  # drop self-loops
+            in_neighbors[v].append(u)
+            out_degree[u] += 1
+    # Vertices that lost all edges to self-loop-dropping get one edge so
+    # out_degree is never zero (avoids rank sinks in the classic update).
+    for u in range(num_vertices):
+        if out_degree[u] == 0:
+            v = (u + 1) % num_vertices
+            in_neighbors[v].append(u)
+            out_degree[u] = 1
+    return Graph(num_vertices=num_vertices, in_neighbors=in_neighbors,
+                 out_degree=out_degree)
+
+
+def partition_random(graph: Graph, num_parts: int,
+                     seed: int = 7) -> Partition:
+    """The paper's naive partitioner: random, equal-cardinality parts."""
+    if num_parts < 1:
+        raise ValueError("need at least one partition")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(graph.num_vertices)
+    owner = [0] * graph.num_vertices
+    for position, vertex in enumerate(order):
+        owner[int(vertex)] = position % num_parts
+    return Partition(num_parts=num_parts, owner=owner)
+
+
+def pagerank_reference(graph: Graph, supersteps: int,
+                       damping: float = 0.85) -> List[float]:
+    """Untimed reference PageRank (the BSP update of paper Fig. 4).
+
+    Matches the paper's update rule exactly:
+    ``rank'[v] = (1-d)/N + d * sum(rank[u]/out_degree[u])`` over
+    in-neighbors u, iterated ``supersteps`` times from uniform ranks.
+    """
+    n = graph.num_vertices
+    rank = [1.0 / n] * n
+    for _ in range(supersteps):
+        new_rank = [(1.0 - damping) / n] * n
+        for v in range(n):
+            acc = 0.0
+            for u in graph.in_neighbors[v]:
+                acc += rank[u] / graph.out_degree[u]
+            new_rank[v] += damping * acc
+        rank = new_rank
+    return rank

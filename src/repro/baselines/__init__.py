@@ -1,0 +1,14 @@
+"""Baseline models the paper compares against: TCP/IP, RDMA/IB, SHM."""
+
+from .rdma import RDMAConfig, RDMAModel
+from .shm import build_shm_node, shm_node_config
+from .tcp import TCPConfig, TCPNetworkModel
+
+__all__ = [
+    "RDMAConfig",
+    "RDMAModel",
+    "TCPConfig",
+    "TCPNetworkModel",
+    "build_shm_node",
+    "shm_node_config",
+]

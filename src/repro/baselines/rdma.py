@@ -1,0 +1,121 @@
+"""RDMA/InfiniBand baseline (the Table 2 comparator).
+
+The paper compares soNUMA against "an industry-leading commercial
+solution that combines the Mellanox ConnectX-3 RDMA host channel adapter
+connected to host Xeon E5-2670 2.60GHz via a PCIe-Gen3 bus ... servers
+connected back-to-back via a 56Gbps InfiniBand link" [14], reporting:
+
+    Max BW 50 Gb/s, read RTT 1.19 us, fetch-and-add 1.15 us,
+    35 M IOPS @ 4 cores / 4 QPs.
+
+What the paper used: real Mellanox hardware (personal communication).
+What we build: a component-level latency/bandwidth model whose terms are
+the published architectural costs the paper's argument rests on — PCIe
+crossings of 400-500 ns ("Studies have shown that it takes 400-500ns to
+communicate short bursts over the PCIe bus", §2.2) and the PCIe-Gen3
+bandwidth ceiling. The model is calibrated so the four Table 2 numbers
+emerge from the components, which is exactly the comparison the paper
+makes (soNUMA wins by eliminating the PCIe terms).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+__all__ = ["RDMAConfig", "RDMAModel"]
+
+
+@dataclass(frozen=True)
+class RDMAConfig:
+    """ConnectX-3-class component costs."""
+
+    #: MMIO doorbell + WQE fetch by the HCA over PCIe (source side).
+    post_pcie_ns: float = 300.0
+    #: HCA processing per packet direction (transport + DMA engines).
+    nic_processing_ns: float = 70.0
+    #: Back-to-back InfiniBand wire latency per direction.
+    wire_latency_ns: float = 55.0
+    #: Destination-side DMA read/write across PCIe + DRAM access.
+    remote_dma_ns: float = 360.0
+    #: Completion DMA write + CQE poll at the source.
+    completion_ns: float = 150.0
+    #: 56 Gb/s InfiniBand link (bytes/ns).
+    ib_bandwidth_gbps: float = 7.0
+    #: PCIe Gen3 x8 effective data bandwidth: the 50 Gb/s ceiling.
+    pcie_bandwidth_gbps: float = 6.25
+    #: Per-operation host software cost (ibverbs post/poll inline path);
+    #: with 4 QPs on 4 cores the paper's setup reaches 35 M IOPS.
+    sw_per_op_ns: float = 114.0
+
+    def __post_init__(self):
+        values = [self.post_pcie_ns, self.nic_processing_ns,
+                  self.wire_latency_ns, self.remote_dma_ns,
+                  self.completion_ns, self.sw_per_op_ns]
+        if min(values) < 0:
+            raise ValueError("costs must be non-negative")
+        if min(self.ib_bandwidth_gbps, self.pcie_bandwidth_gbps) <= 0:
+            raise ValueError("bandwidths must be positive")
+
+
+class RDMAModel:
+    """Latency/bandwidth/IOPS predictions for the RDMA baseline."""
+
+    def __init__(self, config: RDMAConfig = RDMAConfig()):
+        self.config = config
+
+    @property
+    def effective_bandwidth_gbps(self) -> float:
+        """Max achievable bandwidth: the PCIe bus, not the IB link,
+        is the ceiling ("the PCIe-Gen3 bus limits RDMA bandwidth to
+        50 Gbps, even with 56Gbps InfiniBand", §7.4)."""
+        return min(self.config.ib_bandwidth_gbps,
+                   self.config.pcie_bandwidth_gbps) * 8.0
+
+    def read_rtt_ns(self, size: int = 8) -> float:
+        """One-sided read round-trip: post -> HCA -> wire -> remote HCA
+        -> DMA from host memory -> wire -> DMA into host -> completion."""
+        cfg = self.config
+        bw = min(cfg.ib_bandwidth_gbps, cfg.pcie_bandwidth_gbps)
+        serialization = size / bw
+        return (cfg.post_pcie_ns
+                + 2 * cfg.nic_processing_ns          # src HCA out + in
+                + 2 * cfg.wire_latency_ns
+                + 2 * cfg.nic_processing_ns          # dst HCA in + out
+                + cfg.remote_dma_ns
+                + serialization
+                + cfg.completion_ns)
+
+    def read_rtt_us(self, size: int = 8) -> float:
+        """Read RTT in microseconds (Table 2's unit)."""
+        return self.read_rtt_ns(size) / 1000.0
+
+    def fetch_add_rtt_ns(self) -> float:
+        """Atomics are executed by the destination HCA; the path is the
+        read path with the DMA replaced by a locked DMA read-modify-write
+        (slightly cheaper than a full DMA data fetch)."""
+        read_path = self.read_rtt_ns(8)
+        return read_path - 40.0  # paper: 1.15 us vs 1.19 us read
+
+    def fetch_add_rtt_us(self) -> float:
+        """Fetch-and-add RTT in microseconds (Table 2's unit)."""
+        return self.fetch_add_rtt_ns() / 1000.0
+
+    def iops_millions(self, cores: int = 4, qps: int = 4) -> float:
+        """Peak small-read rate: limited by per-op software cost per
+        core/QP (posts pipeline through the HCA)."""
+        per_core = 1e3 / self.config.sw_per_op_ns  # Mops per core
+        return per_core * min(cores, qps)
+
+    def bandwidth_gbps(self, size: int) -> float:
+        """Streaming read bandwidth at a request size: amortizes the RTT
+        over the HCA's deep pipeline; ceiling is the PCIe bus."""
+        ceiling = self.effective_bandwidth_gbps
+        # Small requests are op-rate-limited (IOPS x size).
+        op_limited = self.iops_millions() * 1e6 * size * 8.0 / 1e9
+        return min(ceiling, op_limited)
+
+    def sweep(self, sizes) -> List[Tuple[int, float, float]]:
+        """(size, read_rtt_us, bandwidth_gbps) rows."""
+        return [(s, self.read_rtt_us(s), self.bandwidth_gbps(s))
+                for s in sizes]

@@ -1,0 +1,67 @@
+"""Cache-coherent shared-memory baseline (the Fig. 9 SHM comparator).
+
+The paper's ``SHM(pthreads)`` PageRank baseline runs on a single
+cache-coherent multiprocessor: "we model an eight-core multiprocessor
+with 4MB of LLC per core. We provision the LLC so that the aggregate
+cache size equals that of the eight machines in the soNUMA setting.
+Thus, no benefits can be attributed to larger cache capacity in the
+soNUMA comparison." (§7.5)
+
+We build it from the *same* node substrate as soNUMA (one
+:class:`~repro.node.node.Node` with N cores and an N-times larger L2),
+so the comparison attributes differences to the communication model, not
+to divergent memory-system modeling.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..memory.cache import CacheConfig
+from ..memory.hierarchy import MemoryConfig
+from ..node.node import Node, NodeConfig
+from ..sim import Simulator
+
+__all__ = ["shm_node_config", "build_shm_node"]
+
+
+def shm_node_config(num_cores: int,
+                    llc_per_core_bytes: int = 4 * 1024 * 1024,
+                    memory_bytes: int = 64 * 1024 * 1024) -> NodeConfig:
+    """A multiprocessor node with LLC provisioned per the paper."""
+    if num_cores < 1:
+        raise ValueError("need at least one core")
+    base = MemoryConfig()
+    llc = CacheConfig(
+        name="LLC",
+        size_bytes=llc_per_core_bytes * num_cores,
+        associativity=base.l2.associativity,
+        latency_ns=base.l2.latency_ns,
+        mshrs=base.l2.mshrs,
+    )
+    return NodeConfig(
+        memory_bytes=memory_bytes,
+        num_cores=num_cores,
+        memory=MemoryConfig(l1=base.l1, l2=llc, dram=base.dram),
+    )
+
+
+class _NullFabric:
+    """A stand-in fabric for a standalone SHM node (no remote traffic)."""
+
+    def __init__(self, sim: Simulator):
+        from ..fabric.crossbar import CrossbarFabric
+
+        self._fabric = CrossbarFabric(sim)
+
+    def attach(self, node_id: int):
+        return self._fabric.attach(node_id)
+
+
+def build_shm_node(sim: Optional[Simulator] = None, num_cores: int = 8,
+                   **config_kwargs):
+    """Construct the SHM multiprocessor; returns (sim, node)."""
+    sim = sim or Simulator()
+    config = shm_node_config(num_cores, **config_kwargs)
+    node = Node(sim, node_id=0, fabric=_NullFabric(sim), config=config)
+    return sim, node

@@ -1,0 +1,187 @@
+"""Command-line interface: quick experiments without writing a script.
+
+Usage::
+
+    python -m repro info
+    python -m repro microbench [--sizes 64 4096] [--dev]
+    python -m repro netpipe [--threshold 256]
+    python -m repro pagerank [--vertices 2048 --nodes 2 4]
+    python -m repro kvstore [--keys 500 --gets 100]
+
+Each subcommand builds a fresh simulated rack and prints results in the
+paper's units. The heavy full sweeps live in ``benchmarks/run_all.py``;
+this CLI favours latency over completeness.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["main"]
+
+
+def _cmd_info(_args) -> int:
+    from .cluster import ClusterConfig
+
+    config = ClusterConfig()
+    memory = config.node.memory
+    print("soNUMA reproduction — Table 1 defaults")
+    print(f"  L1: {memory.l1.size_bytes // 1024} KB "
+          f"{memory.l1.associativity}-way, {memory.l1.latency_ns} ns, "
+          f"{memory.l1.mshrs} MSHRs")
+    print(f"  L2: {memory.l2.size_bytes // (1 << 20)} MB "
+          f"{memory.l2.associativity}-way, {memory.l2.latency_ns} ns")
+    print(f"  DRAM: {memory.dram.latency_ns} ns, "
+          f"{memory.dram.bandwidth_gbps} GB/s peak "
+          f"({memory.dram.effective_bandwidth:.1f} GB/s effective)")
+    print(f"  RMC: MAQ={config.node.rmc.mmu.maq_entries}, "
+          f"TLB={config.node.rmc.mmu.tlb_entries}, "
+          f"ITT={config.node.rmc.itt_entries}")
+    print(f"  Fabric: crossbar, {config.fabric.link_latency_ns} ns flat, "
+          f"{config.fabric.link_bandwidth_gbps} GB/s per direction, "
+          f"{config.fabric.vl_credits} credits/VL")
+    return 0
+
+
+def _cmd_microbench(args) -> int:
+    from .emulation import dev_platform_cluster_config
+    from .workloads import (
+        local_dram_latency,
+        remote_read_bandwidth,
+        remote_read_latency,
+    )
+
+    config = dev_platform_cluster_config(2) if args.dev else None
+    platform = "development platform" if args.dev else "simulated hardware"
+    print(f"remote read microbenchmark — {platform}")
+    local = local_dram_latency()
+    latency = remote_read_latency(sizes=args.sizes, iterations=args.iters,
+                                  cluster_config=config)
+    bandwidth = remote_read_bandwidth(sizes=args.sizes,
+                                      requests=args.iters * 8,
+                                      cluster_config=config)
+    print(f"{'size (B)':>9} {'latency (ns)':>13} {'GB/s':>7} {'Mops':>7}")
+    for lat, bw in zip(latency, bandwidth):
+        print(f"{lat.size:>9} {lat.mean_ns:>13.0f} "
+              f"{bw.gbytes_per_sec:>7.2f} {bw.mops:>7.2f}")
+    print(f"local DRAM read: {local:.0f} ns "
+          f"(remote/local @{latency[0].size}B = "
+          f"{latency[0].mean_ns / local:.1f}x)")
+    return 0
+
+
+def _cmd_netpipe(args) -> int:
+    from .workloads import send_recv_bandwidth, send_recv_latency
+
+    print(f"send/receive netpipe — threshold {args.threshold} B")
+    latency = send_recv_latency(sizes=(32, 256, 2048),
+                                threshold=args.threshold, rounds=6)
+    bandwidth = send_recv_bandwidth(sizes=(1024, 4096, 8192),
+                                    threshold=args.threshold,
+                                    messages=20, warmup=5)
+    print(f"{'size (B)':>9} {'half-duplex (us)':>17}")
+    for row in latency:
+        print(f"{row.size:>9} {row.latency_us:>17.3f}")
+    print(f"{'size (B)':>9} {'stream (Gbps)':>14}")
+    for row in bandwidth:
+        print(f"{row.size:>9} {row.gbps:>14.2f}")
+    return 0
+
+
+def _cmd_pagerank(args) -> int:
+    from .workloads import pagerank_speedups
+
+    print(f"PageRank speedups — {args.vertices} vertices, "
+          f"nodes {args.nodes}")
+    rows = pagerank_speedups(node_counts=tuple(args.nodes),
+                             num_vertices=args.vertices,
+                             avg_degree=args.degree)
+    print(f"{'nodes':>6} {'SHM':>7} {'bulk':>7} {'fine':>7}")
+    for row in rows:
+        print(f"{row.parallelism:>6} {row.shm:>7.2f} {row.bulk:>7.2f} "
+              f"{row.fine:>7.2f}")
+    return 0
+
+
+def _cmd_kvstore(args) -> int:
+    import random
+
+    from .apps import KVClient, KVServer
+    from .cluster import Cluster, ClusterConfig
+    from .runtime import RMCSession
+
+    cluster = Cluster(config=ClusterConfig(num_nodes=2))
+    gctx = cluster.create_global_context(1, 4 << 20)
+    server = KVServer(
+        RMCSession(cluster.nodes[0].core, gctx.qp(0), gctx.entry(0)),
+        num_buckets=args.buckets)
+    rng = random.Random(7)
+    keys = rng.sample(range(1, 10 ** 6), args.keys)
+    for key in keys:
+        server.put_local(key, f"v{key}".encode())
+    client = KVClient(
+        RMCSession(cluster.nodes[1].core, gctx.qp(1), gctx.entry(1)),
+        server_nid=0, num_buckets=args.buckets)
+
+    def app(sim):
+        for _ in range(args.gets):
+            value = yield from client.get(rng.choice(keys))
+            assert value is not None
+
+    cluster.sim.process(app(cluster.sim))
+    cluster.run()
+    stats = client.stats
+    print(f"kvstore: {args.gets} GETs over one-sided reads")
+    print(f"  probes/GET: {stats.probes_per_get:.2f}")
+    print(f"  latency: mean {stats.get_latency.mean:.0f} ns, "
+          f"p99 {stats.get_latency.p99:.0f} ns")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Scale-Out NUMA reproduction CLI")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="print the Table 1 configuration")
+
+    micro = sub.add_parser("microbench", help="remote read microbenchmark")
+    micro.add_argument("--sizes", type=int, nargs="+",
+                       default=[64, 512, 4096, 8192])
+    micro.add_argument("--iters", type=int, default=10)
+    micro.add_argument("--dev", action="store_true",
+                       help="use the development-platform configuration")
+
+    pipe = sub.add_parser("netpipe", help="send/receive microbenchmark")
+    pipe.add_argument("--threshold", type=int, default=256)
+
+    rank = sub.add_parser("pagerank", help="PageRank speedup study")
+    rank.add_argument("--vertices", type=int, default=4096)
+    rank.add_argument("--degree", type=float, default=8.0)
+    rank.add_argument("--nodes", type=int, nargs="+", default=[2, 4])
+
+    kv = sub.add_parser("kvstore", help="one-sided-read KV store demo")
+    kv.add_argument("--keys", type=int, default=500)
+    kv.add_argument("--gets", type=int, default=100)
+    kv.add_argument("--buckets", type=int, default=4096)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "info": _cmd_info,
+        "microbench": _cmd_microbench,
+        "netpipe": _cmd_netpipe,
+        "pagerank": _cmd_pagerank,
+        "kvstore": _cmd_kvstore,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,5 @@
+"""Cluster assembly: multi-node systems and global contexts."""
+
+from .cluster import Cluster, ClusterConfig, GlobalContext
+
+__all__ = ["Cluster", "ClusterConfig", "GlobalContext"]

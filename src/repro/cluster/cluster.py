@@ -1,0 +1,145 @@
+"""Cluster builder: N nodes over a fabric, with global-context setup.
+
+The highest-level entry point of the library: a :class:`Cluster` builds
+the fabric, the nodes, and (optionally) a global context spanning every
+node so applications can immediately issue remote operations.
+
+"all operating system instances of an soNUMA fabric are under a single
+administrative domain" (§5.1) — context ids are coordinated centrally
+here, exactly as a rack-scale deployment's control plane would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..fabric.crossbar import CrossbarFabric
+from ..fabric.ni import FabricConfig
+from ..fabric.router import RoutedFabric
+from ..fabric.topology import Topology
+from ..node.node import Node, NodeConfig
+from ..rmc.context import ContextEntry
+from ..rmc.queues import QueuePair
+from ..sim import Simulator
+
+__all__ = ["ClusterConfig", "Cluster", "GlobalContext"]
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Whole-system configuration (Table 1 defaults throughout)."""
+
+    num_nodes: int = 2
+    node: NodeConfig = field(default_factory=NodeConfig)
+    fabric: FabricConfig = field(default_factory=FabricConfig)
+    #: None => full crossbar (the paper's simulated configuration);
+    #: otherwise packets traverse the given multi-hop topology.
+    topology: Optional[Topology] = None
+
+    def __post_init__(self):
+        if self.num_nodes < 1:
+            raise ValueError("cluster needs at least one node")
+        if self.topology is not None \
+                and self.topology.num_nodes < self.num_nodes:
+            raise ValueError("topology smaller than the cluster")
+
+
+@dataclass
+class GlobalContext:
+    """A context opened on every node: the partitioned global address
+    space applications program against."""
+
+    ctx_id: int
+    segment_size: int
+    entries: Dict[int, ContextEntry]
+    qps: Dict[int, List[QueuePair]]
+
+    def qp(self, node_id: int, index: int = 0) -> QueuePair:
+        """A node's ``index``-th registered queue pair in this context."""
+        return self.qps[node_id][index]
+
+    def entry(self, node_id: int) -> ContextEntry:
+        """A node's context entry (address space + segment) for this ctx."""
+        return self.entries[node_id]
+
+
+class Cluster:
+    """N soNUMA nodes joined by a memory fabric."""
+
+    def __init__(self, sim: Optional[Simulator] = None,
+                 config: Optional[ClusterConfig] = None):
+        self.sim = sim or Simulator()
+        self.config = config or ClusterConfig()
+        if self.config.topology is None:
+            self.fabric = CrossbarFabric(self.sim, self.config.fabric)
+        else:
+            self.fabric = RoutedFabric(self.sim, self.config.topology,
+                                       self.config.fabric)
+        self.nodes: List[Node] = [
+            Node(self.sim, node_id, self.fabric, self.config.node)
+            for node_id in range(self.config.num_nodes)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def create_global_context(self, ctx_id: int, segment_size: int,
+                              qps_per_node: int = 1,
+                              qp_size: int = 64) -> GlobalContext:
+        """Open ``ctx_id`` on every node and create QPs for each."""
+        entries: Dict[int, ContextEntry] = {}
+        qps: Dict[int, List[QueuePair]] = {}
+        for node in self.nodes:
+            entries[node.node_id] = node.driver.open_context(
+                ctx_id, segment_size)
+            qps[node.node_id] = [
+                node.driver.create_qp(ctx_id, size=qp_size)
+                for _ in range(qps_per_node)
+            ]
+        return GlobalContext(ctx_id=ctx_id, segment_size=segment_size,
+                             entries=entries, qps=qps)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Advance the whole-system simulation."""
+        return self.sim.run(until=until)
+
+    # -- functional helpers for tests and examples --------------------------
+
+    def poke_segment(self, node_id: int, ctx_id: int, offset: int,
+                     data: bytes) -> None:
+        """Write bytes directly into a node's context segment (untimed).
+
+        Handles page-boundary crossings (frames need not be physically
+        contiguous even when the segment is virtually contiguous).
+        """
+        from ..vm.address import PAGE_SIZE
+
+        entry = self.nodes[node_id].driver.contexts[ctx_id]
+        phys = self.nodes[node_id].phys
+        vaddr = entry.segment.vaddr_of(offset)
+        written = 0
+        while written < len(data):
+            room = PAGE_SIZE - (vaddr % PAGE_SIZE)
+            span = min(len(data) - written, room)
+            paddr = entry.address_space.translate(vaddr)
+            phys.write(paddr, data[written:written + span])
+            vaddr += span
+            written += span
+
+    def peek_segment(self, node_id: int, ctx_id: int, offset: int,
+                     length: int) -> bytes:
+        """Read bytes directly from a node's context segment (untimed)."""
+        from ..vm.address import PAGE_SIZE
+
+        entry = self.nodes[node_id].driver.contexts[ctx_id]
+        phys = self.nodes[node_id].phys
+        vaddr = entry.segment.vaddr_of(offset)
+        out = bytearray()
+        while len(out) < length:
+            room = PAGE_SIZE - (vaddr % PAGE_SIZE)
+            span = min(length - len(out), room)
+            paddr = entry.address_space.translate(vaddr)
+            out += phys.read(paddr, span)
+            vaddr += span
+        return bytes(out)

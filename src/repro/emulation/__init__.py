@@ -1,0 +1,17 @@
+"""Development-platform emulation (Xen/RMCemu, paper §7.1)."""
+
+from .devplatform import (
+    DEV_PLATFORM_MESSAGING_THRESHOLD,
+    EMU_CORE_CONFIG,
+    EMU_FABRIC_CONFIG,
+    EMU_RMC_CONFIG,
+    dev_platform_cluster_config,
+)
+
+__all__ = [
+    "DEV_PLATFORM_MESSAGING_THRESHOLD",
+    "EMU_CORE_CONFIG",
+    "EMU_FABRIC_CONFIG",
+    "EMU_RMC_CONFIG",
+    "dev_platform_cluster_config",
+]

@@ -1,0 +1,20 @@
+"""NUMA memory fabric: NIs, crossbar, routed topologies, flow control."""
+
+from .crossbar import CrossbarFabric
+from .ni import FabricConfig, NetworkInterface
+from .router import RoutedFabric, Router
+from .topology import Topology, complete, mesh2d, ring, torus2d, torus3d
+
+__all__ = [
+    "CrossbarFabric",
+    "FabricConfig",
+    "NetworkInterface",
+    "RoutedFabric",
+    "Router",
+    "Topology",
+    "complete",
+    "mesh2d",
+    "ring",
+    "torus2d",
+    "torus3d",
+]

@@ -1,0 +1,112 @@
+"""The on-die network interface (NI).
+
+"The RMC converts application commands into remote requests that are sent
+to the network interface (NI). The NI is connected to an on-chip low-radix
+router with reliable, point-to-point links" (paper §3). The NI exposes
+per-virtual-lane egress queues (filled by the RMC pipelines) and
+per-virtual-lane receive buffers (drained by RRPP for requests, RCP for
+replies).
+
+Flow control is credit-based (paper §6 link layer): a sender must hold a
+credit for the destination buffer before transmitting; the credit returns
+to the pool once the receiving pipeline drains the packet (plus the
+credit-return wire latency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from ..protocol import VirtualLane
+from ..sim import Event, Resource, Simulator, Store
+
+__all__ = ["FabricConfig", "NetworkInterface"]
+
+
+@dataclass(frozen=True)
+class FabricConfig:
+    """Link/fabric parameters.
+
+    Defaults model the paper's simulated fabric: a full crossbar with a
+    flat 50 ns inter-node delay (Table 1) and NUMA-class link bandwidth
+    (QPI/HTX-like; 16 GB/s per direction keeps the fabric from being the
+    bottleneck so the DDR3 channel saturates first, as in Fig. 7b).
+    """
+
+    link_latency_ns: float = 50.0
+    link_bandwidth_gbps: float = 16.0   # bytes/ns per direction
+    vl_credits: int = 16                # per-VL receive buffer depth
+    credit_return_ns: float = 10.0      # credit-return wire latency
+    router_delay_ns: float = 11.0       # per-hop pin-to-pin (Alpha 21364)
+
+    def __post_init__(self):
+        if self.link_latency_ns < 0 or self.credit_return_ns < 0:
+            raise ValueError("latencies must be non-negative")
+        if self.link_bandwidth_gbps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.vl_credits < 1:
+            raise ValueError("need at least one credit per virtual lane")
+
+
+class NetworkInterface:
+    """Per-node NI: egress queues toward the fabric, rx buffers from it."""
+
+    def __init__(self, sim: Simulator, node_id: int, config: FabricConfig):
+        self.sim = sim
+        self.node_id = node_id
+        self.config = config
+        self.egress: Dict[VirtualLane, Store] = {
+            vl: Store(sim, name=f"ni{node_id}.egress.{vl.name}")
+            for vl in VirtualLane
+        }
+        self.rx: Dict[VirtualLane, Store] = {
+            vl: Store(sim, name=f"ni{node_id}.rx.{vl.name}")
+            for vl in VirtualLane
+        }
+        self.rx_credits: Dict[VirtualLane, Resource] = {
+            vl: Resource(sim, capacity=config.vl_credits,
+                         name=f"ni{node_id}.credits.{vl.name}")
+            for vl in VirtualLane
+        }
+        self.packets_sent = 0
+        self.packets_received = 0
+        self.bytes_sent = 0
+        #: Optional callback invoked with an undeliverable packet when the
+        #: fabric reports a failure (drives the driver's failure path).
+        self.on_delivery_failure: Optional[Callable] = None
+
+    def inject(self, packet) -> Event:
+        """Queue a packet for transmission on its virtual lane."""
+        self.packets_sent += 1
+        self.bytes_sent += packet.size_bytes
+        return self.egress[packet.vl].put(packet)
+
+    def deliver(self, packet) -> None:
+        """Called by the fabric when a packet arrives (credit was held)."""
+        self.packets_received += 1
+        self.rx[packet.vl].try_put(packet)
+
+    def receive(self, vl: VirtualLane):
+        """Coroutine used by RMC pipelines to drain one packet from a lane.
+
+        Returns the packet and schedules the credit return to the pool
+        after the credit-return latency.
+        """
+        packet = yield self.rx[vl].get()
+        sim = self.sim
+        credits = self.rx_credits[vl]
+        delay = self.config.credit_return_ns
+
+        def _return_credit():
+            yield sim.timeout(delay)
+            credits.release()
+
+        sim.process(_return_credit(), name=f"ni{self.node_id}.credit")
+        return packet
+
+    def notify_failure(self, packet) -> None:
+        """Fabric-side notification that ``packet`` could not be delivered
+        (link/node failure). Propagates to the device driver if wired."""
+        if self.on_delivery_failure is not None:
+            self.on_delivery_failure(packet)

@@ -1,0 +1,149 @@
+"""Multi-hop routed fabric: low-radix routers over an arbitrary topology.
+
+Used by the topology ablation benches (crossbar vs. torus at scale). Each
+node hosts one router; adjacent routers are joined by point-to-point
+links with per-virtual-lane credit flow control; forwarding is a direct
+table lookup (no CAM/TCAM, paper §6).
+
+The per-hop cost is ``router_delay_ns`` (pin-to-pin, Alpha 21364-like
+11 ns) plus serialization at the output port plus the link's propagation
+latency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..protocol import VirtualLane
+from ..sim import Resource, Simulator, Store
+from .ni import FabricConfig, NetworkInterface
+from .topology import Topology
+
+__all__ = ["RoutedFabric", "Router"]
+
+
+class Router:
+    """One low-radix router: per-(upstream, VL) input buffers + crossbar."""
+
+    def __init__(self, sim: Simulator, fabric: "RoutedFabric", node_id: int):
+        self.sim = sim
+        self.fabric = fabric
+        self.node_id = node_id
+        # (upstream_id, vl) -> input buffer; "upstream" includes the local NI.
+        self.in_buffers: Dict[Tuple[object, VirtualLane], Store] = {}
+        self.in_credits: Dict[Tuple[object, VirtualLane], Resource] = {}
+        # neighbor -> output line (serialization port, shared by both VLs).
+        self.out_lines: Dict[int, Resource] = {}
+        self.packets_forwarded = 0
+
+    def add_input(self, upstream) -> None:
+        """Create buffers + forwarding pump for one upstream port."""
+        cfg = self.fabric.config
+        for vl in VirtualLane:
+            key = (upstream, vl)
+            self.in_buffers[key] = Store(
+                self.sim, name=f"r{self.node_id}.in[{upstream},{vl.name}]")
+            self.in_credits[key] = Resource(
+                self.sim, capacity=cfg.vl_credits,
+                name=f"r{self.node_id}.cred[{upstream},{vl.name}]")
+            self.sim.process(self._forward_pump(key),
+                             name=f"r{self.node_id}.fwd[{upstream},{vl.name}]")
+
+    def add_output(self, neighbor: int) -> None:
+        """Create the serialization line toward one neighbor."""
+        self.out_lines[neighbor] = Resource(
+            self.sim, capacity=1, name=f"r{self.node_id}.out{neighbor}")
+
+    def _forward_pump(self, key):
+        """Drain one input buffer forever, forwarding or ejecting."""
+        sim = self.sim
+        fabric = self.fabric
+        cfg = fabric.config
+        upstream, vl = key
+        buffer = self.in_buffers[key]
+        credits = self.in_credits[key]
+        while True:
+            packet = yield buffer.get()
+            yield sim.timeout(cfg.router_delay_ns)  # route computation + xbar
+            if packet.dst_nid == self.node_id:
+                # Ejection port: hand to the local NI (credit-controlled).
+                ni = fabric.nis[self.node_id]
+                yield ni.rx_credits[vl].acquire()
+                ni.deliver(packet)
+            else:
+                next_hop = fabric.topology.next_hop[self.node_id].get(
+                    packet.dst_nid)
+                if next_hop is None:
+                    fabric.packets_dropped += 1
+                    credits.release()
+                    continue
+                next_router = fabric.routers[next_hop]
+                # Hold a credit in the downstream input buffer before
+                # occupying the output line (virtual cut-through).
+                yield next_router.in_credits[(self.node_id, vl)].acquire()
+                line = self.out_lines[next_hop]
+                yield line.acquire()
+                yield sim.timeout(
+                    packet.size_bytes / cfg.link_bandwidth_gbps)
+                line.release()
+                sim.process(
+                    self._deliver_after(packet, next_router, vl),
+                    name=f"r{self.node_id}.link{next_hop}")
+                self.packets_forwarded += 1
+            # This packet has left our buffer: return the upstream credit.
+            credits.release()
+
+    def _deliver_after(self, packet, next_router: "Router", vl: VirtualLane):
+        yield self.sim.timeout(self.fabric.config.link_latency_ns)
+        next_router.in_buffers[(self.node_id, vl)].try_put(packet)
+
+
+class RoutedFabric:
+    """A fabric of routers laid out over a :class:`Topology`."""
+
+    def __init__(self, sim: Simulator, topology: Topology,
+                 config: Optional[FabricConfig] = None):
+        self.sim = sim
+        self.topology = topology
+        self.config = config or FabricConfig()
+        self.routers: Dict[int, Router] = {}
+        self.nis: Dict[int, NetworkInterface] = {}
+        self.packets_dropped = 0
+        for node_id in topology.graph.nodes:
+            self.routers[node_id] = Router(sim, self, node_id)
+        for node_id, router in self.routers.items():
+            router.add_input("local")  # injection from the local NI
+            for neighbor in topology.neighbors(node_id):
+                router.add_input(neighbor)
+                router.add_output(neighbor)
+
+    def attach(self, node_id: int) -> NetworkInterface:
+        """Create the NI for a node and start its injection pump."""
+        if node_id not in self.routers:
+            raise ValueError(f"node {node_id} not in topology")
+        if node_id in self.nis:
+            raise ValueError(f"node {node_id} already attached")
+        ni = NetworkInterface(self.sim, node_id, self.config)
+        self.nis[node_id] = ni
+        for vl in VirtualLane:
+            self.sim.process(self._injection_pump(ni, vl),
+                             name=f"rf.inject{node_id}.{vl.name}")
+        return ni
+
+    def _injection_pump(self, ni: NetworkInterface, vl: VirtualLane):
+        """Move packets from the NI egress queue into the local router."""
+        router = self.routers[ni.node_id]
+        key = ("local", vl)
+        while True:
+            packet = yield ni.egress[vl].get()
+            yield router.in_credits[key].acquire()
+            router.in_buffers[key].try_put(packet)
+
+    def stats(self) -> Dict[str, int]:
+        """Forwarding/drop counters for telemetry."""
+        return {
+            "forwarded": sum(r.packets_forwarded
+                             for r in self.routers.values()),
+            "dropped": self.packets_dropped,
+            "attached_nodes": len(self.nis),
+        }

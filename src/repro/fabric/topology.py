@@ -1,0 +1,117 @@
+"""Fabric topologies and routing tables.
+
+"While the actual choice of topology depends on system specifics,
+low-dimensional k-ary n-cubes (e.g., 3D torii) seem well-matched to
+rack-scale deployments" (paper §6). The paper's simulations use a full
+crossbar; the topology ablation benches use the builders here.
+
+Routing is table-based: "the router's forwarding logic directly maps
+destination addresses to outgoing router ports, eliminating expensive
+CAM or TCAM lookups" (§6). Tables are precomputed from all-pairs
+shortest paths over the topology graph.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import networkx as nx
+
+__all__ = ["Topology", "complete", "mesh2d", "torus2d", "torus3d", "ring"]
+
+
+class Topology:
+    """A fabric topology: node graph + precomputed next-hop tables."""
+
+    def __init__(self, graph: nx.Graph, name: str):
+        if graph.number_of_nodes() == 0:
+            raise ValueError("topology must have at least one node")
+        if not nx.is_connected(graph):
+            raise ValueError("topology graph must be connected")
+        self.graph = graph
+        self.name = name
+        self.next_hop: Dict[int, Dict[int, int]] = self._build_tables()
+
+    def _build_tables(self) -> Dict[int, Dict[int, int]]:
+        tables: Dict[int, Dict[int, int]] = {}
+        for src in self.graph.nodes:
+            # Deterministic shortest-path tree rooted at src.
+            paths = nx.single_source_shortest_path(self.graph, src)
+            table = {}
+            for dst, path in paths.items():
+                if dst != src:
+                    table[dst] = path[1]  # first hop toward dst
+            tables[src] = table
+        return tables
+
+    @property
+    def num_nodes(self) -> int:
+        return self.graph.number_of_nodes()
+
+    def neighbors(self, node: int) -> List[int]:
+        """Directly connected nodes, sorted."""
+        return sorted(self.graph.neighbors(node))
+
+    def hops(self, src: int, dst: int) -> int:
+        """Shortest-path hop count between two nodes."""
+        return nx.shortest_path_length(self.graph, src, dst)
+
+    def diameter(self) -> int:
+        """Maximum shortest-path hop count over all pairs."""
+        return nx.diameter(self.graph)
+
+    def route(self, src: int, dst: int) -> List[int]:
+        """The full path a packet takes from src to dst (inclusive)."""
+        path = [src]
+        here = src
+        guard = 0
+        while here != dst:
+            here = self.next_hop[here][dst]
+            path.append(here)
+            guard += 1
+            if guard > self.num_nodes:
+                raise RuntimeError(
+                    f"routing loop from {src} to {dst}: {path}")
+        return path
+
+
+def complete(n: int) -> Topology:
+    """Full crossbar: every pair directly connected (one hop)."""
+    if n < 1:
+        raise ValueError("need at least one node")
+    return Topology(nx.complete_graph(n), f"crossbar-{n}")
+
+
+def ring(n: int) -> Topology:
+    """A 1-D torus (ring) of n nodes."""
+    if n < 3:
+        raise ValueError("a ring needs at least 3 nodes")
+    return Topology(nx.cycle_graph(n), f"ring-{n}")
+
+
+def mesh2d(width: int, height: int) -> Topology:
+    """2-D mesh (no wraparound); node id = y * width + x."""
+    if width < 2 or height < 2:
+        raise ValueError("mesh dimensions must be >= 2")
+    grid = nx.grid_2d_graph(height, width)
+    mapping = {(y, x): y * width + x for y, x in grid.nodes}
+    return Topology(nx.relabel_nodes(grid, mapping), f"mesh-{width}x{height}")
+
+
+def torus2d(width: int, height: int) -> Topology:
+    """2-D torus (the topology drawn in paper Fig. 2)."""
+    if width < 3 or height < 3:
+        raise ValueError("torus dimensions must be >= 3 for wraparound")
+    grid = nx.grid_2d_graph(height, width, periodic=True)
+    mapping = {(y, x): y * width + x for y, x in grid.nodes}
+    return Topology(nx.relabel_nodes(grid, mapping),
+                    f"torus-{width}x{height}")
+
+
+def torus3d(x: int, y: int, z: int) -> Topology:
+    """3-D torus: the paper's suggested rack-scale k-ary n-cube."""
+    if min(x, y, z) < 3:
+        raise ValueError("torus dimensions must be >= 3 for wraparound")
+    grid = nx.grid_graph(dim=[z, y, x], periodic=True)
+    mapping = {(k, j, i): (k * y + j) * x + i for k, j, i in grid.nodes}
+    return Topology(nx.relabel_nodes(grid, mapping), f"torus-{x}x{y}x{z}")

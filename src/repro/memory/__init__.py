@@ -1,0 +1,16 @@
+"""Node-local memory hierarchy: caches, DRAM channel, coherent agents."""
+
+from .cache import Cache, CacheConfig, EvictedLine
+from .dram import DRAMChannel, DRAMConfig
+from .hierarchy import AgentPort, MemoryConfig, MemorySystem
+
+__all__ = [
+    "AgentPort",
+    "Cache",
+    "CacheConfig",
+    "DRAMChannel",
+    "DRAMConfig",
+    "EvictedLine",
+    "MemoryConfig",
+    "MemorySystem",
+]

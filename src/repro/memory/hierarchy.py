@@ -1,0 +1,191 @@
+"""The node-local coherent memory hierarchy.
+
+Each node has a set of **agents** (application cores and the RMC), each
+with a private L1 cache, sharing an inclusive L2 and one DRAM channel —
+exactly the arrangement in paper Fig. 2 / Table 1. The RMC "integrates
+into the processor's coherence hierarchy via a private L1 cache" (§4),
+so WQ/CQ and page-table lines migrate between the core's and the RMC's
+L1s via ordinary coherence actions, which this module models as
+invalidate-on-write between the node's L1s.
+
+Timing only: the actual bytes live in :class:`~repro.vm.PhysicalMemory`.
+An access returns the level it was served from, letting tests assert
+e.g. that a second WQ poll hits in the RMC's L1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..sim import Resource, Simulator
+from ..vm.address import CACHE_LINE_SIZE, lines_in_range
+from ..vm.physical import PhysicalMemory
+from .cache import Cache, CacheConfig
+from .dram import DRAMChannel, DRAMConfig
+
+__all__ = ["MemoryConfig", "MemorySystem", "AgentPort"]
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Hierarchy parameters; defaults transcribe Table 1 of the paper."""
+
+    l1: CacheConfig = field(default_factory=lambda: CacheConfig(
+        name="L1D", size_bytes=32 * 1024, associativity=2,
+        latency_ns=1.5, mshrs=32))
+    l2: CacheConfig = field(default_factory=lambda: CacheConfig(
+        name="L2", size_bytes=4 * 1024 * 1024, associativity=16,
+        latency_ns=3.0, mshrs=64))
+    dram: DRAMConfig = field(default_factory=DRAMConfig)
+
+
+class AgentPort:
+    """One agent's (core's or RMC's) port into the node's hierarchy."""
+
+    def __init__(self, system: "MemorySystem", name: str,
+                 l1_config: CacheConfig):
+        self.system = system
+        self.name = name
+        self.l1 = Cache(l1_config)
+        self._mshrs = Resource(system.sim, capacity=l1_config.mshrs,
+                               name=f"{name}.mshrs")
+        self.accesses = 0
+
+    # -- timed path ------------------------------------------------------
+
+    def access(self, paddr: int, is_write: bool = False,
+               size: int = CACHE_LINE_SIZE, allocate: bool = True):
+        """Timed access coroutine; returns the deepest level touched
+        ('l1' | 'l2' | 'dram') across all lines of the access.
+
+        ``allocate=False`` makes misses non-allocating (streaming):
+        the RMC's RRPP uses it when serving remote reads, whose data
+        immediately leaves the node — allocating it would only evict
+        useful lines (the cache-contention effect the paper observes in
+        the double-sided experiments would otherwise destroy the
+        source's reply-landing buffers).
+        """
+        deepest = "l1"
+        rank = {"l1": 0, "l2": 1, "dram": 2}
+        for line in lines_in_range(paddr, size):
+            covered = (min(paddr + size, line + self.l1.config.line_size)
+                       - max(paddr, line))
+            full_line = covered >= self.l1.config.line_size
+            level = yield from self._access_line(line, is_write, full_line,
+                                                 allocate)
+            if rank[level] > rank[deepest]:
+                deepest = level
+        self.accesses += 1
+        return deepest
+
+    def _access_line(self, line: int, is_write: bool, full_line: bool,
+                     allocate: bool):
+        sim = self.system.sim
+        yield sim.timeout(self.l1.config.latency_ns)
+        if self.l1.probe(line, is_write=is_write):
+            if is_write:
+                self.system._invalidate_other_l1s(self, line)
+            return "l1"
+
+        # L1 miss: take an MSHR for the duration of the fill.
+        yield self._mshrs.acquire()
+        try:
+            yield sim.timeout(self.system.l2.config.latency_ns)
+            if self.system.l2.probe(line, is_write=False):
+                served = "l2"
+            elif is_write and full_line:
+                # A full-line overwrite needs no fill from memory: the
+                # line is installed directly (write-allocate, no fetch).
+                served = "l2"
+                if allocate:
+                    self._fill_l2(line, dirty=True)
+            else:
+                yield from self.system.dram.access(
+                    self.l1.config.line_size, is_write=False)
+                served = "dram"
+                if allocate:
+                    self._fill_l2(line)
+            if allocate:
+                victim1 = self.l1.fill(line, dirty=is_write)
+                if victim1 is not None and victim1.dirty:
+                    # Write the dirty victim back into the L2.
+                    self.system.l2.probe(victim1.line_addr, is_write=True)
+            if is_write:
+                self.system._invalidate_other_l1s(self, line)
+            return served
+        finally:
+            self._mshrs.release()
+
+    def _fill_l2(self, line: int, dirty: bool = False) -> None:
+        victim = self.system.l2.fill(line, dirty=dirty)
+        if victim is not None:
+            # Inclusive L2: dropping an L2 line drops L1 copies.
+            self.system._invalidate_all_l1s(victim.line_addr)
+            if victim.dirty:
+                self.system.dram.writeback(self.l1.config.line_size)
+
+    # -- functional data path (untimed; see DESIGN.md) -------------------
+
+    def read_bytes(self, paddr: int, length: int) -> bytes:
+        """Functional data read (untimed; pair with :meth:`access`)."""
+        return self.system.physical.read(paddr, length)
+
+    def write_bytes(self, paddr: int, data: bytes) -> None:
+        """Functional data write (untimed; pair with :meth:`access`)."""
+        self.system.physical.write(paddr, data)
+
+
+class MemorySystem:
+    """Shared L2 + DRAM + physical memory, with per-agent L1 ports."""
+
+    def __init__(self, sim: Simulator, physical: PhysicalMemory,
+                 config: Optional[MemoryConfig] = None):
+        self.sim = sim
+        self.physical = physical
+        self.config = config or MemoryConfig()
+        self.l2 = Cache(self.config.l2)
+        self.dram = DRAMChannel(sim, self.config.dram)
+        self.agents: Dict[str, AgentPort] = {}
+
+    def register_agent(self, name: str,
+                       l1_config: Optional[CacheConfig] = None) -> AgentPort:
+        """Add an agent (core or RMC) with a private L1."""
+        if name in self.agents:
+            raise ValueError(f"agent {name!r} already registered")
+        port = AgentPort(self, name, l1_config or self.config.l1)
+        self.agents[name] = port
+        return port
+
+    def _invalidate_other_l1s(self, writer: AgentPort, line: int) -> None:
+        for port in self.agents.values():
+            if port is not writer:
+                port.l1.invalidate(line)
+
+    def _invalidate_all_l1s(self, line: int) -> None:
+        for port in self.agents.values():
+            port.l1.invalidate(line)
+
+    # -- observability ----------------------------------------------------
+
+    def cache_stats(self) -> Dict[str, Dict[str, float]]:
+        """Hit/miss statistics per agent L1, the L2, and DRAM."""
+        stats = {
+            "l2": {
+                "hits": self.l2.hits,
+                "misses": self.l2.misses,
+                "hit_rate": self.l2.hit_rate,
+            },
+            "dram": {
+                "reads": self.dram.reads,
+                "writes": self.dram.writes,
+                "bytes": self.dram.bytes_transferred,
+            },
+        }
+        for name, port in self.agents.items():
+            stats[name] = {
+                "hits": port.l1.hits,
+                "misses": port.l1.misses,
+                "hit_rate": port.l1.hit_rate,
+            }
+        return stats

@@ -1,0 +1,19 @@
+"""Node model: cores, device driver, node assembly."""
+
+from .core import Core, CoreConfig
+from .driver import ContextPermissionError, FabricFailure, RMCDriver
+from .node import Node, NodeConfig
+from .notifications import INTERRUPT_COST_NS, Notification, NotificationQueue
+
+__all__ = [
+    "ContextPermissionError",
+    "Core",
+    "CoreConfig",
+    "FabricFailure",
+    "INTERRUPT_COST_NS",
+    "Node",
+    "NodeConfig",
+    "Notification",
+    "NotificationQueue",
+    "RMCDriver",
+]

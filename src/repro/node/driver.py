@@ -1,0 +1,152 @@
+"""The RMC device driver (OS model).
+
+"The role of the operating system on an soNUMA node is to establish the
+global virtual address spaces. This includes the management of the
+context namespace, virtual memory, QP registration, etc. The RMC device
+driver manages the RMC itself, responds to application requests, and
+interacts with the virtual memory subsystem to allocate and pin pages in
+physical memory." (§5.1)
+
+Security model: "access control is granted on a per ctx_id basis. To
+join a global address space <ctx_id>, a process first opens the device
+/dev/rmc_contexts/<ctx_id>, which requires the user to have appropriate
+permissions." We model the permission check with an explicit ACL.
+
+The driver is also the failure-notification sink: "the RMC notifies the
+driver of failures within the soNUMA fabric, including the loss of links
+and nodes. Such transitions typically require a reset of the RMC's
+state."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..rmc.context import ContextEntry
+from ..rmc.queues import CompletionQueue, QueuePair, WorkQueue
+from ..vm.address import CACHE_LINE_SIZE
+from ..vm.address_space import AddressSpace
+
+__all__ = ["RMCDriver", "FabricFailure", "ContextPermissionError"]
+
+
+class ContextPermissionError(PermissionError):
+    """Process lacks permission to open /dev/rmc_contexts/<ctx_id>."""
+
+
+@dataclass
+class FabricFailure:
+    """One observed delivery failure (lost link or node)."""
+
+    time_ns: float
+    dst_nid: int
+    description: str
+
+
+class RMCDriver:
+    """Kernel-side management of one node's RMC."""
+
+    #: Default QP depth (WQ and CQ are "bounded buffers of the same size").
+    DEFAULT_QP_SIZE = 64
+
+    def __init__(self, node):
+        self.node = node
+        self._acl: Optional[set] = None   # None => allow-all (single domain)
+        self._next_asid = 1
+        self._next_qp_id = 1
+        self.contexts: Dict[int, ContextEntry] = {}
+        self.failures: List[FabricFailure] = []
+        #: When True, a fabric failure resets the RMC automatically.
+        self.auto_reset_on_failure = False
+        node.ni.on_delivery_failure = self._on_delivery_failure
+
+    # -- access control -----------------------------------------------------
+
+    def restrict_contexts(self, allowed_ctx_ids) -> None:
+        """Install an ACL; only listed contexts may be opened."""
+        self._acl = set(allowed_ctx_ids)
+
+    def _check_permission(self, ctx_id: int) -> None:
+        if self._acl is not None and ctx_id not in self._acl:
+            raise ContextPermissionError(
+                f"opening /dev/rmc_contexts/{ctx_id} denied")
+
+    # -- context + QP management (ioctl surface, §5.1) -----------------------
+
+    def open_context(self, ctx_id: int, segment_size: int) -> ContextEntry:
+        """Join global address space ``ctx_id`` with a pinned segment.
+
+        Creates the process address space, allocates and pins the context
+        segment, and installs the CT entry so the RRPP can serve incoming
+        requests against it.
+        """
+        self._check_permission(ctx_id)
+        if ctx_id in self.contexts:
+            raise ValueError(f"ctx_id {ctx_id} already open on this node")
+        space = AddressSpace(self._next_asid, self.node.frames)
+        self._next_asid += 1
+        segment = space.register_segment(ctx_id, segment_size)
+        entry = ContextEntry(ctx_id=ctx_id, address_space=space,
+                             segment=segment)
+        self.node.rmc.install_context(entry)
+        self.contexts[ctx_id] = entry
+        return entry
+
+    def create_qp(self, ctx_id: int,
+                  size: int = DEFAULT_QP_SIZE) -> QueuePair:
+        """Allocate WQ/CQ rings in the context's address space and
+        register the pair with the RMC's polling schedule."""
+        entry = self.contexts.get(ctx_id)
+        if entry is None:
+            raise ValueError(f"context {ctx_id} not open (call open_context)")
+        space = entry.address_space
+        wq_base = space.allocate(size * CACHE_LINE_SIZE, pinned=True)
+        cq_base = space.allocate(size * CACHE_LINE_SIZE, pinned=True)
+        qp = QueuePair(qp_id=self._next_qp_id, ctx_id=ctx_id,
+                       asid=space.asid,
+                       wq=WorkQueue(size, wq_base),
+                       cq=CompletionQueue(size, cq_base))
+        self._next_qp_id += 1
+        self.node.rmc.register_qp(qp)
+        return qp
+
+    def alloc_buffer(self, ctx_id: int, size: int) -> int:
+        """Allocate a pinned local buffer usable as a remote-op source or
+        destination (§4.1 "local buffers")."""
+        entry = self.contexts.get(ctx_id)
+        if entry is None:
+            raise ValueError(f"context {ctx_id} not open")
+        return entry.address_space.allocate(size, pinned=True)
+
+    # -- failure handling ----------------------------------------------------
+
+    def _on_delivery_failure(self, packet) -> None:
+        failure = FabricFailure(
+            time_ns=self.node.sim.now,
+            dst_nid=packet.dst_nid,
+            description=f"undeliverable {type(packet).__name__} "
+                        f"to node {packet.dst_nid}")
+        self.failures.append(failure)
+        if self.auto_reset_on_failure:
+            self.node.rmc.reset()
+
+    def reset_rmc(self) -> int:
+        """Explicit RMC reset (returns number of aborted transactions)."""
+        return self.node.rmc.reset()
+
+    # -- notifications (§8 extension) ----------------------------------------
+
+    def enable_notifications(self, capacity: int = 64,
+                             interrupt_cost_ns: Optional[float] = None):
+        """Register a notification queue so remote RNOTIFY commands are
+        accepted; returns the queue applications wait on."""
+        from .notifications import INTERRUPT_COST_NS, NotificationQueue
+
+        queue = NotificationQueue(
+            self.node.sim, capacity=capacity,
+            interrupt_cost_ns=(INTERRUPT_COST_NS
+                               if interrupt_cost_ns is None
+                               else interrupt_cost_ns))
+        self.node.rmc.notification_sink = queue.deliver
+        return queue

@@ -1,0 +1,27 @@
+"""soNUMA stateless request/reply wire protocol."""
+
+from .packets import (
+    HEADER_BYTES,
+    MTU_BYTES,
+    Opcode,
+    ReplyPacket,
+    ReplyStatus,
+    RequestPacket,
+    VirtualLane,
+    packet_size,
+)
+from .wire import decode, encode, wire_size
+
+__all__ = [
+    "HEADER_BYTES",
+    "MTU_BYTES",
+    "Opcode",
+    "ReplyPacket",
+    "ReplyStatus",
+    "RequestPacket",
+    "VirtualLane",
+    "decode",
+    "encode",
+    "packet_size",
+    "wire_size",
+]

@@ -1,0 +1,145 @@
+"""soNUMA wire protocol: stateless request/reply packets.
+
+The protocol layer (paper §6) is "a simple request-reply protocol, with
+exactly one reply message generated for each request". Messages carry a
+fixed-size header and an optional cache-line-sized payload; the MTU is
+header + one cache line. Two virtual lanes (request / reply) make the
+protocol deadlock-free.
+
+Request header fields: ``<dst_nid, src_nid, op, ctx_id, offset, tid>``.
+Reply header fields:   ``<dst_nid, src_nid, tid, offset, status>``.
+The ``tid`` is assigned by the source RMC, is opaque to the destination,
+and is copied from request to reply so the source's RCP can associate
+replies with ITT entries (paper §6, Fig. 5).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..vm.address import CACHE_LINE_SIZE
+
+__all__ = [
+    "Opcode",
+    "ReplyStatus",
+    "VirtualLane",
+    "HEADER_BYTES",
+    "MTU_BYTES",
+    "RequestPacket",
+    "ReplyPacket",
+    "packet_size",
+]
+
+#: Fixed wire header size (routing + protocol fields).
+HEADER_BYTES = 16
+
+#: Link-layer MTU: "large enough to support a fixed-size header and an
+#: optional cache-line-sized payload" (paper §6).
+MTU_BYTES = HEADER_BYTES + CACHE_LINE_SIZE
+
+
+class Opcode(enum.Enum):
+    """Architecturally supported one-sided operations (paper §3/§5.2).
+
+    ``RNOTIFY`` is the paper's §8 proposed extension ("the ability to
+    issue remote interrupts as part of an RMC command, so that nodes can
+    communicate without polling") — disabled unless the destination
+    driver registers a notification handler.
+    """
+
+    RREAD = "rread"
+    RWRITE = "rwrite"
+    RFETCH_ADD = "rfetch_add"
+    RCOMP_SWAP = "rcomp_swap"
+    RNOTIFY = "rnotify"
+
+
+class ReplyStatus(enum.Enum):
+    """Completion status carried in the reply header.
+
+    ``SEGMENT_VIOLATION`` implements the paper's error path: "Virtual
+    addresses that fall outside of the range of the specified security
+    context are signaled through an error message" (§4.2).
+    """
+
+    OK = "ok"
+    SEGMENT_VIOLATION = "segment_violation"
+    BAD_CONTEXT = "bad_context"
+    CAS_FAILED = "cas_failed"  # compare-and-swap compare mismatch (still OK-delivered)
+    NOTIFY_REJECTED = "notify_rejected"  # no handler / queue full (§8 ext.)
+
+
+class VirtualLane(enum.IntEnum):
+    """Two virtual lanes guarantee request/reply deadlock freedom (§6)."""
+
+    REQUEST = 0
+    REPLY = 1
+
+
+@dataclass
+class RequestPacket:
+    """A single line-granularity request on the REQUEST virtual lane."""
+
+    dst_nid: int
+    src_nid: int
+    op: Opcode
+    ctx_id: int
+    offset: int            # context-segment offset at the destination
+    tid: int               # source-RMC transfer identifier (opaque to dst)
+    length: int = CACHE_LINE_SIZE  # bytes of this line actually used
+    payload: Optional[bytes] = None          # RWRITE data
+    operand: Optional[int] = None            # RFETCH_ADD addend / CAS swap value
+    compare: Optional[int] = None            # RCOMP_SWAP compare value
+
+    def __post_init__(self):
+        if not 0 < self.length <= CACHE_LINE_SIZE:
+            raise ValueError(
+                f"request length {self.length} exceeds one cache line"
+            )
+        if self.op in (Opcode.RWRITE, Opcode.RNOTIFY):
+            if self.payload is None or len(self.payload) != self.length:
+                raise ValueError(
+                    f"{self.op.name} payload must match request length")
+        if self.op is Opcode.RFETCH_ADD and self.operand is None:
+            raise ValueError("RFETCH_ADD requires an operand")
+        if self.op is Opcode.RCOMP_SWAP and (self.operand is None
+                                             or self.compare is None):
+            raise ValueError("RCOMP_SWAP requires compare and swap values")
+
+    @property
+    def vl(self) -> VirtualLane:
+        return VirtualLane.REQUEST
+
+    @property
+    def size_bytes(self) -> int:
+        return packet_size(len(self.payload) if self.payload else 0)
+
+
+@dataclass
+class ReplyPacket:
+    """The single reply generated for each request (REPLY virtual lane)."""
+
+    dst_nid: int
+    src_nid: int
+    tid: int
+    offset: int            # echoed so multi-line unrolls can place payloads
+    status: ReplyStatus = ReplyStatus.OK
+    payload: Optional[bytes] = None   # RREAD data / atomic old value encoding
+    old_value: Optional[int] = None   # atomics: value before the operation
+
+    @property
+    def vl(self) -> VirtualLane:
+        return VirtualLane.REPLY
+
+    @property
+    def size_bytes(self) -> int:
+        return packet_size(len(self.payload) if self.payload else 0)
+
+
+def packet_size(payload_bytes: int) -> int:
+    """Wire size of a packet with ``payload_bytes`` of payload."""
+    if payload_bytes < 0 or payload_bytes > CACHE_LINE_SIZE:
+        raise ValueError(f"payload of {payload_bytes}B exceeds the MTU")
+    return HEADER_BYTES + payload_bytes

@@ -1,0 +1,150 @@
+"""Wire encoding of protocol packets.
+
+The simulator passes packet objects by reference (no serialization cost
+beyond the modeled header/payload sizes), but a credible protocol
+definition needs an actual bit layout — and the encoder doubles as a
+check that every field the pipelines rely on really fits the 16-byte
+header of :data:`~repro.protocol.packets.HEADER_BYTES`.
+
+Request header layout (16 bytes, little-endian)::
+
+    byte  0      packet kind (0 = request, 1 = reply)
+    byte  1      opcode / status
+    bytes 2-3    dst_nid (u16)
+    bytes 4-5    src_nid (u16)
+    bytes 6-7    tid (u16)
+    byte  8      ctx_id (requests) / flags (replies)
+    byte  9      length - 1 (payload bytes in this line, 1..64)
+    bytes 10-15  offset (u48)
+
+Atomic operands don't fit the header; they travel in the payload area
+(operand u64 | compare u64), which is accounted in the wire size.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Union
+
+from .packets import (
+    HEADER_BYTES,
+    Opcode,
+    ReplyPacket,
+    ReplyStatus,
+    RequestPacket,
+)
+
+__all__ = ["encode", "decode", "wire_size"]
+
+_KIND_REQUEST = 0
+_KIND_REPLY = 1
+
+_OPCODES = {op: i for i, op in enumerate(Opcode)}
+_OPCODES_REV = {i: op for op, i in _OPCODES.items()}
+_STATUSES = {status: i for i, status in enumerate(ReplyStatus)}
+_STATUSES_REV = {i: status for status, i in _STATUSES.items()}
+
+_MAX_U16 = 0xFFFF
+_MAX_U48 = (1 << 48) - 1
+
+#: Reply flag bit: an old_value u64 follows the payload (atomics).
+_FLAG_OLD_VALUE = 0x01
+
+
+def _pack_header(kind: int, code: int, dst: int, src: int, tid: int,
+                 ctx_or_flags: int, length: int, offset: int) -> bytes:
+    if not 0 <= dst <= _MAX_U16 or not 0 <= src <= _MAX_U16:
+        raise ValueError("node id exceeds wire width (u16)")
+    if not 0 <= tid <= _MAX_U16:
+        raise ValueError("tid exceeds wire width (u16)")
+    if not 0 <= ctx_or_flags <= 0xFF:
+        raise ValueError("ctx_id/flags exceed wire width (u8)")
+    if not 1 <= length <= 64:
+        raise ValueError("length field must be 1..64")
+    if not 0 <= offset <= _MAX_U48:
+        raise ValueError("offset exceeds wire width (u48)")
+    header = struct.pack("<BBHHHBB", kind, code, dst, src, tid,
+                         ctx_or_flags, length - 1)
+    header += offset.to_bytes(6, "little")
+    assert len(header) == HEADER_BYTES
+    return header
+
+
+def encode(packet: Union[RequestPacket, ReplyPacket]) -> bytes:
+    """Serialize a packet to its wire representation."""
+    if isinstance(packet, RequestPacket):
+        header = _pack_header(_KIND_REQUEST, _OPCODES[packet.op],
+                              packet.dst_nid, packet.src_nid, packet.tid,
+                              packet.ctx_id, packet.length, packet.offset)
+        body = packet.payload or b""
+        if packet.op is Opcode.RFETCH_ADD:
+            body = struct.pack("<Q", packet.operand & (2 ** 64 - 1))
+        elif packet.op is Opcode.RCOMP_SWAP:
+            body = struct.pack("<QQ", packet.operand & (2 ** 64 - 1),
+                               packet.compare & (2 ** 64 - 1))
+        return header + body
+    if isinstance(packet, ReplyPacket):
+        flags = _FLAG_OLD_VALUE if packet.old_value is not None else 0
+        length = len(packet.payload) if packet.payload else 1
+        header = _pack_header(_KIND_REPLY, _STATUSES[packet.status],
+                              packet.dst_nid, packet.src_nid, packet.tid,
+                              flags, max(length, 1), packet.offset)
+        body = packet.payload or b""
+        if packet.old_value is not None:
+            body += struct.pack("<Q", packet.old_value & (2 ** 64 - 1))
+        return header + body
+    raise TypeError(f"cannot encode {type(packet).__name__}")
+
+
+def decode(wire: bytes) -> Union[RequestPacket, ReplyPacket]:
+    """Parse a wire representation back into a packet object."""
+    if len(wire) < HEADER_BYTES:
+        raise ValueError(f"truncated packet: {len(wire)} bytes")
+    kind, code, dst, src, tid, ctx_or_flags, length_m1 = struct.unpack(
+        "<BBHHHBB", wire[:10])
+    offset = int.from_bytes(wire[10:16], "little")
+    length = length_m1 + 1
+    body = wire[HEADER_BYTES:]
+
+    if kind == _KIND_REQUEST:
+        op = _OPCODES_REV.get(code)
+        if op is None:
+            raise ValueError(f"unknown opcode {code}")
+        payload = None
+        operand = None
+        compare = None
+        if op in (Opcode.RWRITE, Opcode.RNOTIFY):
+            payload = body[:length]
+            if len(payload) != length:
+                raise ValueError("payload shorter than header length")
+        elif op is Opcode.RFETCH_ADD:
+            (operand,) = struct.unpack_from("<Q", body)
+        elif op is Opcode.RCOMP_SWAP:
+            operand, compare = struct.unpack_from("<QQ", body)
+        return RequestPacket(dst_nid=dst, src_nid=src, op=op,
+                             ctx_id=ctx_or_flags, offset=offset, tid=tid,
+                             length=length, payload=payload,
+                             operand=operand, compare=compare)
+
+    if kind == _KIND_REPLY:
+        status = _STATUSES_REV.get(code)
+        if status is None:
+            raise ValueError(f"unknown status {code}")
+        old_value = None
+        payload = body
+        if ctx_or_flags & _FLAG_OLD_VALUE:
+            if len(body) < 8:
+                raise ValueError("missing old_value field")
+            (old_value,) = struct.unpack_from("<Q", body, len(body) - 8)
+            payload = body[:-8]
+        payload = payload if payload else None
+        return ReplyPacket(dst_nid=dst, src_nid=src, tid=tid,
+                           offset=offset, status=status, payload=payload,
+                           old_value=old_value)
+
+    raise ValueError(f"unknown packet kind {kind}")
+
+
+def wire_size(packet: Union[RequestPacket, ReplyPacket]) -> int:
+    """Exact on-wire byte count (== len(encode(packet)))."""
+    return len(encode(packet))

@@ -1,0 +1,25 @@
+"""The Remote Memory Controller: queues, CT/ITT, MMU, three pipelines."""
+
+from .context import ContextCache, ContextEntry, ContextTable
+from .itt import InflightTransactionTable, ITTEntry, ITTFullError
+from .mmu import MMUConfig, RMCMMU
+from .queues import CompletionQueue, CQEntry, QueuePair, WorkQueue, WQEntry
+from .rmc import RMC, RMCConfig
+
+__all__ = [
+    "CompletionQueue",
+    "ContextCache",
+    "ContextEntry",
+    "ContextTable",
+    "CQEntry",
+    "InflightTransactionTable",
+    "ITTEntry",
+    "ITTFullError",
+    "MMUConfig",
+    "QueuePair",
+    "RMC",
+    "RMCConfig",
+    "RMCMMU",
+    "WorkQueue",
+    "WQEntry",
+]

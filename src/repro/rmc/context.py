@@ -1,0 +1,132 @@
+"""Context Table (CT) and the CT cache (CT$).
+
+"The CT keeps track of all registered context segments, queue pairs, and
+page table root addresses. Each CT entry, indexed by its ctx_id,
+specifies the address space and a list of registered QPs (WQ, CQ) for
+that context." (§4.2)
+
+"the RMC dedicates two registers for the CT and ITT base addresses, as
+well as a small lookaside structure, the CT cache (CT$) that caches
+recently accessed CT entries to reduce pressure on the MAQ. The CT$
+includes the context segment base addresses and bounds, PT roots, and
+the queue addresses." (§4.3)
+
+Timing: a CT$ hit is free (read-only-shared combinational state); a CT$
+miss costs one memory access through the RMC's MMU (charged by the
+caller, which knows how to issue timed accesses).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..vm.address_space import AddressSpace, ContextSegment
+from .queues import QueuePair
+
+__all__ = ["ContextEntry", "ContextTable", "ContextCache"]
+
+
+@dataclass
+class ContextEntry:
+    """One registered context on this node."""
+
+    ctx_id: int
+    address_space: AddressSpace
+    segment: ContextSegment
+    qps: List[QueuePair] = field(default_factory=list)
+
+    @property
+    def asid(self) -> int:
+        return self.address_space.asid
+
+    def register_qp(self, qp: QueuePair) -> None:
+        """Attach a QP to this context (must share its ctx_id)."""
+        if qp.ctx_id != self.ctx_id:
+            raise ValueError(
+                f"QP belongs to ctx {qp.ctx_id}, not {self.ctx_id}")
+        self.qps.append(qp)
+
+
+class ContextTable:
+    """The in-memory CT, maintained by system software (§5.1)."""
+
+    def __init__(self):
+        self._entries: Dict[int, ContextEntry] = {}
+
+    def install(self, entry: ContextEntry) -> None:
+        """Register a context (driver-side, at open_context time)."""
+        if entry.ctx_id in self._entries:
+            raise ValueError(f"ctx_id {entry.ctx_id} already installed")
+        self._entries[entry.ctx_id] = entry
+
+    def remove(self, ctx_id: int) -> None:
+        """Tear down a context (driver-side)."""
+        if ctx_id not in self._entries:
+            raise KeyError(f"ctx_id {ctx_id} not installed")
+        del self._entries[ctx_id]
+
+    def lookup(self, ctx_id: int) -> Optional[ContextEntry]:
+        """The entry for ``ctx_id``, or None (RRPP error path)."""
+        return self._entries.get(ctx_id)
+
+    def all_qps(self) -> List[QueuePair]:
+        """Every registered QP on this node, in registration order
+        (the RGP's polling schedule)."""
+        qps: List[QueuePair] = []
+        for entry in self._entries.values():
+            qps.extend(entry.qps)
+        return qps
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, ctx_id: int) -> bool:
+        return ctx_id in self._entries
+
+
+class ContextCache:
+    """The CT$: a small LRU lookaside over CT entries."""
+
+    def __init__(self, capacity: int = 8):
+        if capacity < 0:
+            raise ValueError("CT$ capacity must be >= 0 (0 disables it)")
+        self.capacity = capacity
+        self._cache: "OrderedDict[int, ContextEntry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, ctx_id: int) -> Optional[ContextEntry]:
+        """Probe the CT$ (free on hit; misses cost a memory access)."""
+        entry = self._cache.get(ctx_id)
+        if entry is not None:
+            self._cache.move_to_end(ctx_id)
+            self.hits += 1
+            return entry
+        self.misses += 1
+        return None
+
+    def insert(self, entry: ContextEntry) -> None:
+        """Fill after a CT memory access, evicting LRU if full."""
+        if self.capacity == 0:
+            return  # disabled (ablation study)
+        if entry.ctx_id in self._cache:
+            self._cache.move_to_end(entry.ctx_id)
+            return
+        if len(self._cache) >= self.capacity:
+            self._cache.popitem(last=False)
+        self._cache[entry.ctx_id] = entry
+
+    def invalidate(self, ctx_id: int) -> None:
+        """Drop one entry (context teardown)."""
+        self._cache.pop(ctx_id, None)
+
+    def flush(self) -> None:
+        """Drop everything (RMC reset path)."""
+        self._cache.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

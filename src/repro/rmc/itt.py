@@ -1,0 +1,131 @@
+"""Inflight Transaction Table (ITT).
+
+"the ITT is used exclusively by the RMC and keeps track of the progress
+of each WQ request" (§4.2). The RGP allocates a transfer id (tid) per WQ
+request and uses the ITT to unroll multi-line requests; the RCP uses the
+tid carried in each reply to find the originating WQ entry and to count
+line completions: "Once the last reply is processed, the RMC signals the
+request's completion by writing the index of the completed WQ entry into
+the corresponding CQ" (§4.2).
+
+The tid namespace is per-source-RMC and opaque to the destination (§6).
+A bounded table naturally bounds the number of WQ requests in flight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..protocol import Opcode
+from .queues import QueuePair
+
+__all__ = ["ITTEntry", "InflightTransactionTable", "ITTFullError"]
+
+
+class ITTFullError(RuntimeError):
+    """All tids are in use; the RGP must wait for completions."""
+
+
+@dataclass
+class ITTEntry:
+    """Progress state for one WQ request being unrolled/completed."""
+
+    tid: int
+    qp: QueuePair
+    wq_index: int
+    op: Opcode
+    base_offset: int          # remote segment offset of the first byte
+    local_vaddr: int          # local buffer base
+    total_lines: int
+    completed_lines: int = 0
+    error: Optional[str] = None
+
+    @property
+    def done(self) -> bool:
+        return self.completed_lines >= self.total_lines
+
+    def line_local_vaddr(self, reply_offset: int) -> int:
+        """Where a reply's payload lands in the local buffer.
+
+        "For multi-line requests, the RMC computes the target virtual
+        address based on the buffer base address specified in the WQ
+        entry and the offset specified in the reply message." (§4.2)
+        """
+        return self.local_vaddr + (reply_offset - self.base_offset)
+
+
+class InflightTransactionTable:
+    """Fixed-capacity tid allocator + per-request progress tracking."""
+
+    def __init__(self, capacity: int = 64):
+        if capacity < 1:
+            raise ValueError("ITT capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: Dict[int, ITTEntry] = {}
+        self._free_tids: List[int] = list(range(capacity - 1, -1, -1))
+        self.allocated_total = 0
+        self.peak_in_flight = 0
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._entries)
+
+    @property
+    def has_free(self) -> bool:
+        return bool(self._free_tids)
+
+    def allocate(self, qp: QueuePair, wq_index: int, op: Opcode,
+                 base_offset: int, local_vaddr: int,
+                 total_lines: int) -> ITTEntry:
+        """Assign a tid and create the progress entry for a WQ request."""
+        if not self._free_tids:
+            raise ITTFullError(
+                f"all {self.capacity} tids in flight")
+        if total_lines < 1:
+            raise ValueError("a request must cover at least one line")
+        tid = self._free_tids.pop()
+        entry = ITTEntry(tid=tid, qp=qp, wq_index=wq_index, op=op,
+                         base_offset=base_offset, local_vaddr=local_vaddr,
+                         total_lines=total_lines)
+        self._entries[tid] = entry
+        self.allocated_total += 1
+        if len(self._entries) > self.peak_in_flight:
+            self.peak_in_flight = len(self._entries)
+        return entry
+
+    def lookup(self, tid: int) -> ITTEntry:
+        """The in-flight entry for ``tid`` (RCP reply handling)."""
+        entry = self._entries.get(tid)
+        if entry is None:
+            raise KeyError(f"no in-flight transaction with tid {tid}")
+        return entry
+
+    def complete_line(self, tid: int, error: Optional[str] = None) -> ITTEntry:
+        """Record one line completion; caller checks ``entry.done``."""
+        entry = self.lookup(tid)
+        if entry.done:
+            raise RuntimeError(f"tid {tid} already fully completed")
+        entry.completed_lines += 1
+        if error is not None:
+            entry.error = error
+        return entry
+
+    def retire(self, tid: int) -> None:
+        """Free the tid once the CQ entry has been written."""
+        entry = self._entries.pop(tid, None)
+        if entry is None:
+            raise KeyError(f"retire of unknown tid {tid}")
+        if not entry.done:
+            raise RuntimeError(
+                f"retire of tid {tid} with {entry.completed_lines}/"
+                f"{entry.total_lines} lines complete")
+        self._free_tids.append(tid)
+
+    def abort_all(self) -> int:
+        """Drop every in-flight transaction (RMC reset path, §5.1)."""
+        count = len(self._entries)
+        for tid in list(self._entries):
+            self._entries.pop(tid)
+            self._free_tids.append(tid)
+        return count

@@ -1,0 +1,107 @@
+"""The RMC's memory interface block (MMU + MAQ).
+
+"The memory interface block (MMU) contains a TLB for fast access to
+recent address translations ... TLB misses are serviced by a hardware
+page walker." (§4.3)
+
+"the RMC allows multiple concurrent memory accesses in flight via a
+Memory Access Queue (MAQ). The MAQ handles all memory read and write
+operations, including accesses to application data, WQ and CQ
+interactions, page table walks, as well as ITT and CT accesses. The
+number of outstanding operations is limited by the number of miss status
+handling registers at the RMC's L1 cache." (§4.3)
+
+Table 1: 32-entry MAQ, 32-entry TLB.
+
+Modeling note: page-table radix nodes are assumed L2-resident (they are
+tiny and hot), so each walk level is charged an L1-miss/L2-hit access
+through the MAQ rather than being given synthetic physical addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..memory.hierarchy import AgentPort
+from ..sim import Resource, Simulator
+from ..vm.address import CACHE_LINE_SIZE, page_offset
+from ..vm.page_table import PageTable, PageWalker
+from ..vm.tlb import TLB
+
+__all__ = ["MMUConfig", "RMCMMU"]
+
+
+@dataclass(frozen=True)
+class MMUConfig:
+    """RMC memory-interface parameters (Table 1 defaults)."""
+
+    maq_entries: int = 32
+    tlb_entries: int = 32
+    tlb_associativity: int = 4
+    tlb_latency_ns: float = 0.5       # one 2 GHz cycle
+    walk_level_latency_ns: float = 4.5  # L1 miss + L2 hit per radix level
+
+    def __post_init__(self):
+        if self.maq_entries < 1:
+            raise ValueError("MAQ needs at least one entry")
+
+
+class RMCMMU:
+    """Timed translation + MAQ-limited memory access for the RMC."""
+
+    def __init__(self, sim: Simulator, port: AgentPort,
+                 config: MMUConfig = MMUConfig()):
+        self.sim = sim
+        self.port = port
+        self.config = config
+        self.maq = Resource(sim, capacity=config.maq_entries, name="maq")
+        self.tlb = TLB(entries=config.tlb_entries,
+                       associativity=config.tlb_associativity)
+        self.walker = PageWalker(self._walk_level_access)
+        self.translations = 0
+        self.walks = 0
+
+    def _walk_level_access(self):
+        """One page-table-node access, serialized through the MAQ."""
+        yield self.maq.acquire()
+        yield self.sim.timeout(self.config.walk_level_latency_ns)
+        self.maq.release()
+
+    def translate(self, asid: int, page_table: PageTable, vaddr: int):
+        """Timed coroutine: virtual -> physical through TLB or walker."""
+        yield self.sim.timeout(self.config.tlb_latency_ns)
+        self.translations += 1
+        pte = self.tlb.lookup(asid, vaddr)
+        if pte is None:
+            self.walks += 1
+            pte = yield from self.walker.walk(page_table, vaddr)
+            self.tlb.insert(asid, vaddr, pte)
+        return pte.frame_paddr + page_offset(vaddr)
+
+    def access(self, paddr: int, is_write: bool = False,
+               size: int = CACHE_LINE_SIZE, allocate: bool = True):
+        """Timed, MAQ-limited memory access through the RMC's private L1.
+
+        Returns the deepest hierarchy level touched ('l1'|'l2'|'dram').
+        ``allocate=False`` streams past the caches (RRPP serving reads).
+        """
+        yield self.maq.acquire()
+        try:
+            level = yield from self.port.access(paddr, is_write=is_write,
+                                                size=size,
+                                                allocate=allocate)
+        finally:
+            self.maq.release()
+        return level
+
+    def read_bytes(self, paddr: int, length: int) -> bytes:
+        """Functional data read (untimed; pair with :meth:`access`)."""
+        return self.port.read_bytes(paddr, length)
+
+    def write_bytes(self, paddr: int, data: bytes) -> None:
+        """Functional data write (untimed; pair with :meth:`access`)."""
+        self.port.write_bytes(paddr, data)
+
+    def reset(self) -> None:
+        """Flush volatile translation state (fabric-failure reset path)."""
+        self.tlb.flush()

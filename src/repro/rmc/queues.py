@@ -1,0 +1,217 @@
+"""Queue pairs: the work queue / completion queue rings.
+
+"The QP model consists of a work queue (WQ), a bounded buffer written
+exclusively by the application, and a completion queue (CQ), a bounded
+buffer of the same size written exclusively by the RMC. The CQ entry
+contains the index of the completed WQ request. Both are stored in main
+memory and coherently cached by the cores and the RMC alike." (§4.1)
+
+Each ring slot occupies one cache line, so polling a slot is a single
+coherent L1 access by whichever agent touches it (the cross-agent
+invalidation behaviour of :mod:`repro.memory.hierarchy` then yields the
+realistic core<->RMC hand-off latency for free).
+
+Functional content is stored as Python objects in the ring; the
+``slot_vaddr`` of each slot is what the timed memory path touches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..protocol import Opcode
+from ..vm.address import CACHE_LINE_SIZE
+
+__all__ = ["WQEntry", "CQEntry", "WorkQueue", "CompletionQueue", "QueuePair"]
+
+
+@dataclass
+class WQEntry:
+    """One work-queue request: op, destination, and transfer geometry.
+
+    "The WQ entry specifies the dst_nid, the command (e.g., read, write,
+    or atomic), the offset, the length and the local buffer address." (§6)
+    """
+
+    op: Opcode
+    dst_nid: int
+    offset: int               # context-segment offset at the destination
+    local_vaddr: int          # source/destination buffer in local VA space
+    length: int               # bytes; multiples beyond one line are unrolled
+    operand: Optional[int] = None   # fetch-and-add addend / CAS swap value
+    compare: Optional[int] = None   # CAS compare value
+
+    def __post_init__(self):
+        if self.length <= 0:
+            raise ValueError(f"WQ entry length must be positive: {self.length}")
+        if self.op in (Opcode.RFETCH_ADD, Opcode.RCOMP_SWAP) \
+                and self.length != 8:
+            raise ValueError("atomic operations act on 8-byte words")
+        if self.op is Opcode.RNOTIFY and self.length > 64:
+            raise ValueError("a notification carries at most one line")
+
+
+@dataclass
+class CQEntry:
+    """One completion: the WQ slot index it completes, plus error status.
+
+    Error replies ("delivered to the application via the CQ", §4.2) carry
+    ``error`` so user code can observe segment violations.
+    """
+
+    wq_index: int
+    error: Optional[str] = None
+
+
+class _Ring:
+    """Common ring mechanics: fixed slots, one cache line per slot."""
+
+    def __init__(self, size: int, base_vaddr: int):
+        if size < 1:
+            raise ValueError("ring size must be >= 1")
+        if base_vaddr % CACHE_LINE_SIZE != 0:
+            raise ValueError("ring base must be line-aligned")
+        self.size = size
+        self.base_vaddr = base_vaddr
+        self.slots: List[Optional[object]] = [None] * size
+
+    def slot_vaddr(self, index: int) -> int:
+        """Virtual address of a slot (one line per slot)."""
+        if not 0 <= index < self.size:
+            raise IndexError(f"slot {index} out of range 0..{self.size - 1}")
+        return self.base_vaddr + index * CACHE_LINE_SIZE
+
+
+class WorkQueue(_Ring):
+    """Bounded slot array written by the application, polled by the RMC.
+
+    Slot lifecycle follows the paper's model: the application schedules
+    each new entry into a *freed* slot ("rmc_wait_for_slot ... returns
+    the freed slot where the next entry will be scheduled", §5.2), the
+    RGP consumes entries in posting order, and a slot returns to the
+    free pool only when its completion is reaped from the CQ. Because
+    completions can arrive out of order (§4.2), freeing by-index (not
+    by-count) is what keeps WQ indices unique among outstanding
+    requests — the invariant the ITT and the CQ depend on.
+    """
+
+    def __init__(self, size: int, base_vaddr: int):
+        super().__init__(size, base_vaddr)
+        self._free: List[int] = list(range(size - 1, -1, -1))
+        self._pending: List[int] = []   # posted, not yet consumed by RGP
+        self.posted_total = 0
+        #: Hook invoked on every post. The RMC wires this to the RGP's
+        #: wake signal: in hardware the RGP continuously polls; in the
+        #: simulation the wake keeps event counts proportional to work.
+        self.on_post = None
+
+    @property
+    def free_slots(self) -> int:
+        return len(self._free)
+
+    def can_post(self) -> bool:
+        """Whether a free slot exists (rmc_wait_for_slot's condition)."""
+        return bool(self._free)
+
+    def next_free(self) -> int:
+        """The slot the next post will use (for the timed slot write)."""
+        if not self._free:
+            raise RuntimeError("work queue full (reap completions first)")
+        return self._free[-1]
+
+    def post(self, entry: WQEntry) -> int:
+        """Application-side: place a request; returns its slot index."""
+        if not self._free:
+            raise RuntimeError("work queue full (reap completions first)")
+        index = self._free.pop()
+        if self.slots[index] is not None:
+            raise RuntimeError(f"WQ slot {index} still occupied")
+        self.slots[index] = entry
+        self._pending.append(index)
+        self.posted_total += 1
+        if self.on_post is not None:
+            self.on_post()
+        return index
+
+    def poll(self) -> Optional[int]:
+        """RMC-side: index of the oldest unconsumed request, or None."""
+        return self._pending[0] if self._pending else None
+
+    def consume(self, index: int) -> WQEntry:
+        """RMC-side: take the request out of the queue for processing."""
+        entry = self.slots[index]
+        if entry is None:
+            raise RuntimeError(f"WQ slot {index} is empty")
+        if not self._pending or self._pending[0] != index:
+            raise RuntimeError(f"WQ consume out of order at slot {index}")
+        self._pending.pop(0)
+        self.slots[index] = None
+        return entry
+
+    def release_slot(self, index: int) -> None:
+        """Application-side: called after reaping the matching CQ entry;
+        only now may the slot be reused."""
+        if index in self._free:
+            raise RuntimeError(f"WQ slot {index} already free")
+        if not 0 <= index < self.size:
+            raise IndexError(f"slot {index} out of range")
+        self._free.append(index)
+
+
+class CompletionQueue(_Ring):
+    """Bounded ring written by the RMC (RCP), polled by the application."""
+
+    def __init__(self, size: int, base_vaddr: int):
+        super().__init__(size, base_vaddr)
+        self.write_index = 0   # RMC's next write slot
+        self.read_index = 0    # application's next read slot
+        self.completed_total = 0
+
+    def push(self, entry: CQEntry) -> int:
+        """RMC-side: publish a completion. The CQ can never overflow
+        because it is the same size as the WQ and every completion frees
+        a WQ slot (invariant tested in tests/test_rmc_queues.py)."""
+        index = self.write_index
+        if self.slots[index] is not None:
+            raise RuntimeError(f"CQ overflow at slot {index}")
+        self.slots[index] = entry
+        self.write_index = (index + 1) % self.size
+        self.completed_total += 1
+        return index
+
+    def poll(self) -> Optional[CQEntry]:
+        """Application-side: peek the next completion, or None."""
+        return self.slots[self.read_index]
+
+    def reap(self) -> CQEntry:
+        """Application-side: consume the next completion."""
+        entry = self.slots[self.read_index]
+        if entry is None:
+            raise RuntimeError("reap on empty completion queue")
+        self.slots[self.read_index] = None
+        self.read_index = (self.read_index + 1) % self.size
+        return entry
+
+
+@dataclass
+class QueuePair:
+    """A registered WQ/CQ pair bound to a context.
+
+    "Multi-threaded processes can register multiple QPs for the same
+    address space and ctx_id." (§4.2)
+    """
+
+    qp_id: int
+    ctx_id: int
+    asid: int
+    wq: WorkQueue
+    cq: CompletionQueue
+
+    @property
+    def size(self) -> int:
+        return self.wq.size
+
+    def outstanding(self) -> int:
+        """Requests posted but not yet reaped."""
+        return self.wq.size - self.wq.free_slots

@@ -1,0 +1,33 @@
+"""Software support: access library, messaging, synchronization (§5)."""
+
+from .barrier import Barrier
+from .capi import (
+    rmc_compare_and_swap,
+    rmc_drain_cq,
+    rmc_fetch_and_add,
+    rmc_read_async,
+    rmc_read_sync,
+    rmc_wait_for_slot,
+    rmc_write_async,
+    rmc_write_sync,
+)
+from .layout import CommLayout, MessagingConfig
+from .messaging import Messenger
+from .qp_api import RemoteOpError, RMCSession
+
+__all__ = [
+    "Barrier",
+    "CommLayout",
+    "Messenger",
+    "MessagingConfig",
+    "RemoteOpError",
+    "RMCSession",
+    "rmc_compare_and_swap",
+    "rmc_drain_cq",
+    "rmc_fetch_and_add",
+    "rmc_read_async",
+    "rmc_read_sync",
+    "rmc_wait_for_slot",
+    "rmc_write_async",
+    "rmc_write_sync",
+]

@@ -1,0 +1,77 @@
+"""Barrier synchronization in software (§5.3).
+
+"We have also implemented a simple barrier primitive such that nodes
+sharing a ctx_id can synchronize. Each participating node broadcasts the
+arrival at a barrier by issuing a write to an agreed upon offset on each
+of its peers. The nodes then poll locally until all of them reach the
+barrier."
+
+Arrival lines carry a monotonically increasing *generation* number so
+the same barrier object can be reused across supersteps (the BSP loop of
+the PageRank study, §7.5) without a reset phase.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..vm.address import CACHE_LINE_SIZE
+from .layout import CommLayout, MessagingConfig
+from .qp_api import RMCSession
+
+__all__ = ["Barrier"]
+
+
+class Barrier:
+    """A reusable all-node barrier over one-sided writes."""
+
+    def __init__(self, session: RMCSession, node_id: int,
+                 participants: Sequence[int],
+                 layout: Optional[CommLayout] = None):
+        if node_id not in participants:
+            raise ValueError("node must be among the participants")
+        self.session = session
+        self.node_id = node_id
+        self.participants = sorted(participants)
+        self.layout = layout or CommLayout(
+            session.ctx.segment.size, max(participants) + 1,
+            MessagingConfig())
+        self._generation = 0
+        self._scratch = session.alloc_buffer(CACHE_LINE_SIZE)
+        self.barriers_completed = 0
+
+    def wait(self):
+        """Timed coroutine: arrive at the barrier and block until every
+        participant has arrived at this generation."""
+        self._generation += 1
+        generation = self._generation
+        payload = generation.to_bytes(8, "little")
+        yield from self.session.buffer_write(self._scratch, payload)
+
+        # Broadcast arrival to every peer (pipelined one-sided writes).
+        my_line = self.layout.barrier_offset(self.node_id)
+        for peer in self.participants:
+            if peer == self.node_id:
+                continue
+            yield from self.session.wait_for_slot()
+            yield from self.session.write_async(peer, my_line,
+                                                self._scratch, 8)
+        yield from self.session.drain_cq()
+
+        # Poll locally until all peers' arrival lines reach generation.
+        core = self.session.core
+        space = self.session.space
+        for peer in self.participants:
+            if peer == self.node_id:
+                continue
+            vaddr = self.session.ctx.segment.vaddr_of(
+                self.layout.barrier_offset(peer))
+            while True:
+                yield core.compute(core.config.poll_overhead_ns)
+                yield from core.touch(space, vaddr)
+                seen = int.from_bytes(self.session.buffer_peek(vaddr, 8),
+                                      "little")
+                if seen >= generation:
+                    break
+        self.barriers_completed += 1
+        return generation

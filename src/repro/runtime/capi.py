@@ -1,0 +1,110 @@
+"""Paper-parity access-library functions (the §5.2 C API names).
+
+The paper's Fig. 4 is written against a C/C++ inline-function API:
+``rmc_wait_for_slot``, ``rmc_read_async``, ``rmc_drain_cq``, plus the
+synchronous variants. This module exposes those exact names as thin,
+documented wrappers over :class:`~repro.runtime.qp_api.RMCSession`, so
+code can be transliterated from the paper line by line::
+
+    slot = yield from rmc_wait_for_slot(qp, pagerank_async)
+    yield from rmc_read_async(qp, slot, edges[e].nid, edges[e].offset,
+                              lbuf_slot_vaddr, VERTEX_BYTES)
+    ...
+    yield from rmc_drain_cq(qp, pagerank_async)
+
+Here ``qp`` is the session (which binds the queue pair to a core and a
+context — what the C API keeps in thread-local state). The ``slot``
+argument mirrors the paper's signature: Fig. 4 schedules each request
+into the slot returned by ``rmc_wait_for_slot``; the session performs
+exactly that placement internally, and these wrappers assert agreement
+so a transliterated caller cannot desynchronize.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .qp_api import RMCSession
+
+__all__ = [
+    "rmc_wait_for_slot",
+    "rmc_read_async",
+    "rmc_write_async",
+    "rmc_read_sync",
+    "rmc_write_sync",
+    "rmc_drain_cq",
+    "rmc_fetch_and_add",
+    "rmc_compare_and_swap",
+]
+
+
+def rmc_wait_for_slot(qp: RMCSession, callback: Optional[Callable] = None):
+    """Process CQ events until the WQ has a free slot; returns the slot
+    index the next request will occupy (paper: "returns the freed slot
+    where the next entry will be scheduled")."""
+    yield from qp.wait_for_slot(callback)
+    return qp.qp.wq.next_free()
+
+
+def rmc_read_async(qp: RMCSession, slot: int, nid: int, offset: int,
+                   local_buffer: int, length: int,
+                   callback: Optional[Callable] = None):
+    """Non-blocking remote read into ``local_buffer`` (Split-C ``get``).
+
+    ``slot`` must be the value returned by :func:`rmc_wait_for_slot`
+    (asserted, mirroring the C API's scheduling contract).
+    """
+    expected = qp.qp.wq.next_free()
+    if slot != expected:
+        raise ValueError(
+            f"slot {slot} stale: the next request will use slot "
+            f"{expected} (call rmc_wait_for_slot first)")
+    return (yield from qp.read_async(nid, offset, local_buffer, length,
+                                     callback=callback))
+
+
+def rmc_write_async(qp: RMCSession, slot: int, nid: int, offset: int,
+                    local_buffer: int, length: int,
+                    callback: Optional[Callable] = None):
+    """Non-blocking remote write from ``local_buffer``."""
+    expected = qp.qp.wq.next_free()
+    if slot != expected:
+        raise ValueError(
+            f"slot {slot} stale: the next request will use slot "
+            f"{expected} (call rmc_wait_for_slot first)")
+    return (yield from qp.write_async(nid, offset, local_buffer, length,
+                                      callback=callback))
+
+
+def rmc_read_sync(qp: RMCSession, nid: int, offset: int,
+                  local_buffer: int, length: int):
+    """Blocking remote read (spins on the CQ until completion)."""
+    yield from qp.read_sync(nid, offset, local_buffer, length)
+
+
+def rmc_write_sync(qp: RMCSession, nid: int, offset: int,
+                   local_buffer: int, length: int):
+    """Blocking remote write."""
+    yield from qp.write_sync(nid, offset, local_buffer, length)
+
+
+def rmc_drain_cq(qp: RMCSession, callback: Optional[Callable] = None):
+    """Wait until all outstanding operations have completed, invoking
+    ``callback`` for each (paper: "waits until all outstanding remote
+    operations have completed while performing the remaining
+    callbacks")."""
+    yield from qp.drain_cq(callback)
+
+
+def rmc_fetch_and_add(qp: RMCSession, nid: int, offset: int,
+                      local_buffer: int, addend: int):
+    """Remote fetch-and-add; returns the pre-add value (§5.2 atomics)."""
+    return (yield from qp.fetch_add_sync(nid, offset, local_buffer,
+                                         addend))
+
+
+def rmc_compare_and_swap(qp: RMCSession, nid: int, offset: int,
+                         local_buffer: int, compare: int, swap: int):
+    """Remote compare-and-swap; returns the observed old value."""
+    return (yield from qp.compare_swap_sync(nid, offset, local_buffer,
+                                            compare, swap))

@@ -1,0 +1,146 @@
+"""Deterministic layout of communication state inside context segments.
+
+The messaging and barrier libraries (§5.3) are pure software over the
+three one-sided primitives; peers must therefore *agree by convention*
+on where, inside each node's context segment, the bounded buffers,
+credit/ack counters, pull staging areas, and barrier arrival lines live.
+:class:`CommLayout` computes those offsets identically on every node
+from shared parameters, the same way the paper's library would agree on
+"an agreed upon offset on each of its peers".
+
+Segment layout (offsets grow downward from the segment end)::
+
+    [0 ............................. app_bytes)   application data
+    [app_bytes ......................... ) per-peer messaging regions
+    [barrier_base .................. segment_size) barrier arrival lines
+
+Each per-peer region (the region node *i* dedicates to peer *j*)::
+
+    [slots x 64B]   inbound data slots   (written remotely by j)
+    [64B]           credit line          (written remotely by j)
+    [64B]           ack line             (written remotely by j)
+    [staging bytes] outbound pull staging (read remotely by j)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..vm.address import CACHE_LINE_SIZE
+
+__all__ = ["MessagingConfig", "CommLayout"]
+
+
+@dataclass(frozen=True)
+class MessagingConfig:
+    """Parameters of the software messaging protocol (§5.3)."""
+
+    #: Data slots per direction (bounded buffer depth).
+    slots: int = 16
+    #: Push/pull boundary in bytes: messages up to the threshold are
+    #: pushed (packetized remote writes); larger ones are pulled by the
+    #: receiver with a single remote read. The paper finds 256 B optimal
+    #: on simulated hardware and 1 KB on the development platform (§7.3).
+    threshold: int = 256
+    #: Pull staging bytes per peer (bounds the largest pullable message).
+    staging_bytes: int = 64 * 1024
+    #: Concurrent pull transfers in flight per direction.
+    pull_window: int = 4
+    #: Software cost charged per slot composed/parsed (packetization).
+    software_chunk_ns: float = 25.0
+
+    #: Payload bytes carried per push slot (64B line minus header).
+    PAYLOAD_PER_SLOT = 48
+
+    def __post_init__(self):
+        if self.slots < 2:
+            raise ValueError("need at least 2 message slots")
+        if self.threshold < 0:
+            raise ValueError("threshold must be >= 0")
+        if self.staging_bytes < CACHE_LINE_SIZE:
+            raise ValueError("staging must hold at least one line")
+        if self.staging_bytes % CACHE_LINE_SIZE != 0:
+            raise ValueError("staging size must be line-aligned")
+        if self.pull_window < 1:
+            raise ValueError("pull window must be >= 1")
+
+    @property
+    def region_bytes(self) -> int:
+        """Size of one per-peer region."""
+        return (self.slots + 2) * CACHE_LINE_SIZE + self.staging_bytes
+
+
+class CommLayout:
+    """Offset calculator shared by all nodes of a context."""
+
+    def __init__(self, segment_size: int, num_nodes: int,
+                 config: MessagingConfig = MessagingConfig()):
+        self.segment_size = segment_size
+        self.num_nodes = num_nodes
+        self.config = config
+        self.barrier_bytes = num_nodes * CACHE_LINE_SIZE
+        # Slot and barrier lines MUST be cache-line-aligned: a 64-byte
+        # remote write is atomic only when it maps to a single line at
+        # the destination (an unaligned slot would be delivered as two
+        # independent line writes and the receiver could observe a torn
+        # message). Align the whole communication area down.
+        self.barrier_base = (segment_size - self.barrier_bytes) \
+            & ~(CACHE_LINE_SIZE - 1)
+        self.messaging_bytes = num_nodes * config.region_bytes
+        self.messaging_base = self.barrier_base - self.messaging_bytes
+        if self.messaging_base < 0:
+            raise ValueError(
+                f"segment of {segment_size}B too small for communication "
+                f"state of {self.messaging_bytes + self.barrier_bytes}B")
+        assert self.messaging_base % CACHE_LINE_SIZE == 0
+
+    @property
+    def app_bytes(self) -> int:
+        """Bytes at the bottom of the segment free for application data."""
+        return self.messaging_base
+
+    # -- per-peer region offsets (within MY segment) -------------------------
+
+    def region_base(self, peer: int) -> int:
+        """Base offset of the region dedicated to ``peer``."""
+        self._check_peer(peer)
+        return self.messaging_base + peer * self.config.region_bytes
+
+    def slot_offset(self, peer: int, slot: int) -> int:
+        """Inbound data slot ``slot`` of the region dedicated to ``peer``."""
+        if not 0 <= slot < self.config.slots:
+            raise IndexError(f"slot {slot} out of range")
+        return self.region_base(peer) + slot * CACHE_LINE_SIZE
+
+    def credit_offset(self, peer: int) -> int:
+        """Line where ``peer`` reports consumption of *my* pushed slots."""
+        return self.region_base(peer) + self.config.slots * CACHE_LINE_SIZE
+
+    def ack_offset(self, peer: int) -> int:
+        """Line where ``peer`` acks pull transfers staged for it."""
+        return self.credit_offset(peer) + CACHE_LINE_SIZE
+
+    def staging_offset(self, peer: int) -> int:
+        """My outbound pull staging area read remotely by ``peer``."""
+        return self.ack_offset(peer) + CACHE_LINE_SIZE
+
+    def staging_chunk(self, peer: int, index: int) -> int:
+        """One of ``pull_window`` rotating staging chunks."""
+        chunk_bytes = self.staging_chunk_bytes
+        return self.staging_offset(peer) + (index % self.config.pull_window) \
+            * chunk_bytes
+
+    @property
+    def staging_chunk_bytes(self) -> int:
+        return self.config.staging_bytes // self.config.pull_window
+
+    # -- barrier ------------------------------------------------------------
+
+    def barrier_offset(self, peer: int) -> int:
+        """Line where ``peer`` posts its barrier arrival generation."""
+        self._check_peer(peer)
+        return self.barrier_base + peer * CACHE_LINE_SIZE
+
+    def _check_peer(self, peer: int) -> None:
+        if not 0 <= peer < self.num_nodes:
+            raise IndexError(f"peer {peer} out of range 0..{self.num_nodes - 1}")

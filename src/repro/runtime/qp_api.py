@@ -1,0 +1,253 @@
+"""The RMC access library (paper §5.2).
+
+"The QPs are accessed via a lightweight API, a set of C/C++ inline
+functions that issue remote memory commands and synchronize by polling
+the completion queue. We expose a synchronous (blocking) and an
+asynchronous (non-blocking) set of functions for both reads and writes."
+
+This module is the Python rendering of that API. An :class:`RMCSession`
+binds one application thread (a core) to one QP; its methods are timed
+coroutines run inside the simulation:
+
+* ``read_sync`` / ``write_sync`` — blocking one-sided operations;
+* ``read_async`` / ``write_async`` — the Split-C-like asynchronous API
+  of Fig. 4: post now, run a callback when the CQ reports completion;
+* ``wait_for_slot`` — process CQ events until the WQ has a free slot
+  (the paper's ``rmc_wait_for_slot``);
+* ``drain_cq`` — wait for all outstanding operations (``rmc_drain_cq``);
+* ``fetch_add_sync`` / ``compare_swap_sync`` — remote atomics, executed
+  within the destination node's coherence hierarchy (§5.2).
+
+Timing faithfully includes the software overhead per request — the very
+overhead that caps per-core operation rate at ~10 M ops/s (§7.5) — plus
+the coherent WQ/CQ line accesses shared with the RMC.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from ..node.core import Core
+from ..protocol import Opcode
+from ..rmc.context import ContextEntry
+from ..rmc.queues import CQEntry, QueuePair, WQEntry
+
+__all__ = ["RemoteOpError", "RMCSession"]
+
+
+#: Marker callback registered by synchronous operations: their
+#: completion is stored for the waiting coroutine instead of being
+#: dispatched. Fire-and-forget async posts (callback=None) are *never*
+#: stored — a stale stored completion under a recycled WQ index would
+#: satisfy a later synchronous wait prematurely.
+_SYNC_WAITER = object()
+
+
+class RemoteOpError(RuntimeError):
+    """A remote operation completed with an error status (e.g. a segment
+    violation reported through the CQ, §4.2)."""
+
+    def __init__(self, wq_index: int, error: str):
+        super().__init__(f"remote operation in WQ slot {wq_index} "
+                         f"failed: {error}")
+        self.wq_index = wq_index
+        self.error = error
+
+
+class RMCSession:
+    """One thread's handle on a QP: issue operations, poll completions."""
+
+    def __init__(self, core: Core, qp: QueuePair, ctx: ContextEntry):
+        if qp.ctx_id != ctx.ctx_id:
+            raise ValueError("QP and context entry do not match")
+        self.core = core
+        self.qp = qp
+        self.ctx = ctx
+        self.space = ctx.address_space
+        # wq_index -> (callback, user_arg) for async completions.
+        self._callbacks: Dict[int, Tuple[Optional[Callable], object]] = {}
+        # wq_index -> CQEntry for completions reaped before their waiter.
+        self._finished: Dict[int, CQEntry] = {}
+        #: CQ entries that reported errors (observable by applications).
+        self.errors: list = []
+        self.ops_issued = 0
+        self.ops_completed = 0
+
+    # -- buffers ------------------------------------------------------------
+
+    def alloc_buffer(self, size: int) -> int:
+        """Allocate a pinned local buffer in this context's space."""
+        return self.space.allocate(size, pinned=True)
+
+    def buffer_write(self, vaddr: int, data: bytes):
+        """Timed local write into a buffer (app-side data preparation)."""
+        return self.core.mem_write(self.space, vaddr, data)
+
+    def buffer_read(self, vaddr: int, length: int):
+        """Timed local read of a buffer (app-side result consumption)."""
+        return self.core.mem_read(self.space, vaddr, length)
+
+    def buffer_poke(self, vaddr: int, data: bytes) -> None:
+        """Untimed functional buffer write (test/setup convenience)."""
+        position = 0
+        while position < len(data):
+            from ..vm.address import PAGE_SIZE
+            room = PAGE_SIZE - ((vaddr + position) % PAGE_SIZE)
+            span = min(len(data) - position, room)
+            paddr = self.space.translate(vaddr + position)
+            self.core.port.write_bytes(paddr, data[position:position + span])
+            position += span
+
+    def buffer_peek(self, vaddr: int, length: int) -> bytes:
+        """Untimed functional buffer read (test/verify convenience)."""
+        from ..vm.address import PAGE_SIZE
+        out = bytearray()
+        while len(out) < length:
+            room = PAGE_SIZE - ((vaddr + len(out)) % PAGE_SIZE)
+            span = min(length - len(out), room)
+            paddr = self.space.translate(vaddr + len(out))
+            out += self.core.port.read_bytes(paddr, span)
+        return bytes(out)
+
+    # -- asynchronous API (Fig. 4) -------------------------------------------
+
+    def wait_for_slot(self, callback: Optional[Callable] = None):
+        """Timed coroutine: process CQ events until the WQ has room.
+
+        Returns the number of free slots (>= 1). ``callback(cq_entry)``
+        runs for every completion processed while waiting, mirroring
+        ``rmc_wait_for_slot(qp, pagerank_async)``.
+        """
+        while not self.qp.wq.can_post():
+            yield from self._poll_cq_once(callback)
+        return self.qp.wq.free_slots
+
+    def read_async(self, dst_nid: int, offset: int, local_vaddr: int,
+                   length: int, callback: Optional[Callable] = None):
+        """Timed coroutine: post a non-blocking remote read.
+
+        Requires a free WQ slot (use :meth:`wait_for_slot`). Returns the
+        WQ slot index.
+        """
+        return (yield from self._post(
+            WQEntry(op=Opcode.RREAD, dst_nid=dst_nid, offset=offset,
+                    local_vaddr=local_vaddr, length=length), callback))
+
+    def write_async(self, dst_nid: int, offset: int, local_vaddr: int,
+                    length: int, callback: Optional[Callable] = None):
+        """Timed coroutine: post a non-blocking remote write."""
+        return (yield from self._post(
+            WQEntry(op=Opcode.RWRITE, dst_nid=dst_nid, offset=offset,
+                    local_vaddr=local_vaddr, length=length), callback))
+
+    def drain_cq(self, callback: Optional[Callable] = None):
+        """Timed coroutine: wait until no operations remain outstanding,
+        running ``callback`` for each completion (``rmc_drain_cq``)."""
+        while self.qp.outstanding() > 0:
+            yield from self._poll_cq_once(callback)
+
+    # -- synchronous API -------------------------------------------------------
+
+    def read_sync(self, dst_nid: int, offset: int, local_vaddr: int,
+                  length: int):
+        """Timed coroutine: remote read; returns when data is in the
+        local buffer. Raises :class:`RemoteOpError` on error replies."""
+        index = yield from self._post(
+            WQEntry(op=Opcode.RREAD, dst_nid=dst_nid, offset=offset,
+                    local_vaddr=local_vaddr, length=length), _SYNC_WAITER)
+        yield from self._wait_completion(index)
+
+    def write_sync(self, dst_nid: int, offset: int, local_vaddr: int,
+                   length: int):
+        """Timed coroutine: remote write; returns when acknowledged."""
+        index = yield from self._post(
+            WQEntry(op=Opcode.RWRITE, dst_nid=dst_nid, offset=offset,
+                    local_vaddr=local_vaddr, length=length), _SYNC_WAITER)
+        yield from self._wait_completion(index)
+
+    def fetch_add_sync(self, dst_nid: int, offset: int, local_vaddr: int,
+                       addend: int):
+        """Timed coroutine: remote fetch-and-add on a u64; returns the
+        value *before* the addition."""
+        index = yield from self._post(
+            WQEntry(op=Opcode.RFETCH_ADD, dst_nid=dst_nid, offset=offset,
+                    local_vaddr=local_vaddr, length=8, operand=addend),
+            _SYNC_WAITER)
+        yield from self._wait_completion(index)
+        return int.from_bytes(self.buffer_peek(local_vaddr, 8), "little")
+
+    def notify_sync(self, dst_nid: int, local_vaddr: int, length: int):
+        """Timed coroutine: send a remote notification (§8 extension).
+
+        The payload (up to one line at ``local_vaddr``) is delivered to
+        the destination driver's notification queue and raises a modeled
+        interrupt there — no polling at the receiver. Raises
+        :class:`RemoteOpError` (``notify_rejected``) if the destination
+        has no queue registered or it is full.
+        """
+        index = yield from self._post(
+            WQEntry(op=Opcode.RNOTIFY, dst_nid=dst_nid, offset=0,
+                    local_vaddr=local_vaddr, length=length), _SYNC_WAITER)
+        yield from self._wait_completion(index)
+
+    def compare_swap_sync(self, dst_nid: int, offset: int, local_vaddr: int,
+                          compare: int, swap: int):
+        """Timed coroutine: remote compare-and-swap on a u64; returns the
+        observed old value (swap succeeded iff it equals ``compare``)."""
+        index = yield from self._post(
+            WQEntry(op=Opcode.RCOMP_SWAP, dst_nid=dst_nid, offset=offset,
+                    local_vaddr=local_vaddr, length=8, operand=swap,
+                    compare=compare),
+            _SYNC_WAITER)
+        yield from self._wait_completion(index)
+        return int.from_bytes(self.buffer_peek(local_vaddr, 8), "little")
+
+    # -- internals -------------------------------------------------------------
+
+    def _post(self, entry: WQEntry, callback: Optional[Callable]):
+        """Charge the software issue path and place the WQ entry."""
+        if not self.qp.wq.can_post():
+            raise RuntimeError(
+                "WQ full: call wait_for_slot() before posting")
+        yield self.core.compute(self.core.config.issue_overhead_ns)
+        # The WQ slot write is a coherent store the RMC will later read.
+        slot_vaddr = self.qp.wq.slot_vaddr(self.qp.wq.next_free())
+        yield from self.core.touch(self.space, slot_vaddr, is_write=True)
+        index = self.qp.wq.post(entry)
+        self._callbacks[index] = (callback, None)
+        self.ops_issued += 1
+        return index
+
+    def _poll_cq_once(self, callback: Optional[Callable] = None):
+        """One CQ polling loop iteration (software + coherent load)."""
+        yield self.core.compute(self.core.config.poll_overhead_ns)
+        slot_vaddr = self.qp.cq.slot_vaddr(self.qp.cq.read_index)
+        yield from self.core.touch(self.space, slot_vaddr)
+        cq_entry = self.qp.cq.poll()
+        if cq_entry is None:
+            return None
+        self.qp.cq.reap()
+        self.qp.wq.release_slot(cq_entry.wq_index)
+        self.ops_completed += 1
+        if cq_entry.error is not None:
+            self.errors.append(cq_entry)
+        registered, _arg = self._callbacks.pop(cq_entry.wq_index,
+                                               (None, None))
+        if registered is _SYNC_WAITER:
+            # A synchronous operation is (or will be) spinning for this
+            # exact completion.
+            self._finished[cq_entry.wq_index] = cq_entry
+            return cq_entry
+        chosen = registered if registered is not None else callback
+        if chosen is not None and cq_entry.error is None:
+            yield self.core.compute(self.core.config.callback_overhead_ns)
+            chosen(cq_entry)
+        return cq_entry
+
+    def _wait_completion(self, wq_index: int):
+        """Spin on the CQ until ``wq_index`` completes."""
+        while wq_index not in self._finished:
+            yield from self._poll_cq_once()
+        cq_entry = self._finished.pop(wq_index)
+        if cq_entry.error is not None:
+            raise RemoteOpError(wq_index, cq_entry.error)

@@ -1,0 +1,34 @@
+"""Discrete-event simulation substrate (kernel, queues, measurement)."""
+
+from .engine import (
+    AllOf,
+    AnyOf,
+    Event,
+    Process,
+    SimulationError,
+    Simulator,
+    StopSimulation,
+    Timeout,
+    WakeSignal,
+)
+from .resources import Channel, Resource, Store
+from .stats import Counter, Histogram, LatencyStat, ThroughputMeter
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Channel",
+    "Counter",
+    "Event",
+    "Histogram",
+    "LatencyStat",
+    "Process",
+    "Resource",
+    "SimulationError",
+    "Simulator",
+    "StopSimulation",
+    "Store",
+    "ThroughputMeter",
+    "Timeout",
+    "WakeSignal",
+]

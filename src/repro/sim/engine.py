@@ -1,0 +1,417 @@
+"""Discrete-event simulation kernel.
+
+This is the substrate on which every timed component of the soNUMA model
+runs: RMC pipelines, cores, links, routers, DRAM channels, and baseline
+models are all :class:`Process` coroutines scheduled by a single
+:class:`Simulator`.
+
+The design is deliberately small and explicit (a few hundred lines rather
+than a dependency): an event heap keyed by simulated time, generator-based
+processes, and condition events. Time is measured in **nanoseconds** and
+stored as a float; all component models in this repository quote their
+parameters in ns so that Table 1 of the paper can be transcribed directly.
+
+Typical usage::
+
+    sim = Simulator()
+
+    def worker(sim):
+        yield sim.timeout(50.0)          # sleep 50 ns
+        return "done"
+
+    proc = sim.process(worker(sim))
+    sim.run()
+    assert proc.value == "done"
+
+Processes may yield:
+
+* a :class:`Timeout` (or a bare ``int``/``float`` delay, as a convenience),
+* any other :class:`Event` (including another :class:`Process`),
+* ``None`` to simply yield control at the same timestamp.
+
+A process finishes when its generator returns; the generator's return value
+becomes the process's :attr:`Event.value`. Exceptions raised inside a
+process propagate to any process waiting on it, and to :meth:`Simulator.run`
+if nobody is waiting (errors never pass silently).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "AnyOf",
+    "AllOf",
+    "Simulator",
+    "SimulationError",
+    "StopSimulation",
+    "WakeSignal",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel (e.g. double-trigger)."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to halt :meth:`Simulator.run` early."""
+
+
+class Event:
+    """A one-shot occurrence at a point in simulated time.
+
+    An event starts *pending*, is *triggered* exactly once via
+    :meth:`succeed` or :meth:`fail`, and then notifies its callbacks.
+    Processes wait on events by yielding them.
+    """
+
+    __slots__ = ("sim", "callbacks", "_triggered", "_ok", "value")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._triggered = False
+        self._ok = True
+        self.value: Any = None
+
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has already fired."""
+        return self._triggered
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event fired successfully (vs. with an exception)."""
+        return self._ok
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully, delivering ``value`` to waiters."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._triggered = True
+        self._ok = True
+        self.value = value
+        self.sim._queue_event(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception; waiters will re-raise it."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._triggered = True
+        self._ok = False
+        self.value = exception
+        self.sim._queue_event(self)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self._triggered else "pending"
+        return f"<{type(self).__name__} {state} at t={self.sim.now:.1f}>"
+
+
+class Timeout(Event):
+    """An event that fires automatically after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._triggered = True  # scheduled immediately, fires at now+delay
+        self.value = value
+        sim._schedule_at(sim.now + delay, self)
+
+
+class Initialize(Event):
+    """Internal event used to start a freshly created process."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", process: "Process"):
+        super().__init__(sim)
+        self.callbacks.append(process._resume)
+        self._triggered = True
+        sim._schedule_at(sim.now, self)
+
+
+class Process(Event):
+    """A generator-based coroutine driven by the simulator.
+
+    The process is itself an :class:`Event` that fires when the generator
+    returns (successfully) or raises (failure). Other processes can wait
+    for it by yielding it.
+    """
+
+    __slots__ = ("generator", "name", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+        if not hasattr(generator, "send"):
+            raise TypeError(f"process requires a generator, got {generator!r}")
+        super().__init__(sim)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        Initialize(sim, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the underlying generator has not yet finished."""
+        return not self._triggered
+
+    def _resume(self, trigger: Event) -> None:
+        """Advance the generator with the value (or exception) of `trigger`."""
+        self._waiting_on = None
+        sim = self.sim
+        sim._active_process = self
+        try:
+            if trigger.ok:
+                target = self.generator.send(trigger.value)
+            else:
+                target = self.generator.throw(trigger.value)
+        except StopIteration as stop:
+            sim._active_process = None
+            self._triggered = True
+            self._ok = True
+            self.value = stop.value
+            sim._queue_event(self)
+            return
+        except BaseException as exc:
+            sim._active_process = None
+            self._triggered = True
+            self._ok = False
+            self.value = exc
+            exc.__traceback__ = exc.__traceback__
+            sim._queue_event(self)
+            return
+        sim._active_process = None
+
+        # Normalize what the process yielded into an Event to wait on.
+        if target is None:
+            target = Timeout(sim, 0.0)
+        elif isinstance(target, (int, float)):
+            target = Timeout(sim, float(target))
+        elif not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded non-event {target!r}"
+            )
+
+        if target.callbacks is None:
+            # Already processed: resume immediately at the current time.
+            immediate = Event(sim)
+            immediate.callbacks.append(self._resume)
+            if target.ok:
+                immediate.succeed(target.value)
+            else:
+                immediate.fail(target.value)
+        else:
+            target.callbacks.append(self._resume)
+            self._waiting_on = target
+
+
+class _Condition(Event):
+    """Base for AnyOf / AllOf composite events."""
+
+    __slots__ = ("events", "_count")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        self._count = 0
+        if not self.events:
+            self.succeed({})
+            return
+        for event in self.events:
+            if event.callbacks is None:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def _results(self) -> dict:
+        return {
+            i: ev.value
+            for i, ev in enumerate(self.events)
+            if ev.triggered and ev.callbacks is None
+        }
+
+
+class AnyOf(_Condition):
+    """Fires as soon as any of the given events fires."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+        else:
+            self.succeed(self._results())
+
+
+class AllOf(_Condition):
+    """Fires once all of the given events have fired."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._count += 1
+        if self._count == len(self.events):
+            self.succeed({i: ev.value for i, ev in enumerate(self.events)})
+
+
+class WakeSignal:
+    """A level-triggered wake-up for polling loops.
+
+    Hardware that continuously polls a memory location (the RGP sweeping
+    its WQs) would swamp a discrete-event simulation with no-op events.
+    A :class:`WakeSignal` gives the same semantics event-efficiently: the
+    poller waits on :meth:`wait`; producers call :meth:`trigger`. A
+    trigger with no waiter is latched (level- rather than edge-
+    triggered), so a wake between two ``wait`` calls is never lost.
+    """
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self._event: Optional[Event] = None
+        self._latched = False
+
+    def wait(self) -> Event:
+        """An event that fires at the next (or a latched) trigger."""
+        if self._latched:
+            self._latched = False
+            fired = self.sim.event()
+            fired.succeed()
+            return fired
+        if self._event is None or self._event.triggered:
+            self._event = self.sim.event()
+        return self._event
+
+    def trigger(self) -> None:
+        """Wake the waiter, or latch the wake if nobody waits yet."""
+        if self._event is not None and not self._event.triggered:
+            self._event.succeed()
+        else:
+            self._latched = True
+
+
+class Simulator:
+    """The event loop: a heap of (time, tiebreak, event) triples.
+
+    All timestamps are nanoseconds. Events scheduled at equal times fire
+    in FIFO order of scheduling (the tiebreak counter guarantees a total
+    order, keeping runs deterministic).
+    """
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._heap: List = []
+        self._counter = itertools.count()
+        self._active_process: Optional[Process] = None
+        self._stopped = False
+
+    # -- scheduling ------------------------------------------------------
+
+    def _schedule_at(self, when: float, event: Event) -> None:
+        heapq.heappush(self._heap, (when, next(self._counter), event))
+
+    def _queue_event(self, event: Event) -> None:
+        """Queue an already-triggered event for callback delivery *now*."""
+        self._schedule_at(self.now, event)
+
+    # -- public factory helpers -----------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` ns from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Register a generator as a new process starting immediately."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Composite event firing when any child event fires."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Composite event firing when all child events have fired."""
+        return AllOf(self, events)
+
+    def stop(self) -> None:
+        """Request that :meth:`run` return at the end of the current step."""
+        self._stopped = True
+
+    # -- the event loop --------------------------------------------------
+
+    def _step(self) -> None:
+        when, _tiebreak, event = heapq.heappop(self._heap)
+        if when < self.now:
+            raise SimulationError("time went backwards")
+        self.now = when
+        callbacks = event.callbacks
+        event.callbacks = None  # marks the event as fully processed
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
+        elif not event.ok and not isinstance(event, Process):
+            # A failed event nobody waited for: surface it.
+            raise event.value
+        elif not event.ok and isinstance(event, Process):
+            raise event.value
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the heap drains, ``until`` is reached, or :meth:`stop`.
+
+        Returns the simulated time at which the run ended.
+        """
+        self._stopped = False
+        while self._heap and not self._stopped:
+            when = self._heap[0][0]
+            if until is not None and when > until:
+                self.now = until
+                return self.now
+            self._step()
+        if until is not None and self.now < until:
+            self.now = until
+        return self.now
+
+    def run_until_process(self, process: Process, limit: float = 1e15) -> Any:
+        """Run until ``process`` completes; return its value.
+
+        ``limit`` guards against runaway simulations (raises if exceeded).
+        """
+        while not process.triggered:
+            if not self._heap:
+                raise SimulationError(
+                    f"deadlock: no events pending but {process.name!r} "
+                    "has not completed"
+                )
+            if self._heap[0][0] > limit:
+                raise SimulationError(
+                    f"simulation exceeded time limit {limit} ns"
+                )
+            self._step()
+        # Drain same-timestamp callbacks associated with completion.
+        if not process.ok:
+            raise process.value
+        return process.value

@@ -1,0 +1,106 @@
+"""Cluster-wide telemetry: aggregate and render component statistics.
+
+Every component of the model keeps counters (cache hits, DRAM traffic,
+RMC pipeline activity, NI packets, fabric deliveries, TLB behaviour).
+This module gathers them into one structured snapshot per node — used
+by the examples for end-of-run reports and by tests to assert on
+system-level behaviour (e.g. "the server's RMC served N requests and
+its core executed nothing").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["NodeSnapshot", "ClusterSnapshot", "snapshot", "format_report"]
+
+
+@dataclass
+class NodeSnapshot:
+    """One node's counters at a point in simulated time."""
+
+    node_id: int
+    rmc_counters: Dict[str, int]
+    cache_stats: Dict[str, Dict[str, float]]
+    tlb_hit_rate: float
+    tlb_misses: int
+    maq_peak: int
+    itt_peak: int
+    ni_packets_sent: int
+    ni_packets_received: int
+    ni_bytes_sent: int
+    dram_bytes: int
+    ct_cache_hit_rate: float
+    driver_failures: int
+
+
+@dataclass
+class ClusterSnapshot:
+    """All nodes plus fabric-level statistics."""
+
+    time_ns: float
+    nodes: List[NodeSnapshot]
+    fabric_stats: Dict[str, int]
+
+    def node(self, node_id: int) -> NodeSnapshot:
+        """One node's snapshot by id."""
+        return self.nodes[node_id]
+
+    def total(self, attribute: str) -> int:
+        """Sum a NodeSnapshot numeric field across nodes."""
+        return sum(getattr(n, attribute) for n in self.nodes)
+
+
+def snapshot(cluster) -> ClusterSnapshot:
+    """Collect a :class:`ClusterSnapshot` from a live cluster."""
+    nodes = []
+    for node in cluster.nodes:
+        rmc = node.rmc
+        nodes.append(NodeSnapshot(
+            node_id=node.node_id,
+            rmc_counters=rmc.counters.as_dict(),
+            cache_stats=node.memsys.cache_stats(),
+            tlb_hit_rate=rmc.mmu.tlb.hit_rate,
+            tlb_misses=rmc.mmu.tlb.misses,
+            maq_peak=rmc.mmu.maq.peak_in_use,
+            itt_peak=rmc.itt.peak_in_flight,
+            ni_packets_sent=node.ni.packets_sent,
+            ni_packets_received=node.ni.packets_received,
+            ni_bytes_sent=node.ni.bytes_sent,
+            dram_bytes=node.memsys.dram.bytes_transferred,
+            ct_cache_hit_rate=rmc.ct_cache.hit_rate,
+            driver_failures=len(node.driver.failures),
+        ))
+    return ClusterSnapshot(time_ns=cluster.sim.now, nodes=nodes,
+                           fabric_stats=cluster.fabric.stats())
+
+
+def format_report(snap: ClusterSnapshot) -> str:
+    """Human-readable end-of-run report."""
+    lines = [
+        f"cluster telemetry @ t={snap.time_ns / 1000:.1f} us",
+        f"fabric: {snap.fabric_stats}",
+    ]
+    for node in snap.nodes:
+        lines.append(f"node {node.node_id}:")
+        lines.append(
+            f"  rmc: served={node.rmc_counters.get('requests_served', 0)} "
+            f"wq={node.rmc_counters.get('wq_requests', 0)} "
+            f"lines={node.rmc_counters.get('lines_sent', 0)} "
+            f"completions={node.rmc_counters.get('cq_completions', 0)}")
+        lines.append(
+            f"  mmu: tlb_hit={node.tlb_hit_rate:.2%} "
+            f"maq_peak={node.maq_peak} itt_peak={node.itt_peak} "
+            f"ct$_hit={node.ct_cache_hit_rate:.2%}")
+        lines.append(
+            f"  ni: tx={node.ni_packets_sent} rx={node.ni_packets_received} "
+            f"tx_bytes={node.ni_bytes_sent}")
+        lines.append(f"  dram bytes: {node.dram_bytes}")
+        errors = {k: v for k, v in node.rmc_counters.items()
+                  if k.startswith("errors_")}
+        if errors:
+            lines.append(f"  errors: {errors}")
+        if node.driver_failures:
+            lines.append(f"  fabric failures seen: {node.driver_failures}")
+    return "\n".join(lines)

@@ -1,0 +1,42 @@
+"""Virtual memory substrate: physical memory, page tables, TLBs, segments."""
+
+from .address import (
+    CACHE_LINE_SIZE,
+    PAGE_SIZE,
+    RemoteAddress,
+    line_align_down,
+    line_align_up,
+    lines_in_range,
+    page_align_down,
+    page_align_up,
+    page_number,
+    page_offset,
+)
+from .address_space import AddressSpace, ContextSegment, SegmentViolation
+from .page_table import PageFault, PageTable, PageTableEntry, PageWalker
+from .physical import FrameAllocator, OutOfMemoryError, PhysicalMemory
+from .tlb import TLB
+
+__all__ = [
+    "AddressSpace",
+    "CACHE_LINE_SIZE",
+    "ContextSegment",
+    "FrameAllocator",
+    "OutOfMemoryError",
+    "PAGE_SIZE",
+    "PageFault",
+    "PageTable",
+    "PageTableEntry",
+    "PageWalker",
+    "PhysicalMemory",
+    "RemoteAddress",
+    "SegmentViolation",
+    "TLB",
+    "line_align_down",
+    "line_align_up",
+    "lines_in_range",
+    "page_align_down",
+    "page_align_up",
+    "page_number",
+    "page_offset",
+]

@@ -1,0 +1,107 @@
+"""Per-process virtual address spaces and context segments.
+
+An :class:`AddressSpace` owns a page table and a simple region allocator.
+The OS model (``repro.node.driver``) creates one per process, backs
+allocations with physical frames, and registers a contiguous region as
+the node's **context segment** — the "range of the node's address space
+which is globally accessible by others" (paper §4.1).
+
+Bounds checking of incoming remote offsets against the registered segment
+is the RRPP's security check; out-of-range accesses yield error replies
+(paper §4.2), which this module expresses via :class:`SegmentViolation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .address import PAGE_SIZE, page_align_up
+from .page_table import PageTable
+from .physical import FrameAllocator
+
+__all__ = ["AddressSpace", "ContextSegment", "SegmentViolation"]
+
+
+class SegmentViolation(Exception):
+    """A remote offset fell outside the registered context segment."""
+
+    def __init__(self, offset: int, length: int, segment_size: int):
+        super().__init__(
+            f"remote access [{offset}, {offset + length}) outside context "
+            f"segment of size {segment_size}"
+        )
+        self.offset = offset
+        self.length = length
+        self.segment_size = segment_size
+
+
+@dataclass
+class ContextSegment:
+    """A registered, pinned, globally-accessible window of an address space.
+
+    The destination RMC computes ``local vaddr = base + offset`` for each
+    incoming request and rejects offsets beyond ``size``.
+    """
+
+    ctx_id: int
+    base_vaddr: int
+    size: int
+    writable: bool = True
+
+    def check(self, offset: int, length: int) -> None:
+        """Validate an incoming remote access; raises SegmentViolation."""
+        if offset < 0 or length <= 0 or offset + length > self.size:
+            raise SegmentViolation(offset, length, self.size)
+
+    def vaddr_of(self, offset: int) -> int:
+        """Local virtual address corresponding to a remote offset."""
+        return self.base_vaddr + offset
+
+
+class AddressSpace:
+    """A virtual address space: region allocator + page table + backing.
+
+    Allocation is a simple bump allocator over a large VA window —
+    sufficient for the evaluation workloads, which allocate at start-up
+    and never free mid-run (context segments are pinned anyway).
+    """
+
+    #: All user allocations start here (keeps 0 unmapped to catch bugs).
+    BASE_VADDR = 0x1000_0000
+
+    def __init__(self, asid: int, frames: FrameAllocator):
+        self.asid = asid
+        self.page_table = PageTable(asid)
+        self.frames = frames
+        self._next_vaddr = self.BASE_VADDR
+        self.segment: Optional[ContextSegment] = None
+
+    def allocate(self, size: int, pinned: bool = False,
+                 writable: bool = True) -> int:
+        """Allocate and back ``size`` bytes; returns the base vaddr."""
+        if size <= 0:
+            raise ValueError(f"allocation size must be positive, got {size}")
+        base = self._next_vaddr
+        span = page_align_up(size)
+        self._next_vaddr += span + PAGE_SIZE  # guard page between regions
+        for page_base in range(base, base + span, PAGE_SIZE):
+            frame = self.frames.alloc_frame()
+            self.page_table.map(page_base, frame, writable=writable,
+                                pinned=pinned)
+        return base
+
+    def register_segment(self, ctx_id: int, size: int,
+                         writable: bool = True) -> ContextSegment:
+        """Allocate, pin, and register the node's context segment."""
+        if self.segment is not None:
+            raise RuntimeError(
+                f"address space {self.asid} already has a context segment"
+            )
+        base = self.allocate(size, pinned=True, writable=writable)
+        self.segment = ContextSegment(ctx_id, base, size, writable)
+        return self.segment
+
+    def translate(self, vaddr: int) -> int:
+        """Untimed functional translation helper."""
+        return self.page_table.translate(vaddr)

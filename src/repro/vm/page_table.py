@@ -1,0 +1,171 @@
+"""Radix page tables and the hardware page walker.
+
+The RMC has "direct access to the page tables managed by the operating
+system" (paper §5.1) — no page-table replication into device memory. We
+model a 4-level radix table. The *structure* is a real radix tree (so the
+walker's per-level touch count is faithful), while the node storage is
+Python dicts rather than in-simulated-memory arrays; the walker charges
+one memory access per level for timing.
+
+Translation faults raise :class:`PageFault`; the RMC's RRPP turns
+out-of-segment accesses into error replies before ever reaching the page
+table, so a fault here indicates an unmapped-but-in-segment page, which
+the driver model treats as a bug (segments are fully backed and pinned at
+registration time).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+from .address import (
+    PAGE_SIZE,
+    PT_LEVELS,
+    page_offset,
+    split_page_indices,
+)
+
+__all__ = ["PageTable", "PageTableEntry", "PageFault", "PageWalker"]
+
+
+class PageFault(Exception):
+    """Raised when translating a virtual address with no valid mapping."""
+
+    def __init__(self, vaddr: int, asid: int):
+        super().__init__(f"page fault at vaddr={vaddr:#x} asid={asid}")
+        self.vaddr = vaddr
+        self.asid = asid
+
+
+class PageTableEntry:
+    """A leaf PTE: physical frame base plus permission/pin bits."""
+
+    __slots__ = ("frame_paddr", "writable", "pinned")
+
+    def __init__(self, frame_paddr: int, writable: bool = True,
+                 pinned: bool = False):
+        if frame_paddr % PAGE_SIZE != 0:
+            raise ValueError(f"frame {frame_paddr:#x} not page-aligned")
+        self.frame_paddr = frame_paddr
+        self.writable = writable
+        self.pinned = pinned
+
+    def __repr__(self) -> str:  # pragma: no cover
+        flags = ("w" if self.writable else "r") + ("p" if self.pinned else "")
+        return f"<PTE frame={self.frame_paddr:#x} {flags}>"
+
+
+class PageTable:
+    """A 4-level radix page table for one address space (ASID)."""
+
+    def __init__(self, asid: int):
+        self.asid = asid
+        self._root: Dict = {}
+        self.mapped_pages = 0
+
+    def map(self, vaddr: int, frame_paddr: int, writable: bool = True,
+            pinned: bool = False) -> PageTableEntry:
+        """Install a leaf mapping for the page containing ``vaddr``."""
+        if vaddr % PAGE_SIZE != 0:
+            raise ValueError(f"map target {vaddr:#x} not page-aligned")
+        node = self._root
+        indices = split_page_indices(vaddr)
+        for index in indices[:-1]:
+            node = node.setdefault(index, {})
+        leaf_index = indices[-1]
+        if leaf_index in node:
+            raise ValueError(f"page {vaddr:#x} already mapped")
+        pte = PageTableEntry(frame_paddr, writable=writable, pinned=pinned)
+        node[leaf_index] = pte
+        self.mapped_pages += 1
+        return pte
+
+    def unmap(self, vaddr: int) -> None:
+        """Remove the mapping for the page containing ``vaddr``."""
+        node = self._root
+        indices = split_page_indices(vaddr)
+        for index in indices[:-1]:
+            if index not in node:
+                raise PageFault(vaddr, self.asid)
+            node = node[index]
+        if indices[-1] not in node:
+            raise PageFault(vaddr, self.asid)
+        pte = node.pop(indices[-1])
+        if pte.pinned:
+            raise ValueError(f"cannot unmap pinned page {vaddr:#x}")
+        self.mapped_pages -= 1
+
+    def lookup(self, vaddr: int) -> Tuple[PageTableEntry, int]:
+        """Walk the radix tree; returns (pte, levels_touched).
+
+        ``levels_touched`` is the number of tree nodes visited, which the
+        timed :class:`PageWalker` converts into memory accesses.
+        """
+        node = self._root
+        levels = 0
+        indices = split_page_indices(vaddr)
+        for index in indices[:-1]:
+            levels += 1
+            if index not in node:
+                raise PageFault(vaddr, self.asid)
+            node = node[index]
+        levels += 1
+        pte = node.get(indices[-1])
+        if pte is None:
+            raise PageFault(vaddr, self.asid)
+        return pte, levels
+
+    def translate(self, vaddr: int) -> int:
+        """Virtual-to-physical translation (functional, untimed)."""
+        pte, _levels = self.lookup(vaddr)
+        return pte.frame_paddr + page_offset(vaddr)
+
+    def is_mapped(self, vaddr: int) -> bool:
+        """Whether the page containing ``vaddr`` has a valid mapping."""
+        try:
+            self.lookup(vaddr)
+            return True
+        except PageFault:
+            return False
+
+    def iter_mappings(self) -> Iterator[Tuple[int, PageTableEntry]]:
+        """Yield (vaddr, pte) for every mapped page (test/debug aid)."""
+
+        def walk(node: Dict, prefix: int, level: int):
+            from .address import PT_LEVEL_BITS, PAGE_OFFSET_BITS
+            for index, child in sorted(node.items()):
+                vpn_part = prefix | (
+                    index << ((PT_LEVELS - 1 - level) * PT_LEVEL_BITS)
+                )
+                if level == PT_LEVELS - 1:
+                    yield vpn_part << PAGE_OFFSET_BITS, child
+                else:
+                    yield from walk(child, vpn_part, level + 1)
+
+        yield from walk(self._root, 0, 0)
+
+
+class PageWalker:
+    """The RMC's hardware page walker: timed page-table walks.
+
+    On a TLB miss, the walker issues one memory access per radix level
+    through the provided ``memory_access`` coroutine factory (in the full
+    node model this is the RMC's MMU path through its L1 cache, so hot
+    page-table nodes hit in the cache exactly as the paper intends).
+    """
+
+    def __init__(self, memory_access_cost_fn):
+        """``memory_access_cost_fn() -> generator yielding sim events``
+        charges the cost of a single page-table-node access."""
+        self._access = memory_access_cost_fn
+        self.walks = 0
+        self.levels_touched = 0
+
+    def walk(self, page_table: PageTable, vaddr: int):
+        """Timed walk coroutine; returns the leaf PTE."""
+        pte, levels = page_table.lookup(vaddr)
+        self.walks += 1
+        self.levels_touched += levels
+        for _ in range(levels):
+            yield from self._access()
+        return pte

@@ -1,0 +1,108 @@
+"""Set-associative TLB with address-space-identifier (ASID) tags.
+
+The RMC's MMU "contains a TLB for fast access to recent address
+translations ... TLB entries are tagged with address space identifiers
+corresponding to the application context. TLB misses are serviced by a
+hardware page walker." (paper §4.3). Table 1 gives a 32-entry RMC TLB.
+
+The replacement policy is true LRU within a set, implemented with an
+ordered dict per set.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional
+
+from .address import page_number
+from .page_table import PageTableEntry
+
+__all__ = ["TLB"]
+
+
+class TLB:
+    """A set-associative, ASID-tagged translation lookaside buffer."""
+
+    def __init__(self, entries: int = 32, associativity: int = 4):
+        if entries <= 0 or associativity <= 0:
+            raise ValueError("entries and associativity must be positive")
+        if entries % associativity != 0:
+            raise ValueError(
+                f"entries ({entries}) must be a multiple of associativity "
+                f"({associativity})"
+            )
+        self.entries = entries
+        self.associativity = associativity
+        self.num_sets = entries // associativity
+        # set index -> OrderedDict[(asid, vpn) -> PTE], LRU first
+        self._sets: Dict[int, OrderedDict] = {
+            i: OrderedDict() for i in range(self.num_sets)
+        }
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def _set_index(self, vpn: int) -> int:
+        return vpn % self.num_sets
+
+    def lookup(self, asid: int, vaddr: int) -> Optional[PageTableEntry]:
+        """Probe the TLB; returns the PTE on hit, None on miss."""
+        vpn = page_number(vaddr)
+        tlb_set = self._sets[self._set_index(vpn)]
+        key = (asid, vpn)
+        pte = tlb_set.get(key)
+        if pte is not None:
+            tlb_set.move_to_end(key)  # mark most-recently-used
+            self.hits += 1
+            return pte
+        self.misses += 1
+        return None
+
+    def insert(self, asid: int, vaddr: int, pte: PageTableEntry) -> None:
+        """Fill after a page walk, evicting the set's LRU entry if full."""
+        vpn = page_number(vaddr)
+        tlb_set = self._sets[self._set_index(vpn)]
+        key = (asid, vpn)
+        if key in tlb_set:
+            tlb_set.move_to_end(key)
+            tlb_set[key] = pte
+            return
+        if len(tlb_set) >= self.associativity:
+            tlb_set.popitem(last=False)  # evict LRU
+        tlb_set[key] = pte
+
+    def invalidate_page(self, asid: int, vaddr: int) -> bool:
+        """Shoot down one translation; returns whether it was present."""
+        vpn = page_number(vaddr)
+        tlb_set = self._sets[self._set_index(vpn)]
+        removed = tlb_set.pop((asid, vpn), None) is not None
+        if removed:
+            self.invalidations += 1
+        return removed
+
+    def invalidate_asid(self, asid: int) -> int:
+        """Shoot down every translation of one address space."""
+        removed = 0
+        for tlb_set in self._sets.values():
+            stale = [key for key in tlb_set if key[0] == asid]
+            for key in stale:
+                del tlb_set[key]
+                removed += 1
+        self.invalidations += removed
+        return removed
+
+    def flush(self) -> None:
+        """Drop every entry (e.g. on RMC reset after a fabric failure)."""
+        for tlb_set in self._sets.values():
+            count = len(tlb_set)
+            tlb_set.clear()
+            self.invalidations += count
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets.values())
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

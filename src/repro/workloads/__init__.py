@@ -1,0 +1,39 @@
+"""Evaluation workloads: microbenchmarks and netpipe-style harnesses."""
+
+from .microbench import (
+    DEFAULT_SIZES,
+    BandwidthRow,
+    ReadLatencyRow,
+    atomic_latency,
+    local_dram_latency,
+    remote_iops,
+    remote_read_bandwidth,
+    remote_read_latency,
+)
+from .netpipe import (
+    PULL_ONLY,
+    PUSH_ONLY,
+    NetpipeRow,
+    send_recv_bandwidth,
+    send_recv_latency,
+)
+from .pagerank_sweep import SpeedupRow, pagerank_speedups, scaled_node_config
+
+__all__ = [
+    "BandwidthRow",
+    "DEFAULT_SIZES",
+    "NetpipeRow",
+    "PULL_ONLY",
+    "PUSH_ONLY",
+    "ReadLatencyRow",
+    "SpeedupRow",
+    "atomic_latency",
+    "local_dram_latency",
+    "pagerank_speedups",
+    "remote_iops",
+    "remote_read_bandwidth",
+    "remote_read_latency",
+    "scaled_node_config",
+    "send_recv_bandwidth",
+    "send_recv_latency",
+]

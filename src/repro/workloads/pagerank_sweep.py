@@ -1,0 +1,131 @@
+"""The Fig. 9 harness: PageRank speedup across node/thread counts.
+
+"Fig. 9 (left) shows the speedup over the single-threaded baseline of
+the three implementations on the simulated hardware." (§7.5)
+
+Scaling note (documented deviation): the paper runs a multi-million-
+vertex Twitter subset whose working set dwarfs every cache. Simulating
+that many timed edges is infeasible here, so the harness *scales the
+caches down with the graph* — the LLC per node shrinks so that the
+vertex working set exceeds aggregate cache capacity exactly as in the
+paper's setup, preserving the regime the experiment depends on (local
+edges cost ~DRAM, the SHM baseline is memory-bound). The SHM machine's
+aggregate LLC is provisioned to equal the soNUMA aggregate at the
+maximum node count, mirroring the paper's normalization ("no benefits
+can be attributed to larger cache capacity").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..apps.graph import Graph, zipf_graph
+from ..apps.pagerank import (
+    PageRankResult,
+    run_shm,
+    run_sonuma_bulk,
+    run_sonuma_fine,
+)
+from ..cluster.cluster import ClusterConfig
+from ..memory.cache import CacheConfig
+from ..memory.hierarchy import MemoryConfig
+from ..node.node import NodeConfig
+
+__all__ = ["SpeedupRow", "scaled_node_config", "pagerank_speedups"]
+
+
+@dataclass
+class SpeedupRow:
+    """Speedup of each variant at one parallelism level."""
+
+    parallelism: int
+    shm: float
+    bulk: float
+    fine: float
+
+
+def scaled_node_config(llc_bytes: int = 64 * 1024,
+                       l1_bytes: int = 8 * 1024,
+                       memory_bytes: int = 32 * 1024 * 1024) -> NodeConfig:
+    """A node with scaled-down caches for the scaled-down graph."""
+    base = MemoryConfig()
+    return NodeConfig(
+        memory_bytes=memory_bytes,
+        memory=MemoryConfig(
+            l1=CacheConfig(name="L1D", size_bytes=l1_bytes,
+                           associativity=2, latency_ns=base.l1.latency_ns,
+                           mshrs=base.l1.mshrs),
+            l2=CacheConfig(name="L2", size_bytes=llc_bytes,
+                           associativity=16, latency_ns=base.l2.latency_ns,
+                           mshrs=base.l2.mshrs),
+            dram=base.dram,
+        ),
+    )
+
+
+def pagerank_speedups(graph: Optional[Graph] = None,
+                      node_counts: Sequence[int] = (2, 4, 8),
+                      supersteps: int = 1,
+                      num_vertices: int = 16384,
+                      avg_degree: float = 8.0,
+                      llc_total_bytes: int = 64 * 1024,
+                      cluster_config_factory=None,
+                      seed: int = 7) -> List[SpeedupRow]:
+    """Run all three variants across ``node_counts``; speedups are
+    relative to single-threaded SHM (the paper's baseline).
+
+    ``llc_total_bytes`` is the *aggregate* last-level cache of every
+    configuration — per-node/per-thread shares divide it evenly, which
+    is the paper's normalization ("no benefits can be attributed to
+    larger cache capacity in the soNUMA comparison") applied at every
+    point of the sweep, not only at the maximum node count. In the
+    paper's setup the dataset dwarfs every cache anyway; at our scaled
+    size, equalizing aggregates keeps hit rates comparable so the
+    speedup shape is driven by communication and imbalance, as intended.
+
+    ``cluster_config_factory(n) -> ClusterConfig`` lets the Fig. 9-right
+    bench substitute the development-platform configuration.
+    """
+    graph = graph or zipf_graph(num_vertices, avg_degree=avg_degree,
+                                seed=seed)
+
+    def shm_run(threads: int) -> PageRankResult:
+        return run_shm(graph, threads, supersteps=supersteps, seed=seed,
+                       llc_per_core_bytes=max(1024,
+                                              llc_total_bytes // threads))
+
+    def sonuma_config(n: int) -> ClusterConfig:
+        per_node_llc = max(8 * 1024, llc_total_bytes // n)
+        if cluster_config_factory is not None:
+            config = cluster_config_factory(n)
+            # Scale the caches of the provided config's nodes.
+            scaled = scaled_node_config(llc_bytes=per_node_llc)
+            node = NodeConfig(memory_bytes=scaled.memory_bytes,
+                              num_cores=config.node.num_cores,
+                              memory=scaled.memory,
+                              rmc=config.node.rmc,
+                              core=config.node.core)
+            return ClusterConfig(num_nodes=config.num_nodes, node=node,
+                                 fabric=config.fabric,
+                                 topology=config.topology)
+        return ClusterConfig(num_nodes=n, node=scaled_node_config(
+            llc_bytes=per_node_llc))
+
+    baseline = shm_run(1).elapsed_ns
+    rows = []
+    for n in node_counts:
+        shm_time = shm_run(n).elapsed_ns
+        bulk_time = run_sonuma_bulk(
+            graph, n, supersteps=supersteps, seed=seed,
+            cluster_config=sonuma_config(n)).elapsed_ns
+        fine_time = run_sonuma_fine(
+            graph, n, supersteps=supersteps, seed=seed,
+            cluster_config=sonuma_config(n)).elapsed_ns
+        rows.append(SpeedupRow(
+            parallelism=n,
+            shm=baseline / shm_time,
+            bulk=baseline / bulk_time,
+            fine=baseline / fine_time,
+        ))
+    return rows

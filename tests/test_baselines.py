@@ -1,0 +1,148 @@
+"""Tests for the baseline models (TCP, RDMA) and the dev platform."""
+
+import pytest
+
+from repro.baselines import (
+    RDMAConfig,
+    RDMAModel,
+    TCPConfig,
+    TCPNetworkModel,
+    build_shm_node,
+    shm_node_config,
+)
+from repro.emulation import (
+    EMU_RMC_CONFIG,
+    dev_platform_cluster_config,
+)
+
+
+class TestTCPModel:
+    def test_small_message_latency_exceeds_40us(self):
+        model = TCPNetworkModel()
+        assert model.one_way_latency_us(64) > 40.0
+
+    def test_bandwidth_capped_under_2gbps(self):
+        model = TCPNetworkModel()
+        for size in (1024, 16384, 262144, 1 << 20):
+            assert model.streaming_bandwidth_gbps(size) < 2.0
+
+    def test_latency_monotone_in_size(self):
+        model = TCPNetworkModel()
+        sizes = [64 * (4 ** i) for i in range(8)]
+        latencies = [model.one_way_latency_ns(s) for s in sizes]
+        assert all(a <= b for a, b in zip(latencies, latencies[1:]))
+
+    def test_bandwidth_improves_with_size_then_saturates(self):
+        model = TCPNetworkModel()
+        assert model.streaming_bandwidth_gbps(64) < \
+            model.streaming_bandwidth_gbps(8192)
+
+    def test_packet_count(self):
+        model = TCPNetworkModel()
+        assert model.packets(100) == 1
+        assert model.packets(1449) == 2
+
+    def test_invalid_size_rejected(self):
+        model = TCPNetworkModel()
+        with pytest.raises(ValueError):
+            model.one_way_latency_ns(0)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TCPConfig(stack_oneway_ns=-1)
+        with pytest.raises(ValueError):
+            TCPConfig(mss_bytes=0)
+
+
+class TestRDMAModel:
+    def test_read_rtt_matches_published(self):
+        model = RDMAModel()
+        assert model.read_rtt_us() == pytest.approx(1.19, rel=0.05)
+
+    def test_fetch_add_slightly_cheaper_than_read(self):
+        model = RDMAModel()
+        assert model.fetch_add_rtt_us() == pytest.approx(1.15, rel=0.05)
+        assert model.fetch_add_rtt_ns() < model.read_rtt_ns()
+
+    def test_bandwidth_ceiling_is_pcie_not_ib(self):
+        model = RDMAModel()
+        assert model.effective_bandwidth_gbps == pytest.approx(50.0)
+        # The IB link alone could do 56.
+        assert model.config.ib_bandwidth_gbps * 8 > 50.0
+
+    def test_iops_scale(self):
+        model = RDMAModel()
+        assert model.iops_millions(cores=4, qps=4) == \
+            pytest.approx(35.0, rel=0.05)
+        assert model.iops_millions(cores=1, qps=1) == \
+            pytest.approx(35.0 / 4, rel=0.05)
+
+    def test_small_requests_are_op_limited(self):
+        model = RDMAModel()
+        assert model.bandwidth_gbps(64) < model.effective_bandwidth_gbps
+        assert model.bandwidth_gbps(64 * 1024) == \
+            model.effective_bandwidth_gbps
+
+    def test_pcie_crossing_is_first_order_term(self):
+        """The paper's argument: kill the PCIe terms and latency drops
+        to a small multiple of DRAM."""
+        base = RDMAModel()
+        no_pcie = RDMAModel(RDMAConfig(post_pcie_ns=0.0, remote_dma_ns=60.0,
+                                       completion_ns=0.0))
+        assert no_pcie.read_rtt_ns() < base.read_rtt_ns() / 2
+
+
+class TestSHMBaseline:
+    def test_llc_scales_with_cores(self):
+        config = shm_node_config(num_cores=8)
+        assert config.memory.l2.size_bytes == 8 * 4 * 1024 * 1024
+        assert config.num_cores == 8
+
+    def test_build_runs_threads(self):
+        sim, node = build_shm_node(num_cores=2)
+        log = []
+
+        def thread(core, tag):
+            yield core.compute(10)
+            log.append(tag)
+
+        for i, core in enumerate(node.cores):
+            core.run(thread(core, i))
+        sim.run()
+        assert sorted(log) == [0, 1]
+
+    def test_invalid_core_count(self):
+        with pytest.raises(ValueError):
+            shm_node_config(num_cores=0)
+
+
+class TestDevPlatform:
+    def test_emulation_config_has_software_costs(self):
+        assert EMU_RMC_CONFIG.unroll_overhead_ns > 100
+        assert EMU_RMC_CONFIG.rrpp_overhead_ns > 100
+        assert EMU_RMC_CONFIG.rcp_overhead_ns > 50
+
+    def test_cluster_config_shape(self):
+        config = dev_platform_cluster_config(4)
+        assert config.num_nodes == 4
+        assert config.node.rmc.unroll_overhead_ns > 0
+        assert config.fabric.link_latency_ns > 100  # NUMA-link class
+
+    def test_dev_platform_read_latency_about_5x_hardware(self):
+        from repro.workloads import remote_read_latency
+
+        hw = remote_read_latency(sizes=(64,), iterations=5)[0].mean_ns
+        dev = remote_read_latency(
+            sizes=(64,), iterations=5,
+            cluster_config=dev_platform_cluster_config(2))[0].mean_ns
+        assert 3.0 < dev / hw < 8.0  # paper: 5x
+        assert 1000 < dev < 2500     # paper: ~1.5 us
+
+    def test_dev_platform_unrolling_dominates_large_requests(self):
+        from repro.workloads import remote_read_latency
+
+        config = dev_platform_cluster_config(2)
+        rows = remote_read_latency(sizes=(64, 2048), iterations=4,
+                                   cluster_config=config)
+        # 32 lines of ~280ns software unroll dwarf the base latency.
+        assert rows[1].mean_ns > 3 * rows[0].mean_ns

@@ -1,0 +1,75 @@
+"""Tests for distributed BFS (the on-line graph query application)."""
+
+import pytest
+
+from repro.apps.bfs import bfs_reference, run_bfs_fine, run_bfs_push
+from repro.apps.graph import partition_random, zipf_graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return zipf_graph(200, avg_degree=5, seed=13)
+
+
+class TestReference:
+    def test_source_distance_zero(self, graph):
+        distances = bfs_reference(graph, 0)
+        assert distances[0] == 0
+
+    def test_triangle_inequality_over_edges(self, graph):
+        """Property: for every edge u->w, dist(w) <= dist(u) + 1."""
+        from repro.apps.bfs import _out_neighbors
+
+        distances = bfs_reference(graph, 0)
+        out = _out_neighbors(graph)
+        for u in range(graph.num_vertices):
+            if distances[u] < 0:
+                continue
+            for w in out[u]:
+                assert 0 <= distances[w] <= distances[u] + 1
+
+    def test_unreachable_marked(self):
+        from repro.apps.graph import Graph
+
+        # 0 -> 1, vertex 2 isolated from 0 (only 2 -> 0 edge exists).
+        graph = Graph(num_vertices=3,
+                      in_neighbors=[[2], [0], []],
+                      out_degree=[1, 0, 1])
+        distances = bfs_reference(graph, 0)
+        assert distances == [0, 1, -1]
+
+
+class TestFineGrain:
+    def test_matches_reference(self, graph):
+        reference = bfs_reference(graph, 0)
+        result = run_bfs_fine(graph, num_nodes=3, source=0)
+        assert result.distances == reference
+
+    def test_remote_reads_happen(self, graph):
+        result = run_bfs_fine(graph, num_nodes=3, source=0)
+        assert result.remote_reads > 0
+        assert result.reached > graph.num_vertices // 2
+
+    def test_single_node_needs_no_remote_reads(self, graph):
+        result = run_bfs_fine(graph, num_nodes=1, source=0)
+        assert result.remote_reads == 0
+        assert result.distances == bfs_reference(graph, 0)
+
+
+class TestPush:
+    def test_matches_reference(self, graph):
+        reference = bfs_reference(graph, 0)
+        result = run_bfs_push(graph, num_nodes=3, source=0)
+        assert result.distances == reference
+
+    def test_messages_scale_with_levels_and_peers(self, graph):
+        result = run_bfs_push(graph, num_nodes=3, source=0)
+        # One message per peer per node per level (plus the final empty
+        # round): messages = levels_run * nodes * (nodes - 1).
+        assert result.messages % (3 * 2) == 0
+        assert result.messages >= (result.levels) * 3 * 2
+
+    def test_variants_agree(self, graph):
+        fine = run_bfs_fine(graph, num_nodes=2, source=5)
+        push = run_bfs_push(graph, num_nodes=2, source=5)
+        assert fine.distances == push.distances

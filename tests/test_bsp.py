@@ -1,0 +1,81 @@
+"""Tests for the mini-Pregel BSP engine."""
+
+import pytest
+
+from repro.apps.bsp import (
+    BSPEngine,
+    MinLabelProgram,
+    PageRankProgram,
+    RECORD_BYTES,
+)
+from repro.apps.graph import pagerank_reference, zipf_graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return zipf_graph(150, avg_degree=5, seed=17)
+
+
+class TestPageRankProgram:
+    def test_matches_reference_fixed_steps(self, graph):
+        engine = BSPEngine(graph, num_nodes=3)
+        result = engine.run(PageRankProgram(), max_supersteps=3,
+                            stop_on_convergence=False)
+        reference = pagerank_reference(graph, 3)
+        assert result.supersteps_run == 3
+        assert max(abs(a - b)
+                   for a, b in zip(reference, result.values)) < 1e-12
+
+    def test_convergence_stops_early(self, graph):
+        engine = BSPEngine(graph, num_nodes=2)
+        result = engine.run(PageRankProgram(), max_supersteps=200,
+                            stop_on_convergence=True, tolerance=1e-10)
+        assert result.converged
+        assert result.supersteps_run < 200
+        # Converged ranks approximate the long-run reference.
+        reference = pagerank_reference(graph, result.supersteps_run)
+        assert max(abs(a - b)
+                   for a, b in zip(reference, result.values)) < 1e-6
+
+    def test_shuffle_is_one_read_per_peer_per_superstep(self, graph):
+        engine = BSPEngine(graph, num_nodes=3)
+        result = engine.run(PageRankProgram(), max_supersteps=2,
+                            stop_on_convergence=False)
+        assert result.remote_reads == 2 * 3 * 2  # steps x nodes x peers
+
+
+class TestMinLabelProgram:
+    def test_labels_reach_fixpoint(self, graph):
+        engine = BSPEngine(graph, num_nodes=2)
+        result = engine.run(MinLabelProgram(), max_supersteps=100,
+                            stop_on_convergence=True)
+        assert result.converged
+        labels = result.values
+        # Fixpoint property: every vertex's label is <= the labels
+        # flowing into it from its in-neighbors (one more step changes
+        # nothing).
+        for v in range(graph.num_vertices):
+            incoming = [labels[u] for u in graph.in_neighbors[v]]
+            best = min([float(v)] + incoming)
+            assert labels[v] == best
+
+    def test_single_node_matches_multi_node(self, graph):
+        single = BSPEngine(graph, num_nodes=1).run(
+            MinLabelProgram(), max_supersteps=60)
+        multi = BSPEngine(graph, num_nodes=3).run(
+            MinLabelProgram(), max_supersteps=60)
+        assert single.values == multi.values
+
+
+class TestEngineMechanics:
+    def test_record_is_one_cache_line(self):
+        assert RECORD_BYTES == 64
+
+    def test_zero_supersteps(self, graph):
+        engine = BSPEngine(graph, num_nodes=2)
+        result = engine.run(PageRankProgram(), max_supersteps=0,
+                            stop_on_convergence=False)
+        assert result.supersteps_run == 0
+        # Values are the program's initial values.
+        assert all(v == pytest.approx(1.0 / graph.num_vertices)
+                   for v in result.values)

@@ -1,0 +1,42 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_microbench_defaults(self):
+        args = build_parser().parse_args(["microbench"])
+        assert args.command == "microbench"
+        assert 64 in args.sizes
+        assert not args.dev
+
+    def test_pagerank_args(self):
+        args = build_parser().parse_args(
+            ["pagerank", "--vertices", "512", "--nodes", "2"])
+        assert args.vertices == 512
+        assert args.nodes == [2]
+
+
+class TestCommands:
+    def test_info_runs(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "L1: 32 KB" in out
+        assert "DRAM: 60.0 ns" in out
+
+    def test_microbench_runs_small(self, capsys):
+        assert main(["microbench", "--sizes", "64", "--iters", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "local DRAM read" in out
+
+    def test_kvstore_runs_small(self, capsys):
+        assert main(["kvstore", "--keys", "50", "--gets", "20",
+                     "--buckets", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "probes/GET" in out

@@ -1,0 +1,46 @@
+"""Determinism guarantees: identical runs produce identical results.
+
+The simulation kernel breaks timestamp ties FIFO and every stochastic
+input is seeded, so any experiment is exactly repeatable — the property
+that makes the EXPERIMENTS.md numbers reproducible and regressions
+bisectable.
+"""
+
+import subprocess
+import sys
+
+from repro.workloads import remote_read_latency, send_recv_latency
+
+
+class TestDeterminism:
+    def test_read_latency_is_bit_identical_across_runs(self):
+        first = remote_read_latency(sizes=(64, 1024), iterations=6)
+        second = remote_read_latency(sizes=(64, 1024), iterations=6)
+        for a, b in zip(first, second):
+            assert a.mean_ns == b.mean_ns
+            assert a.p99_ns == b.p99_ns
+
+    def test_messaging_latency_is_bit_identical(self):
+        first = send_recv_latency(sizes=(64,), threshold=256, rounds=4)
+        second = send_recv_latency(sizes=(64,), threshold=256, rounds=4)
+        assert first[0].latency_us == second[0].latency_us
+
+    def test_pagerank_is_bit_identical(self):
+        from repro.apps import run_sonuma_bulk, zipf_graph
+
+        graph = zipf_graph(96, avg_degree=4, seed=3)
+        first = run_sonuma_bulk(graph, 2)
+        second = run_sonuma_bulk(graph, 2)
+        assert first.elapsed_ns == second.elapsed_ns
+        assert first.ranks == second.ranks
+
+
+class TestRunAllScript:
+    def test_fig1_subcommand_runs(self):
+        result = subprocess.run(
+            [sys.executable, "benchmarks/run_all.py", "--quick",
+             "--only", "fig1"],
+            capture_output=True, text=True, timeout=120, cwd="/root/repo")
+        assert result.returncode == 0, result.stderr
+        assert "Fig. 1" in result.stdout
+        assert "all experiments completed" in result.stdout

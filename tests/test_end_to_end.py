@@ -1,0 +1,361 @@
+"""End-to-end integration tests: full remote operations through
+core -> WQ -> RGP -> fabric -> RRPP -> memory -> reply -> RCP -> CQ."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.runtime import RemoteOpError, RMCSession
+from repro.vm import CACHE_LINE_SIZE, PAGE_SIZE
+
+
+CTX = 1
+SEG_SIZE = 8 * PAGE_SIZE
+
+
+def make_cluster(num_nodes=2):
+    cluster = Cluster(config=ClusterConfig(num_nodes=num_nodes))
+    gctx = cluster.create_global_context(CTX, SEG_SIZE)
+    return cluster, gctx
+
+
+def session_for(cluster, gctx, node_id):
+    node = cluster.nodes[node_id]
+    return RMCSession(node.core, gctx.qp(node_id), gctx.entry(node_id))
+
+
+class TestRemoteRead:
+    def test_single_line_read_moves_correct_bytes(self):
+        cluster, gctx = make_cluster()
+        payload = bytes(range(64))
+        cluster.poke_segment(1, CTX, 128, payload)
+        session = session_for(cluster, gctx, 0)
+        lbuf = session.alloc_buffer(4096)
+
+        def app(sim):
+            yield from session.read_sync(dst_nid=1, offset=128,
+                                         local_vaddr=lbuf, length=64)
+            return session.buffer_peek(lbuf, 64)
+
+        proc = cluster.sim.process(app(cluster.sim))
+        cluster.run()
+        assert proc.value == payload
+
+    def test_read_latency_is_sub_microsecond(self):
+        cluster, gctx = make_cluster()
+        cluster.poke_segment(1, CTX, 0, bytes(64))
+        session = session_for(cluster, gctx, 0)
+        lbuf = session.alloc_buffer(4096)
+
+        def app(sim):
+            start = sim.now
+            yield from session.read_sync(1, 0, lbuf, 64)
+            return sim.now - start
+
+        proc = cluster.sim.process(app(cluster.sim))
+        cluster.run()
+        # Paper: ~300 ns for small remote reads on simulated hardware.
+        # Cold structures (first-ever op: TLB misses, CT$ miss) make a
+        # single-shot read slower; it must still be well under 1 us.
+        assert 150 < proc.value < 1000
+
+    def test_multi_line_read(self):
+        cluster, gctx = make_cluster()
+        payload = bytes((i * 7) % 256 for i in range(1024))
+        cluster.poke_segment(1, CTX, 0, payload)
+        session = session_for(cluster, gctx, 0)
+        lbuf = session.alloc_buffer(4096)
+
+        def app(sim):
+            yield from session.read_sync(1, 0, lbuf, 1024)
+            return session.buffer_peek(lbuf, 1024)
+
+        proc = cluster.sim.process(app(cluster.sim))
+        cluster.run()
+        assert proc.value == payload
+
+    def test_unaligned_read(self):
+        cluster, gctx = make_cluster()
+        payload = bytes(range(200, 230))
+        cluster.poke_segment(1, CTX, 100, payload)  # straddles line 64..128
+        session = session_for(cluster, gctx, 0)
+        lbuf = session.alloc_buffer(4096)
+
+        def app(sim):
+            yield from session.read_sync(1, 100, lbuf, 30)
+            return session.buffer_peek(lbuf, 30)
+
+        proc = cluster.sim.process(app(cluster.sim))
+        cluster.run()
+        assert proc.value == payload
+
+    def test_page_spanning_read(self):
+        cluster, gctx = make_cluster()
+        offset = PAGE_SIZE - 256
+        payload = bytes((i * 13) % 256 for i in range(512))
+        cluster.poke_segment(1, CTX, offset, payload)
+        session = session_for(cluster, gctx, 0)
+        lbuf = session.alloc_buffer(4096)
+
+        def app(sim):
+            yield from session.read_sync(1, offset, lbuf, 512)
+            return session.buffer_peek(lbuf, 512)
+
+        proc = cluster.sim.process(app(cluster.sim))
+        cluster.run()
+        assert proc.value == payload
+
+
+class TestRemoteWrite:
+    def test_single_line_write(self):
+        cluster, gctx = make_cluster()
+        session = session_for(cluster, gctx, 0)
+        lbuf = session.alloc_buffer(4096)
+        payload = bytes(reversed(range(64)))
+        session.buffer_poke(lbuf, payload)
+
+        def app(sim):
+            yield from session.write_sync(1, 256, lbuf, 64)
+
+        cluster.sim.process(app(cluster.sim))
+        cluster.run()
+        assert cluster.peek_segment(1, CTX, 256, 64) == payload
+
+    def test_multi_line_write(self):
+        cluster, gctx = make_cluster()
+        session = session_for(cluster, gctx, 0)
+        payload = bytes((3 * i) % 256 for i in range(2048))
+        lbuf = session.alloc_buffer(4096)
+        session.buffer_poke(lbuf, payload)
+
+        def app(sim):
+            yield from session.write_sync(1, 0, lbuf, 2048)
+
+        cluster.sim.process(app(cluster.sim))
+        cluster.run()
+        assert cluster.peek_segment(1, CTX, 0, 2048) == payload
+
+    def test_write_then_read_roundtrip(self):
+        cluster, gctx = make_cluster()
+        session = session_for(cluster, gctx, 0)
+        wbuf = session.alloc_buffer(4096)
+        rbuf = session.alloc_buffer(4096)
+        payload = b"soNUMA!!" * 16
+        session.buffer_poke(wbuf, payload)
+
+        def app(sim):
+            yield from session.write_sync(1, 512, wbuf, len(payload))
+            yield from session.read_sync(1, 512, rbuf, len(payload))
+            return session.buffer_peek(rbuf, len(payload))
+
+        proc = cluster.sim.process(app(cluster.sim))
+        cluster.run()
+        assert proc.value == payload
+
+
+class TestAtomics:
+    def test_fetch_add_returns_old_and_adds(self):
+        cluster, gctx = make_cluster()
+        cluster.poke_segment(1, CTX, 0, (41).to_bytes(8, "little"))
+        session = session_for(cluster, gctx, 0)
+        lbuf = session.alloc_buffer(4096)
+
+        def app(sim):
+            old = yield from session.fetch_add_sync(1, 0, lbuf, 9)
+            return old
+
+        proc = cluster.sim.process(app(cluster.sim))
+        cluster.run()
+        assert proc.value == 41
+        stored = int.from_bytes(cluster.peek_segment(1, CTX, 0, 8), "little")
+        assert stored == 50
+
+    def test_fetch_add_from_two_nodes_is_atomic(self):
+        cluster, gctx = make_cluster(num_nodes=3)
+        cluster.poke_segment(2, CTX, 0, (0).to_bytes(8, "little"))
+        sessions = [session_for(cluster, gctx, n) for n in (0, 1)]
+        bufs = [s.alloc_buffer(4096) for s in sessions]
+
+        def adder(sim, session, lbuf, count):
+            for _ in range(count):
+                yield from session.fetch_add_sync(2, 0, lbuf, 1)
+
+        for session, lbuf in zip(sessions, bufs):
+            cluster.sim.process(adder(cluster.sim, session, lbuf, 20))
+        cluster.run()
+        total = int.from_bytes(cluster.peek_segment(2, CTX, 0, 8), "little")
+        assert total == 40  # no lost updates
+
+    def test_compare_swap_success_and_failure(self):
+        cluster, gctx = make_cluster()
+        cluster.poke_segment(1, CTX, 64, (7).to_bytes(8, "little"))
+        session = session_for(cluster, gctx, 0)
+        lbuf = session.alloc_buffer(4096)
+
+        def app(sim):
+            old1 = yield from session.compare_swap_sync(1, 64, lbuf,
+                                                        compare=7, swap=100)
+            old2 = yield from session.compare_swap_sync(1, 64, lbuf,
+                                                        compare=7, swap=200)
+            return old1, old2
+
+        proc = cluster.sim.process(app(cluster.sim))
+        cluster.run()
+        old1, old2 = proc.value
+        assert old1 == 7       # swap happened
+        assert old2 == 100     # second CAS observed the new value, failed
+        stored = int.from_bytes(cluster.peek_segment(1, CTX, 64, 8), "little")
+        assert stored == 100
+
+
+class TestAsyncAPI:
+    def test_pipelined_async_reads_complete_out_of_order_safely(self):
+        cluster, gctx = make_cluster()
+        for i in range(16):
+            cluster.poke_segment(1, CTX, i * 64, bytes([i]) * 64)
+        session = session_for(cluster, gctx, 0)
+        lbuf = session.alloc_buffer(16 * 64)
+        completions = []
+
+        def app(sim):
+            for i in range(16):
+                yield from session.wait_for_slot(
+                    lambda cq: completions.append(cq.wq_index))
+                yield from session.read_async(
+                    1, i * 64, lbuf + i * 64, 64,
+                    callback=lambda cq: completions.append(cq.wq_index))
+            yield from session.drain_cq(
+                lambda cq: completions.append(cq.wq_index))
+            return session.buffer_peek(lbuf, 16 * 64)
+
+        proc = cluster.sim.process(app(cluster.sim))
+        cluster.run()
+        assert len(completions) == 16
+        for i in range(16):
+            assert proc.value[i * 64:(i + 1) * 64] == bytes([i]) * 64
+
+    def test_async_overlap_is_faster_than_sync(self):
+        cluster, gctx = make_cluster()
+        session = session_for(cluster, gctx, 0)
+        lbuf = session.alloc_buffer(64 * 64)
+        n = 32
+
+        def sync_app(sim):
+            start = sim.now
+            for i in range(n):
+                yield from session.read_sync(1, i * 64, lbuf + i * 64, 64)
+            return sim.now - start
+
+        proc = cluster.sim.process(sync_app(cluster.sim))
+        cluster.run()
+        sync_time = proc.value
+
+        cluster2, gctx2 = make_cluster()
+        session2 = session_for(cluster2, gctx2, 0)
+        lbuf2 = session2.alloc_buffer(64 * 64)
+
+        def async_app(sim):
+            start = sim.now
+            for i in range(n):
+                yield from session2.wait_for_slot()
+                yield from session2.read_async(1, i * 64, lbuf2 + i * 64, 64)
+            yield from session2.drain_cq()
+            return sim.now - start
+
+        proc2 = cluster2.sim.process(async_app(cluster2.sim))
+        cluster2.run()
+        async_time = proc2.value
+        assert async_time < sync_time / 1.5  # pipelining hides latency
+
+    def test_wq_full_without_wait_raises(self):
+        cluster, gctx = make_cluster()
+        session = session_for(cluster, gctx, 0)
+        lbuf = session.alloc_buffer(PAGE_SIZE)
+        depth = gctx.qp(0).size
+
+        def app(sim):
+            with pytest.raises(RuntimeError, match="WQ full"):
+                for i in range(depth + 1):
+                    yield from session.read_async(1, 0, lbuf, 64)
+            yield from session.drain_cq()
+
+        cluster.sim.process(app(cluster.sim))
+        cluster.run()
+
+
+class TestErrors:
+    def test_out_of_segment_read_reports_error_via_cq(self):
+        cluster, gctx = make_cluster()
+        session = session_for(cluster, gctx, 0)
+        lbuf = session.alloc_buffer(4096)
+
+        def app(sim):
+            with pytest.raises(RemoteOpError, match="segment_violation"):
+                yield from session.read_sync(1, SEG_SIZE + 64, lbuf, 64)
+            return True
+
+        proc = cluster.sim.process(app(cluster.sim))
+        cluster.run()
+        assert proc.value is True
+        # The destination RMC counted the violation.
+        assert cluster.nodes[1].rmc.counters["errors_segment_violation"] >= 1
+
+    def test_unknown_context_reports_bad_context(self):
+        # Node 1 never opened ctx 9; requests against it must fail cleanly.
+        cluster = Cluster(config=ClusterConfig(num_nodes=2))
+        cluster.nodes[0].driver.open_context(9, SEG_SIZE)
+        cluster.nodes[1].driver.open_context(CTX, SEG_SIZE)  # different ctx
+        qp = cluster.nodes[0].driver.create_qp(9)
+        session = RMCSession(cluster.nodes[0].core, qp,
+                             cluster.nodes[0].driver.contexts[9])
+        lbuf = session.alloc_buffer(4096)
+
+        def app(sim):
+            with pytest.raises(RemoteOpError, match="bad_context"):
+                yield from session.read_sync(1, 0, lbuf, 64)
+            return True
+
+        proc = cluster.sim.process(app(cluster.sim))
+        cluster.run()
+        assert proc.value is True
+
+
+class TestDriverSecurity:
+    def test_acl_denies_unlisted_context(self):
+        from repro.node import ContextPermissionError
+
+        cluster = Cluster(config=ClusterConfig(num_nodes=1))
+        cluster.nodes[0].driver.restrict_contexts([5])
+        with pytest.raises(ContextPermissionError):
+            cluster.nodes[0].driver.open_context(6, PAGE_SIZE)
+        cluster.nodes[0].driver.open_context(5, PAGE_SIZE)  # allowed
+
+    def test_failure_notification_reaches_driver(self):
+        cluster, gctx = make_cluster()
+        session = session_for(cluster, gctx, 0)
+        lbuf = session.alloc_buffer(4096)
+        cluster.fabric.fail_node(1)
+
+        def app(sim):
+            # The request is dropped; don't wait for completion.
+            yield from session.read_async(1, 0, lbuf, 64)
+            yield sim.timeout(500)
+
+        cluster.sim.process(app(cluster.sim))
+        cluster.run(until=5000)
+        assert len(cluster.nodes[0].driver.failures) == 1
+        assert cluster.nodes[0].driver.failures[0].dst_nid == 1
+
+    def test_rmc_reset_aborts_in_flight(self):
+        cluster, gctx = make_cluster()
+        session = session_for(cluster, gctx, 0)
+        lbuf = session.alloc_buffer(4096)
+        cluster.fabric.fail_node(1)
+
+        def app(sim):
+            yield from session.read_async(1, 0, lbuf, 64)
+            yield sim.timeout(1000)
+            return cluster.nodes[0].driver.reset_rmc()
+
+        proc = cluster.sim.process(app(cluster.sim))
+        cluster.run(until=5000)
+        assert proc.value == 1  # one transaction was aborted

@@ -1,0 +1,299 @@
+"""Unit + property tests for the NUMA fabric (crossbar, routed, topology)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fabric import (
+    CrossbarFabric,
+    FabricConfig,
+    RoutedFabric,
+    complete,
+    mesh2d,
+    ring,
+    torus2d,
+    torus3d,
+)
+from repro.protocol import Opcode, ReplyPacket, RequestPacket, VirtualLane
+from repro.sim import Simulator
+
+
+def make_request(dst, src, tid=0, offset=0):
+    return RequestPacket(dst_nid=dst, src_nid=src, op=Opcode.RREAD,
+                         ctx_id=1, offset=offset, tid=tid)
+
+
+def make_reply(dst, src, tid=0, payload=None):
+    return ReplyPacket(dst_nid=dst, src_nid=src, tid=tid, offset=0,
+                       payload=payload)
+
+
+class TestCrossbar:
+    def test_delivery_latency(self):
+        sim = Simulator()
+        fabric = CrossbarFabric(sim, FabricConfig(link_latency_ns=50,
+                                                  link_bandwidth_gbps=16))
+        ni0 = fabric.attach(0)
+        ni1 = fabric.attach(1)
+        arrivals = []
+
+        def sender(sim):
+            yield ni0.inject(make_request(dst=1, src=0))
+
+        def receiver(sim):
+            pkt = yield from ni1.receive(VirtualLane.REQUEST)
+            arrivals.append((sim.now, pkt))
+
+        sim.process(receiver(sim))
+        sim.process(sender(sim))
+        sim.run()
+        assert len(arrivals) == 1
+        at, pkt = arrivals[0]
+        # serialization (16B / 16B-per-ns = 1ns) + 50ns flat latency
+        assert at == pytest.approx(51.0)
+        assert pkt.dst_nid == 1
+
+    def test_request_and_reply_lanes_are_independent(self):
+        sim = Simulator()
+        fabric = CrossbarFabric(sim)
+        ni0 = fabric.attach(0)
+        ni1 = fabric.attach(1)
+        got = []
+
+        def sender(sim):
+            yield ni0.inject(make_request(dst=1, src=0, tid=7))
+            yield ni0.inject(make_reply(dst=1, src=0, tid=9))
+
+        def req_receiver(sim):
+            pkt = yield from ni1.receive(VirtualLane.REQUEST)
+            got.append(("req", pkt.tid))
+
+        def rep_receiver(sim):
+            pkt = yield from ni1.receive(VirtualLane.REPLY)
+            got.append(("rep", pkt.tid))
+
+        sim.process(req_receiver(sim))
+        sim.process(rep_receiver(sim))
+        sim.process(sender(sim))
+        sim.run()
+        assert ("req", 7) in got and ("rep", 9) in got
+
+    def test_fifo_per_lane(self):
+        sim = Simulator()
+        fabric = CrossbarFabric(sim)
+        ni0 = fabric.attach(0)
+        ni1 = fabric.attach(1)
+        order = []
+
+        def sender(sim):
+            for tid in range(10):
+                yield ni0.inject(make_request(dst=1, src=0, tid=tid))
+
+        def receiver(sim):
+            for _ in range(10):
+                pkt = yield from ni1.receive(VirtualLane.REQUEST)
+                order.append(pkt.tid)
+
+        sim.process(receiver(sim))
+        sim.process(sender(sim))
+        sim.run()
+        assert order == list(range(10))
+
+    def test_credit_backpressure_bounds_rx_occupancy(self):
+        # With k credits and a receiver that never drains, only k packets
+        # can ever occupy the destination rx buffer.
+        sim = Simulator()
+        cfg = FabricConfig(vl_credits=4)
+        fabric = CrossbarFabric(sim, cfg)
+        ni0 = fabric.attach(0)
+        ni1 = fabric.attach(1)
+
+        def sender(sim):
+            for tid in range(20):
+                yield ni0.inject(make_request(dst=1, src=0, tid=tid))
+
+        sim.process(sender(sim))
+        sim.run(until=100000)
+        assert len(ni1.rx[VirtualLane.REQUEST]) == 4
+
+    def test_serialization_shares_injection_port(self):
+        # Two full-line packets from the same node serialize one after
+        # the other: second arrival is one serialization time later.
+        sim = Simulator()
+        cfg = FabricConfig(link_latency_ns=50, link_bandwidth_gbps=16)
+        fabric = CrossbarFabric(sim, cfg)
+        ni0 = fabric.attach(0)
+        ni1 = fabric.attach(1)
+        arrivals = []
+
+        def sender(sim):
+            payload = b"\x00" * 64
+            yield ni0.inject(make_reply(dst=1, src=0, tid=0, payload=payload))
+            yield ni0.inject(make_reply(dst=1, src=0, tid=1, payload=payload))
+
+        def receiver(sim):
+            for _ in range(2):
+                yield from ni1.receive(VirtualLane.REPLY)
+                arrivals.append(sim.now)
+
+        sim.process(receiver(sim))
+        sim.process(sender(sim))
+        sim.run()
+        ser = 80 / 16  # 5 ns per 80-byte packet
+        assert arrivals[0] == pytest.approx(ser + 50)
+        assert arrivals[1] == pytest.approx(2 * ser + 50)
+
+    def test_failed_node_drops_and_notifies(self):
+        sim = Simulator()
+        fabric = CrossbarFabric(sim)
+        ni0 = fabric.attach(0)
+        fabric.attach(1)
+        failures = []
+        ni0.on_delivery_failure = lambda pkt: failures.append(pkt)
+        fabric.fail_node(1)
+
+        def sender(sim):
+            yield ni0.inject(make_request(dst=1, src=0))
+
+        sim.process(sender(sim))
+        sim.run()
+        assert len(failures) == 1
+        assert fabric.packets_dropped == 1
+
+    def test_severed_link_is_bidirectional(self):
+        sim = Simulator()
+        fabric = CrossbarFabric(sim)
+        fabric.attach(0)
+        fabric.attach(1)
+        fabric.sever_link(0, 1)
+        assert not fabric._reachable(0, 1)
+        assert not fabric._reachable(1, 0)
+        fabric.restore_link(1, 0)
+        assert fabric._reachable(0, 1)
+
+    def test_duplicate_attach_rejected(self):
+        sim = Simulator()
+        fabric = CrossbarFabric(sim)
+        fabric.attach(0)
+        with pytest.raises(ValueError):
+            fabric.attach(0)
+
+
+class TestTopology:
+    def test_crossbar_is_single_hop(self):
+        topo = complete(8)
+        assert topo.diameter() == 1
+        assert all(topo.hops(0, d) == 1 for d in range(1, 8))
+
+    def test_ring_hops(self):
+        topo = ring(8)
+        assert topo.hops(0, 4) == 4
+        assert topo.hops(0, 7) == 1  # wraparound
+
+    def test_torus2d_wraparound(self):
+        topo = torus2d(4, 4)
+        # Opposite corners are 2+2=4 hops in a mesh but 2 in a 4x4 torus
+        # (1 wrap hop per dimension): node 0=(0,0), node 15=(3,3).
+        assert topo.hops(0, 15) == 2
+
+    def test_mesh_no_wraparound(self):
+        topo = mesh2d(4, 4)
+        assert topo.hops(0, 15) == 6
+
+    def test_torus3d_size(self):
+        topo = torus3d(3, 3, 3)
+        assert topo.num_nodes == 27
+        assert all(len(topo.neighbors(n)) == 6 for n in topo.graph.nodes)
+
+    def test_route_follows_next_hops(self):
+        topo = torus2d(3, 3)
+        path = topo.route(0, 8)
+        assert path[0] == 0 and path[-1] == 8
+        assert len(path) - 1 == topo.hops(0, 8)
+
+    @given(st.integers(min_value=3, max_value=6),
+           st.integers(min_value=3, max_value=6))
+    @settings(max_examples=10, deadline=None)
+    def test_property_routes_terminate_everywhere(self, w, h):
+        topo = torus2d(w, h)
+        n = topo.num_nodes
+        for src in range(0, n, max(1, n // 5)):
+            for dst in range(0, n, max(1, n // 5)):
+                if src != dst:
+                    path = topo.route(src, dst)
+                    assert path[-1] == dst
+                    assert len(path) - 1 == topo.hops(src, dst)
+
+
+class TestRoutedFabric:
+    def _net(self, topo, cfg=None):
+        sim = Simulator()
+        fabric = RoutedFabric(sim, topo, cfg or FabricConfig(
+            link_latency_ns=10, router_delay_ns=11, link_bandwidth_gbps=16))
+        nis = {n: fabric.attach(n) for n in topo.graph.nodes}
+        return sim, fabric, nis
+
+    def test_single_hop_delivery(self):
+        sim, fabric, nis = self._net(ring(4))
+        arrivals = []
+
+        def sender(sim):
+            yield nis[0].inject(make_request(dst=1, src=0))
+
+        def receiver(sim):
+            pkt = yield from nis[1].receive(VirtualLane.REQUEST)
+            arrivals.append((sim.now, pkt.tid))
+
+        sim.process(receiver(sim))
+        sim.process(sender(sim))
+        sim.run()
+        assert len(arrivals) == 1
+
+    def test_multi_hop_latency_scales_with_distance(self):
+        topo = ring(8)
+        sim, fabric, nis = self._net(topo)
+        arrivals = {}
+
+        def sender(sim):
+            yield nis[0].inject(make_request(dst=1, src=0, tid=1))
+            yield nis[0].inject(make_request(dst=4, src=0, tid=4))
+
+        def receiver(sim, nid):
+            pkt = yield from nis[nid].receive(VirtualLane.REQUEST)
+            arrivals[pkt.tid] = sim.now
+
+        sim.process(receiver(sim, 1))
+        sim.process(receiver(sim, 4))
+        sim.process(sender(sim))
+        sim.run()
+        # 4 hops must take noticeably longer than 1 hop.
+        assert arrivals[4] > arrivals[1] + 3 * 10
+
+    def test_all_pairs_delivery_on_torus(self):
+        topo = torus2d(3, 3)
+        sim, fabric, nis = self._net(topo)
+        received = []
+
+        def sender(sim, src):
+            for dst in topo.graph.nodes:
+                if dst != src:
+                    yield nis[src].inject(make_request(dst=dst, src=src,
+                                                       tid=src * 100 + dst))
+
+        def receiver(sim, nid, expect):
+            for _ in range(expect):
+                pkt = yield from nis[nid].receive(VirtualLane.REQUEST)
+                received.append((nid, pkt.src_nid))
+
+        n = topo.num_nodes
+        for node in topo.graph.nodes:
+            sim.process(receiver(sim, node, n - 1))
+        for node in topo.graph.nodes:
+            sim.process(sender(sim, node))
+        sim.run()
+        assert len(received) == n * (n - 1)
+
+    def test_attach_unknown_node_rejected(self):
+        sim = Simulator()
+        fabric = RoutedFabric(sim, ring(4))
+        with pytest.raises(ValueError):
+            fabric.attach(99)

@@ -1,0 +1,276 @@
+"""Integration tests for the software messaging and barrier libraries."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.runtime import Barrier, Messenger, MessagingConfig, RMCSession
+from repro.vm import PAGE_SIZE
+
+CTX = 1
+SEG_SIZE = 64 * PAGE_SIZE
+
+
+def build(num_nodes=2, config=None):
+    cluster = Cluster(config=ClusterConfig(num_nodes=num_nodes))
+    gctx = cluster.create_global_context(CTX, SEG_SIZE)
+    sessions = {}
+    messengers = {}
+    for n in range(num_nodes):
+        node = cluster.nodes[n]
+        sessions[n] = RMCSession(node.core, gctx.qp(n), gctx.entry(n))
+        messengers[n] = Messenger(sessions[n], n, num_nodes, config)
+    return cluster, sessions, messengers
+
+
+class TestLayout:
+    def test_regions_do_not_overlap(self):
+        from repro.runtime import CommLayout
+
+        layout = CommLayout(SEG_SIZE, 4, MessagingConfig())
+        spans = []
+        for peer in range(4):
+            base = layout.region_base(peer)
+            spans.append((base, base + layout.config.region_bytes))
+        spans.append((layout.barrier_base, SEG_SIZE))
+        spans.sort()
+        for (_, end_a), (start_b, _) in zip(spans, spans[1:]):
+            assert end_a <= start_b
+        assert layout.app_bytes == spans[0][0]
+
+    def test_segment_too_small_rejected(self):
+        from repro.runtime import CommLayout
+
+        with pytest.raises(ValueError):
+            CommLayout(1024, 16, MessagingConfig())
+
+    def test_unaligned_segment_still_yields_aligned_slots(self):
+        """Regression: with a segment size that is not a multiple of the
+        line size, every slot/credit/ack/barrier offset must still be
+        line-aligned — an unaligned slot write would be torn into two
+        non-atomic line writes at the destination."""
+        from repro.runtime import CommLayout
+
+        layout = CommLayout(SEG_SIZE + 24 + 8 * 13, 3, MessagingConfig())
+        for peer in range(3):
+            for slot in range(layout.config.slots):
+                assert layout.slot_offset(peer, slot) % 64 == 0
+            assert layout.credit_offset(peer) % 64 == 0
+            assert layout.ack_offset(peer) % 64 == 0
+            assert layout.staging_offset(peer) % 64 == 0
+            assert layout.barrier_offset(peer) % 64 == 0
+
+    def test_staging_must_be_line_aligned(self):
+        with pytest.raises(ValueError, match="line-aligned"):
+            MessagingConfig(staging_bytes=1000)
+
+
+class TestPushMessages:
+    def test_small_message_roundtrip(self):
+        cluster, _sessions, messengers = build()
+        payload = b"hello soNUMA"
+
+        def sender(sim):
+            yield from messengers[0].send(1, payload)
+
+        def receiver(sim):
+            data = yield from messengers[1].recv(0)
+            return data
+
+        recv_proc = cluster.sim.process(receiver(cluster.sim))
+        cluster.sim.process(sender(cluster.sim))
+        cluster.run()
+        assert recv_proc.value == payload
+
+    def test_message_larger_than_one_slot_is_chunked(self):
+        cluster, _s, messengers = build()
+        payload = bytes(range(256)) * 1  # > 48B, <= default threshold 256
+
+        def sender(sim):
+            yield from messengers[0].send(1, payload)
+
+        def receiver(sim):
+            return (yield from messengers[1].recv(0))
+
+        recv_proc = cluster.sim.process(receiver(cluster.sim))
+        cluster.sim.process(sender(cluster.sim))
+        cluster.run()
+        assert recv_proc.value == payload
+
+    def test_many_messages_in_order(self):
+        cluster, _s, messengers = build()
+        messages = [bytes([i]) * (10 + i) for i in range(40)]
+
+        def sender(sim):
+            for msg in messages:
+                yield from messengers[0].send(1, msg)
+
+        def receiver(sim):
+            received = []
+            for _ in messages:
+                received.append((yield from messengers[1].recv(0)))
+            return received
+
+        recv_proc = cluster.sim.process(receiver(cluster.sim))
+        cluster.sim.process(sender(cluster.sim))
+        cluster.run()
+        assert recv_proc.value == messages
+
+    def test_credit_flow_control_bounds_sender(self):
+        # More messages than slots: sender must stall until credits return;
+        # everything still arrives intact and in order.
+        config = MessagingConfig(slots=4, threshold=256)
+        cluster, _s, messengers = build(config=config)
+        messages = [bytes([i % 251]) * 20 for i in range(30)]
+
+        def sender(sim):
+            for msg in messages:
+                yield from messengers[0].send(1, msg)
+
+        def receiver(sim):
+            out = []
+            for _ in messages:
+                out.append((yield from messengers[1].recv(0)))
+            return out
+
+        recv_proc = cluster.sim.process(receiver(cluster.sim))
+        cluster.sim.process(sender(cluster.sim))
+        cluster.run()
+        assert recv_proc.value == messages
+
+
+class TestPullMessages:
+    def test_large_message_uses_pull(self):
+        cluster, _s, messengers = build()
+        payload = bytes((i * 31) % 256 for i in range(8192))
+
+        def sender(sim):
+            yield from messengers[0].send(1, payload)
+
+        def receiver(sim):
+            return (yield from messengers[1].recv(0))
+
+        recv_proc = cluster.sim.process(receiver(cluster.sim))
+        cluster.sim.process(sender(cluster.sim))
+        cluster.run()
+        assert recv_proc.value == payload
+
+    def test_threshold_zero_forces_pull_for_everything(self):
+        config = MessagingConfig(threshold=0)
+        cluster, _s, messengers = build(config=config)
+        payload = b"tiny"
+
+        def sender(sim):
+            yield from messengers[0].send(1, payload)
+
+        def receiver(sim):
+            return (yield from messengers[1].recv(0))
+
+        recv_proc = cluster.sim.process(receiver(cluster.sim))
+        cluster.sim.process(sender(cluster.sim))
+        cluster.run()
+        assert recv_proc.value == payload
+
+    def test_pull_stream_reuses_staging(self):
+        config = MessagingConfig(threshold=64, pull_window=2,
+                                 staging_bytes=8192)
+        cluster, _s, messengers = build(config=config)
+        messages = [bytes([i]) * 2048 for i in range(10)]
+
+        def sender(sim):
+            for msg in messages:
+                yield from messengers[0].send(1, msg)
+
+        def receiver(sim):
+            out = []
+            for _ in messages:
+                out.append((yield from messengers[1].recv(0)))
+            return out
+
+        recv_proc = cluster.sim.process(receiver(cluster.sim))
+        cluster.sim.process(sender(cluster.sim))
+        cluster.run()
+        assert recv_proc.value == messages
+
+    def test_message_exceeding_staging_rejected(self):
+        config = MessagingConfig(threshold=64, staging_bytes=4096,
+                                 pull_window=4)
+        cluster, _s, messengers = build(config=config)
+
+        def sender(sim):
+            with pytest.raises(ValueError, match="staging"):
+                yield from messengers[0].send(1, bytes(2048))
+
+        cluster.sim.process(sender(cluster.sim))
+        cluster.run()
+
+
+class TestBidirectional:
+    def test_ping_pong(self):
+        cluster, _s, messengers = build()
+        rounds = 10
+
+        def ping(sim):
+            for i in range(rounds):
+                yield from messengers[0].send(1, bytes([i]) * 8)
+                reply = yield from messengers[0].recv(1)
+                assert reply == bytes([i]) * 8
+
+        def pong(sim):
+            for _ in range(rounds):
+                msg = yield from messengers[1].recv(0)
+                yield from messengers[1].send(0, msg)
+
+        p = cluster.sim.process(ping(cluster.sim))
+        cluster.sim.process(pong(cluster.sim))
+        cluster.run()
+        assert p.ok
+        assert messengers[0].messages_sent == rounds
+        assert messengers[1].messages_received == rounds
+
+
+class TestBarrier:
+    def _barriers(self, cluster, sessions, n):
+        return {i: Barrier(sessions[i], i, list(range(n)))
+                for i in range(n)}
+
+    def test_barrier_synchronizes_staggered_nodes(self):
+        n = 4
+        cluster, sessions, _m = build(num_nodes=n)
+        barriers = self._barriers(cluster, sessions, n)
+        exit_times = {}
+
+        def worker(sim, node_id):
+            yield sim.timeout(node_id * 1000)  # staggered arrivals
+            yield from barriers[node_id].wait()
+            exit_times[node_id] = sim.now
+
+        for i in range(n):
+            cluster.sim.process(worker(cluster.sim, i))
+        cluster.run()
+        # Nobody exits before the last arrival at t = 3000.
+        assert all(t >= 3000 for t in exit_times.values())
+        # Exits are tightly clustered (all within a few microseconds).
+        assert max(exit_times.values()) - min(exit_times.values()) < 5000
+
+    def test_barrier_is_reusable_across_generations(self):
+        n = 3
+        cluster, sessions, _m = build(num_nodes=n)
+        barriers = self._barriers(cluster, sessions, n)
+        log = []
+
+        def worker(sim, node_id):
+            for superstep in range(5):
+                yield sim.timeout((node_id + 1) * 97)
+                yield from barriers[node_id].wait()
+                log.append((superstep, node_id, sim.now))
+
+        for i in range(n):
+            cluster.sim.process(worker(cluster.sim, i))
+        cluster.run()
+        assert len(log) == 15
+        # All of superstep k finishes before any of superstep k+1.
+        by_step = {}
+        for step, _node, t in log:
+            by_step.setdefault(step, []).append(t)
+        for step in range(4):
+            assert max(by_step[step]) <= min(by_step[step + 1])

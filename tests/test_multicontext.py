@@ -1,0 +1,117 @@
+"""Multiple global address spaces coexisting on one fabric (§4.1/§5.1).
+
+"the context identifier (ctx_id) ... is used by all nodes participating
+in the same application to create a global address space." Different
+applications (contexts) share nodes and the fabric; the CT and the
+per-request ctx_id keep their address spaces isolated.
+"""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.runtime import RemoteOpError, RMCSession
+from repro.vm import PAGE_SIZE
+
+SEG = 16 * PAGE_SIZE
+
+
+def build_two_contexts():
+    cluster = Cluster(config=ClusterConfig(num_nodes=2))
+    ctx_a = cluster.create_global_context(1, SEG)
+    ctx_b = cluster.create_global_context(2, SEG)
+    return cluster, ctx_a, ctx_b
+
+
+class TestIsolation:
+    def test_reads_resolve_within_their_own_context(self):
+        cluster, ctx_a, ctx_b = build_two_contexts()
+        cluster.poke_segment(1, 1, 0, b"A" * 64)
+        cluster.poke_segment(1, 2, 0, b"B" * 64)
+        node0 = cluster.nodes[0]
+        session_a = RMCSession(node0.core, ctx_a.qp(0), ctx_a.entry(0))
+        session_b = RMCSession(node0.core, ctx_b.qp(0), ctx_b.entry(0))
+        buf_a = session_a.alloc_buffer(4096)
+        buf_b = session_b.alloc_buffer(4096)
+
+        def app(sim):
+            yield from session_a.read_sync(1, 0, buf_a, 64)
+            yield from session_b.read_sync(1, 0, buf_b, 64)
+            return (session_a.buffer_peek(buf_a, 1),
+                    session_b.buffer_peek(buf_b, 1))
+
+        proc = cluster.sim.process(app(cluster.sim))
+        cluster.run()
+        assert proc.value == (b"A", b"B")
+
+    def test_writes_do_not_leak_across_contexts(self):
+        cluster, ctx_a, _ctx_b = build_two_contexts()
+        node0 = cluster.nodes[0]
+        session_a = RMCSession(node0.core, ctx_a.qp(0), ctx_a.entry(0))
+        buf = session_a.alloc_buffer(4096)
+        session_a.buffer_poke(buf, b"X" * 64)
+
+        def app(sim):
+            yield from session_a.write_sync(1, 128, buf, 64)
+
+        cluster.sim.process(app(cluster.sim))
+        cluster.run()
+        assert cluster.peek_segment(1, 1, 128, 64) == b"X" * 64
+        assert cluster.peek_segment(1, 2, 128, 64) == bytes(64)
+
+    def test_contexts_have_separate_address_spaces(self):
+        cluster, ctx_a, ctx_b = build_two_contexts()
+        assert ctx_a.entry(0).asid != ctx_b.entry(0).asid
+        # Same ctx on different nodes also gets per-node address spaces.
+        assert ctx_a.entry(0).address_space is not \
+            ctx_a.entry(1).address_space
+
+    def test_bounds_checked_per_context(self):
+        # A small and a large context on the same serving node: offsets
+        # valid in the large one are violations in the small one.
+        cluster = Cluster(config=ClusterConfig(num_nodes=2))
+        small = cluster.create_global_context(1, 2 * PAGE_SIZE)
+        large = cluster.create_global_context(2, 32 * PAGE_SIZE)
+        node0 = cluster.nodes[0]
+        s_small = RMCSession(node0.core, small.qp(0), small.entry(0))
+        s_large = RMCSession(node0.core, large.qp(0), large.entry(0))
+        buf_s = s_small.alloc_buffer(4096)
+        buf_l = s_large.alloc_buffer(4096)
+        probe_offset = 10 * PAGE_SIZE
+
+        def app(sim):
+            yield from s_large.read_sync(1, probe_offset, buf_l, 64)
+            with pytest.raises(RemoteOpError, match="segment_violation"):
+                yield from s_small.read_sync(1, probe_offset, buf_s, 64)
+            return True
+
+        proc = cluster.sim.process(app(cluster.sim))
+        cluster.run()
+        assert proc.value is True
+
+    def test_rrpp_serves_interleaved_contexts(self):
+        """Concurrent traffic against two contexts on one destination:
+        the stateless RRPP dispatches each request by its ctx_id."""
+        cluster, ctx_a, ctx_b = build_two_contexts()
+        for i in range(8):
+            cluster.poke_segment(1, 1, i * 64, bytes([0xA0 + i]) * 64)
+            cluster.poke_segment(1, 2, i * 64, bytes([0xB0 + i]) * 64)
+        node0 = cluster.nodes[0]
+        results = {}
+
+        def reader(sim, gctx, tag, base_byte):
+            session = RMCSession(node0.cores[0], gctx.qp(0),
+                                 gctx.entry(0))
+            lbuf = session.alloc_buffer(4096)
+            got = []
+            for i in range(8):
+                yield from session.read_sync(1, i * 64, lbuf, 64)
+                got.append(session.buffer_peek(lbuf, 1)[0])
+            results[tag] = got
+
+        cluster.sim.process(reader(cluster.sim, ctx_a, "a", 0xA0))
+        cluster.sim.process(reader(cluster.sim, ctx_b, "b", 0xB0))
+        cluster.run()
+        assert results["a"] == [0xA0 + i for i in range(8)]
+        assert results["b"] == [0xB0 + i for i in range(8)]
+        # The CT$ at the server saw both contexts.
+        assert cluster.nodes[1].rmc.ct_cache.hits > 0

@@ -1,0 +1,170 @@
+"""Tests for the §8 remote-notification extension (RNOTIFY)."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.runtime import RemoteOpError, RMCSession
+from repro.vm import PAGE_SIZE
+
+CTX = 1
+SEG = 64 * PAGE_SIZE  # large enough for Messenger comm state too
+
+
+def build(num_nodes=2):
+    cluster = Cluster(config=ClusterConfig(num_nodes=num_nodes))
+    gctx = cluster.create_global_context(CTX, SEG)
+    sessions = {n: RMCSession(cluster.nodes[n].core, gctx.qp(n),
+                              gctx.entry(n)) for n in range(num_nodes)}
+    return cluster, sessions
+
+
+class TestNotify:
+    def test_notification_delivers_payload_without_polling(self):
+        cluster, sessions = build()
+        queue = cluster.nodes[1].driver.enable_notifications()
+        received = []
+
+        def receiver(sim):
+            # Blocks with zero polling activity until the interrupt.
+            notification = yield from queue.wait()
+            received.append((sim.now, notification))
+
+        def sender(sim):
+            yield sim.timeout(5000)  # receiver is idle this whole time
+            lbuf = sessions[0].alloc_buffer(4096)
+            sessions[0].buffer_poke(lbuf, b"wake up!")
+            yield from sessions[0].notify_sync(1, lbuf, 8)
+
+        cluster.sim.process(receiver(cluster.sim))
+        cluster.sim.process(sender(cluster.sim))
+        cluster.run()
+        assert len(received) == 1
+        at, notification = received[0]
+        assert notification.payload == b"wake up!"
+        assert notification.src_nid == 0
+        assert at > 5000  # delivered after the sender acted
+        assert queue.delivered == 1
+
+    def test_interrupt_cost_charged(self):
+        cluster, sessions = build()
+        queue = cluster.nodes[1].driver.enable_notifications(
+            interrupt_cost_ns=2000.0)
+        wake_time = []
+
+        def receiver(sim):
+            yield from queue.wait()
+            wake_time.append(sim.now)
+
+        def sender(sim):
+            lbuf = sessions[0].alloc_buffer(4096)
+            sessions[0].buffer_poke(lbuf, b"x")
+            yield from sessions[0].notify_sync(1, lbuf, 1)
+
+        cluster.sim.process(receiver(cluster.sim))
+        cluster.sim.process(sender(cluster.sim))
+        cluster.run()
+        # The wake includes the interrupt delivery cost.
+        assert wake_time[0] > 2000.0
+
+    def test_notify_without_handler_rejected(self):
+        cluster, sessions = build()
+
+        def sender(sim):
+            lbuf = sessions[0].alloc_buffer(4096)
+            with pytest.raises(RemoteOpError, match="notify_rejected"):
+                yield from sessions[0].notify_sync(1, lbuf, 8)
+            return True
+
+        proc = cluster.sim.process(sender(cluster.sim))
+        cluster.run()
+        assert proc.value is True
+        assert cluster.nodes[1].rmc.counters["notifications_rejected"] == 1
+
+    def test_full_queue_rejects_stateless(self):
+        cluster, sessions = build()
+        queue = cluster.nodes[1].driver.enable_notifications(capacity=2)
+
+        def sender(sim):
+            lbuf = sessions[0].alloc_buffer(4096)
+            sessions[0].buffer_poke(lbuf, b"n")
+            yield from sessions[0].notify_sync(1, lbuf, 1)
+            yield from sessions[0].notify_sync(1, lbuf, 1)
+            with pytest.raises(RemoteOpError, match="notify_rejected"):
+                yield from sessions[0].notify_sync(1, lbuf, 1)
+            return True
+
+        proc = cluster.sim.process(sender(cluster.sim))
+        cluster.run()
+        assert proc.value is True
+        assert queue.dropped == 1
+        assert len(queue) == 2  # the accepted two are still queued
+
+    def test_many_notifications_fifo(self):
+        cluster, sessions = build()
+        queue = cluster.nodes[1].driver.enable_notifications()
+        received = []
+
+        def receiver(sim):
+            for _ in range(5):
+                notification = yield from queue.wait()
+                received.append(notification.payload)
+
+        def sender(sim):
+            lbuf = sessions[0].alloc_buffer(4096)
+            for i in range(5):
+                sessions[0].buffer_poke(lbuf, bytes([i]))
+                yield from sessions[0].notify_sync(1, lbuf, 1)
+
+        cluster.sim.process(receiver(cluster.sim))
+        cluster.sim.process(sender(cluster.sim))
+        cluster.run()
+        assert received == [bytes([i]) for i in range(5)]
+
+    def test_oversized_notification_rejected_locally(self):
+        from repro.protocol import Opcode
+        from repro.rmc import WQEntry
+
+        with pytest.raises(ValueError, match="at most one line"):
+            WQEntry(op=Opcode.RNOTIFY, dst_nid=1, offset=0,
+                    local_vaddr=0, length=128)
+
+    def test_notification_latency_vs_polling(self):
+        """Notification wake costs the interrupt path; a polling
+        receiver reacts faster — the §8 tradeoff, quantified."""
+        # Interrupt-driven receive.
+        cluster, sessions = build()
+        queue = cluster.nodes[1].driver.enable_notifications()
+        times = {}
+
+        def receiver(sim):
+            notification = yield from queue.wait()
+            times["interrupt"] = sim.now
+
+        def sender(sim):
+            lbuf = sessions[0].alloc_buffer(4096)
+            sessions[0].buffer_poke(lbuf, b"z")
+            yield from sessions[0].notify_sync(1, lbuf, 1)
+
+        cluster.sim.process(receiver(cluster.sim))
+        cluster.sim.process(sender(cluster.sim))
+        cluster.run()
+
+        # Polling receive of a plain remote write of the same size.
+        from repro.runtime import Messenger
+
+        cluster2, sessions2 = build()
+        msgr0 = Messenger(sessions2[0], 0, 2)
+        msgr1 = Messenger(sessions2[1], 1, 2)
+
+        def poll_receiver(sim):
+            yield from msgr1.recv(0)
+            times["polling"] = sim.now
+
+        def poll_sender(sim):
+            yield from msgr0.send(1, b"z")
+
+        cluster2.sim.process(poll_receiver(cluster2.sim))
+        cluster2.sim.process(poll_sender(cluster2.sim))
+        cluster2.run()
+
+        assert times["polling"] < times["interrupt"]

@@ -1,0 +1,91 @@
+"""Unit tests for the wire-protocol packet definitions."""
+
+import pytest
+
+from repro.protocol import (
+    HEADER_BYTES,
+    MTU_BYTES,
+    Opcode,
+    ReplyPacket,
+    ReplyStatus,
+    RequestPacket,
+    VirtualLane,
+    packet_size,
+)
+from repro.vm import CACHE_LINE_SIZE
+
+
+class TestPacketSizes:
+    def test_header_only(self):
+        assert packet_size(0) == HEADER_BYTES
+
+    def test_full_line(self):
+        assert packet_size(CACHE_LINE_SIZE) == MTU_BYTES
+
+    def test_payload_exceeding_mtu_rejected(self):
+        with pytest.raises(ValueError):
+            packet_size(CACHE_LINE_SIZE + 1)
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ValueError):
+            packet_size(-1)
+
+
+class TestRequestPacket:
+    def test_read_request_is_header_only(self):
+        req = RequestPacket(dst_nid=1, src_nid=0, op=Opcode.RREAD,
+                            ctx_id=1, offset=0, tid=0)
+        assert req.size_bytes == HEADER_BYTES
+        assert req.vl is VirtualLane.REQUEST
+
+    def test_write_request_carries_payload(self):
+        req = RequestPacket(dst_nid=1, src_nid=0, op=Opcode.RWRITE,
+                            ctx_id=1, offset=0, tid=0,
+                            length=64, payload=b"\x00" * 64)
+        assert req.size_bytes == MTU_BYTES
+
+    def test_write_payload_length_must_match(self):
+        with pytest.raises(ValueError):
+            RequestPacket(dst_nid=1, src_nid=0, op=Opcode.RWRITE,
+                          ctx_id=1, offset=0, tid=0,
+                          length=64, payload=b"\x00" * 32)
+
+    def test_write_requires_payload(self):
+        with pytest.raises(ValueError):
+            RequestPacket(dst_nid=1, src_nid=0, op=Opcode.RWRITE,
+                          ctx_id=1, offset=0, tid=0)
+
+    def test_length_bounded_by_cache_line(self):
+        with pytest.raises(ValueError):
+            RequestPacket(dst_nid=1, src_nid=0, op=Opcode.RREAD,
+                          ctx_id=1, offset=0, tid=0, length=128)
+
+    def test_fetch_add_requires_operand(self):
+        with pytest.raises(ValueError):
+            RequestPacket(dst_nid=1, src_nid=0, op=Opcode.RFETCH_ADD,
+                          ctx_id=1, offset=0, tid=0, length=8)
+        ok = RequestPacket(dst_nid=1, src_nid=0, op=Opcode.RFETCH_ADD,
+                           ctx_id=1, offset=0, tid=0, length=8, operand=5)
+        assert ok.operand == 5
+
+    def test_cas_requires_compare_and_swap(self):
+        with pytest.raises(ValueError):
+            RequestPacket(dst_nid=1, src_nid=0, op=Opcode.RCOMP_SWAP,
+                          ctx_id=1, offset=0, tid=0, length=8, operand=1)
+
+
+class TestReplyPacket:
+    def test_reply_lane_and_status(self):
+        rep = ReplyPacket(dst_nid=0, src_nid=1, tid=3, offset=0)
+        assert rep.vl is VirtualLane.REPLY
+        assert rep.status is ReplyStatus.OK
+
+    def test_read_reply_carries_line(self):
+        rep = ReplyPacket(dst_nid=0, src_nid=1, tid=3, offset=0,
+                          payload=b"\x01" * 64)
+        assert rep.size_bytes == MTU_BYTES
+
+    def test_error_reply_is_header_only(self):
+        rep = ReplyPacket(dst_nid=0, src_nid=1, tid=3, offset=0,
+                          status=ReplyStatus.SEGMENT_VIOLATION)
+        assert rep.size_bytes == HEADER_BYTES

@@ -1,0 +1,116 @@
+"""Regression tests for access-library completion bookkeeping."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.runtime import Barrier, RMCSession
+from repro.vm import PAGE_SIZE
+
+CTX = 1
+SEG = 64 * PAGE_SIZE
+
+
+def build(num_nodes=2, qp_size=4):
+    cluster = Cluster(config=ClusterConfig(num_nodes=num_nodes))
+    gctx = cluster.create_global_context(CTX, SEG, qp_size=qp_size)
+    sessions = {n: RMCSession(cluster.nodes[n].core, gctx.qp(n),
+                              gctx.entry(n)) for n in range(num_nodes)}
+    return cluster, sessions
+
+
+class TestStaleCompletions:
+    def test_fire_and_forget_does_not_satisfy_later_sync_wait(self):
+        """Regression: fire-and-forget async completions must never be
+        stored where a later synchronous wait (with a recycled WQ index)
+        would consume them and return before its own data arrived.
+
+        A tiny QP forces rapid index reuse; the sync read after the
+        async burst must observe the freshly written remote data.
+        """
+        cluster, sessions = build(qp_size=2)
+        session = sessions[0]
+        lbuf = session.alloc_buffer(8192)
+        session.buffer_poke(lbuf, b"\xAA" * 64)
+
+        def app(sim):
+            # Fire-and-forget writes with no callbacks, fully drained.
+            for i in range(6):
+                yield from session.wait_for_slot()
+                yield from session.write_async(1, i * 64, lbuf, 64)
+            yield from session.drain_cq()
+            # Now place fresh data remotely and read it back
+            # synchronously, recycling the same WQ indexes.
+            cluster.poke_segment(1, CTX, 4096, b"fresh!" + bytes(58))
+            yield from session.read_sync(1, 4096, lbuf + 4096, 64)
+            return session.buffer_peek(lbuf + 4096, 6)
+
+        proc = cluster.sim.process(app(cluster.sim))
+        cluster.run()
+        assert proc.value == b"fresh!"
+
+    def test_barrier_then_sync_reads_return_current_data(self):
+        """Regression for the BFS corruption: barrier broadcasts (async
+        writes without callbacks) interleaved with sync reads on the
+        same session must not poison the reads."""
+        cluster, sessions = build(num_nodes=3, qp_size=4)
+        barriers = {n: Barrier(sessions[n], n, [0, 1, 2])
+                    for n in range(3)}
+        observed = []
+
+        def worker(sim, node_id):
+            session = sessions[node_id]
+            lbuf = session.alloc_buffer(4096)
+            peer = (node_id + 1) % 3
+            for round_number in range(5):
+                # Publish round-stamped data in my segment.
+                stamp = bytes([round_number, node_id]) * 32
+                cluster.poke_segment(node_id, CTX, 0, stamp)
+                yield from barriers[node_id].wait()
+                # Read the peer's stamp; it must be this round's.
+                yield from session.read_sync(peer, 0, lbuf, 64)
+                got = session.buffer_peek(lbuf, 2)
+                observed.append((round_number, peer, got))
+                yield from barriers[node_id].wait()
+
+        for n in range(3):
+            cluster.sim.process(worker(cluster.sim, n))
+        cluster.run()
+        assert len(observed) == 15
+        for round_number, peer, got in observed:
+            assert got == bytes([round_number, peer]), \
+                f"round {round_number} read stale data {got!r}"
+
+    def test_mixed_async_callbacks_and_sync_ops(self):
+        """Async ops with callbacks and sync ops interleaved on one
+        session: each completion goes to exactly its own consumer."""
+        cluster, sessions = build(qp_size=4)
+        session = sessions[0]
+        for i in range(8):
+            cluster.poke_segment(1, CTX, i * 64, bytes([i]) * 64)
+        lbuf = session.alloc_buffer(8192)
+        callback_hits = []
+
+        def app(sim):
+            sync_results = []
+            for i in range(8):
+                if i % 2 == 0:
+                    yield from session.wait_for_slot()
+                    yield from session.read_async(
+                        1, i * 64, lbuf + i * 64, 64,
+                        callback=lambda cq: callback_hits.append(
+                            cq.wq_index))
+                else:
+                    yield from session.read_sync(1, i * 64,
+                                                 lbuf + i * 64, 64)
+                    sync_results.append(
+                        session.buffer_peek(lbuf + i * 64, 1)[0])
+            yield from session.drain_cq()
+            return sync_results
+
+        proc = cluster.sim.process(app(cluster.sim))
+        cluster.run()
+        assert proc.value == [1, 3, 5, 7]
+        assert len(callback_hits) == 4
+        data = session.buffer_peek(lbuf, 8 * 64)
+        for i in range(8):
+            assert data[i * 64] == i

@@ -1,0 +1,344 @@
+"""Unit + property tests for RMC internals: WQ/CQ, ITT, CT/CT$, MMU."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.protocol import Opcode
+from repro.rmc import (
+    CompletionQueue,
+    ContextCache,
+    ContextEntry,
+    ContextTable,
+    CQEntry,
+    InflightTransactionTable,
+    ITTFullError,
+    QueuePair,
+    WorkQueue,
+    WQEntry,
+)
+from repro.vm import PAGE_SIZE, AddressSpace, FrameAllocator, PhysicalMemory
+
+
+def make_wq_entry(length=64, op=Opcode.RREAD):
+    return WQEntry(op=op, dst_nid=1, offset=0, local_vaddr=0x1000,
+                   length=length)
+
+
+def make_qp(size=8):
+    return QueuePair(qp_id=1, ctx_id=1, asid=1,
+                     wq=WorkQueue(size, 0),
+                     cq=CompletionQueue(size, size * 64))
+
+
+class TestWorkQueue:
+    def test_post_consume_cycle(self):
+        wq = WorkQueue(4, 0)
+        index = wq.post(make_wq_entry())
+        assert wq.poll() == index
+        entry = wq.consume(index)
+        assert entry.op is Opcode.RREAD
+        assert wq.poll() is None
+
+    def test_slot_not_reusable_until_released(self):
+        wq = WorkQueue(2, 0)
+        a = wq.post(make_wq_entry())
+        b = wq.post(make_wq_entry())
+        wq.consume(wq.poll())
+        wq.consume(wq.poll())
+        # Both consumed by the RMC but neither completion reaped yet.
+        assert not wq.can_post()
+        wq.release_slot(a)
+        assert wq.can_post()
+        c = wq.post(make_wq_entry())
+        assert c == a  # the freed slot is reused
+        assert c != b
+
+    def test_out_of_order_release_keeps_indices_unique(self):
+        # The regression behind the fine-grain PageRank bug: completions
+        # arriving out of order must never let two outstanding requests
+        # share a WQ index.
+        wq = WorkQueue(4, 0)
+        indices = [wq.post(make_wq_entry()) for _ in range(4)]
+        for i in indices:
+            wq.consume(wq.poll())
+        wq.release_slot(indices[2])  # completion for slot 2 arrives first
+        fresh = wq.post(make_wq_entry())
+        assert fresh == indices[2]
+        # Slots 0,1,3 are still outstanding; the fresh one is unique.
+        assert fresh not in (indices[0], indices[1], indices[3]) or \
+            fresh == indices[2]
+
+    def test_consume_order_is_post_order(self):
+        wq = WorkQueue(4, 0)
+        first = wq.post(make_wq_entry())
+        second = wq.post(make_wq_entry())
+        assert wq.poll() == first
+        wq.consume(first)
+        assert wq.poll() == second
+
+    def test_consume_out_of_order_rejected(self):
+        wq = WorkQueue(4, 0)
+        wq.post(make_wq_entry())
+        second = wq.post(make_wq_entry())
+        with pytest.raises(RuntimeError, match="out of order"):
+            wq.consume(second)
+
+    def test_full_queue_rejects_post(self):
+        wq = WorkQueue(2, 0)
+        wq.post(make_wq_entry())
+        wq.post(make_wq_entry())
+        with pytest.raises(RuntimeError, match="full"):
+            wq.post(make_wq_entry())
+        with pytest.raises(RuntimeError, match="full"):
+            wq.next_free()
+
+    def test_double_release_rejected(self):
+        wq = WorkQueue(2, 0)
+        index = wq.post(make_wq_entry())
+        wq.consume(index)
+        wq.release_slot(index)
+        with pytest.raises(RuntimeError, match="already free"):
+            wq.release_slot(index)
+
+    def test_on_post_hook_fires(self):
+        wq = WorkQueue(2, 0)
+        fired = []
+        wq.on_post = lambda: fired.append(True)
+        wq.post(make_wq_entry())
+        assert fired == [True]
+
+    def test_slot_vaddr_layout(self):
+        wq = WorkQueue(4, 0x2000)
+        assert wq.slot_vaddr(0) == 0x2000
+        assert wq.slot_vaddr(3) == 0x2000 + 3 * 64
+        with pytest.raises(IndexError):
+            wq.slot_vaddr(4)
+
+    @given(st.lists(st.sampled_from(["post", "consume", "release"]),
+                    min_size=1, max_size=200))
+    @settings(max_examples=50)
+    def test_property_outstanding_indices_always_unique(self, ops):
+        """Under any legal op sequence, outstanding indices are unique
+        and bounded by the queue size."""
+        wq = WorkQueue(4, 0)
+        consumed = []   # consumed but not yet released
+        posted = []     # posted but not yet consumed
+        for op in ops:
+            if op == "post" and wq.can_post():
+                posted.append(wq.post(make_wq_entry()))
+            elif op == "consume" and wq.poll() is not None:
+                index = wq.poll()
+                wq.consume(index)
+                posted.remove(index)
+                consumed.append(index)
+            elif op == "release" and consumed:
+                wq.release_slot(consumed.pop(0))
+            outstanding = posted + consumed
+            assert len(set(outstanding)) == len(outstanding)
+            assert len(outstanding) + wq.free_slots == wq.size
+
+
+class TestCompletionQueue:
+    def test_push_poll_reap(self):
+        cq = CompletionQueue(4, 0)
+        cq.push(CQEntry(wq_index=2))
+        entry = cq.poll()
+        assert entry.wq_index == 2
+        assert cq.reap().wq_index == 2
+        assert cq.poll() is None
+
+    def test_fifo_order(self):
+        cq = CompletionQueue(4, 0)
+        for i in range(4):
+            cq.push(CQEntry(wq_index=i))
+        assert [cq.reap().wq_index for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_overflow_detected(self):
+        cq = CompletionQueue(2, 0)
+        cq.push(CQEntry(wq_index=0))
+        cq.push(CQEntry(wq_index=1))
+        with pytest.raises(RuntimeError, match="overflow"):
+            cq.push(CQEntry(wq_index=0))
+
+    def test_reap_empty_rejected(self):
+        cq = CompletionQueue(2, 0)
+        with pytest.raises(RuntimeError, match="empty"):
+            cq.reap()
+
+    def test_error_entry_carries_reason(self):
+        cq = CompletionQueue(2, 0)
+        cq.push(CQEntry(wq_index=1, error="segment_violation"))
+        assert cq.reap().error == "segment_violation"
+
+
+class TestWQEntryValidation:
+    def test_length_positive(self):
+        with pytest.raises(ValueError):
+            make_wq_entry(length=0)
+
+    def test_atomics_are_8_bytes(self):
+        with pytest.raises(ValueError):
+            WQEntry(op=Opcode.RFETCH_ADD, dst_nid=0, offset=0,
+                    local_vaddr=0, length=64, operand=1)
+        ok = WQEntry(op=Opcode.RFETCH_ADD, dst_nid=0, offset=0,
+                     local_vaddr=0, length=8, operand=1)
+        assert ok.length == 8
+
+
+class TestITT:
+    def _alloc(self, itt, lines=1):
+        return itt.allocate(qp=make_qp(), wq_index=0, op=Opcode.RREAD,
+                            base_offset=0, local_vaddr=0x1000,
+                            total_lines=lines)
+
+    def test_tid_allocation_and_retire(self):
+        itt = InflightTransactionTable(capacity=4)
+        entry = self._alloc(itt)
+        assert itt.in_flight == 1
+        itt.complete_line(entry.tid)
+        assert entry.done
+        itt.retire(entry.tid)
+        assert itt.in_flight == 0
+
+    def test_capacity_exhaustion(self):
+        itt = InflightTransactionTable(capacity=2)
+        self._alloc(itt)
+        self._alloc(itt)
+        with pytest.raises(ITTFullError):
+            self._alloc(itt)
+
+    def test_tids_unique_while_in_flight(self):
+        itt = InflightTransactionTable(capacity=8)
+        tids = {self._alloc(itt).tid for _ in range(8)}
+        assert len(tids) == 8
+
+    def test_multi_line_progress(self):
+        itt = InflightTransactionTable()
+        entry = self._alloc(itt, lines=3)
+        itt.complete_line(entry.tid)
+        itt.complete_line(entry.tid)
+        assert not entry.done
+        itt.complete_line(entry.tid)
+        assert entry.done
+
+    def test_complete_beyond_total_rejected(self):
+        itt = InflightTransactionTable()
+        entry = self._alloc(itt, lines=1)
+        itt.complete_line(entry.tid)
+        with pytest.raises(RuntimeError, match="already fully"):
+            itt.complete_line(entry.tid)
+
+    def test_retire_unfinished_rejected(self):
+        itt = InflightTransactionTable()
+        entry = self._alloc(itt, lines=2)
+        itt.complete_line(entry.tid)
+        with pytest.raises(RuntimeError, match="retire"):
+            itt.retire(entry.tid)
+
+    def test_error_propagates_to_entry(self):
+        itt = InflightTransactionTable()
+        entry = self._alloc(itt, lines=2)
+        itt.complete_line(entry.tid, error="segment_violation")
+        itt.complete_line(entry.tid)
+        assert entry.error == "segment_violation"
+
+    def test_line_local_vaddr_mapping(self):
+        itt = InflightTransactionTable()
+        entry = itt.allocate(qp=make_qp(), wq_index=0, op=Opcode.RREAD,
+                             base_offset=256, local_vaddr=0x8000,
+                             total_lines=4)
+        # A reply for remote offset 384 lands 128 bytes into the buffer.
+        assert entry.line_local_vaddr(384) == 0x8000 + 128
+
+    def test_abort_all_frees_everything(self):
+        itt = InflightTransactionTable(capacity=4)
+        for _ in range(3):
+            self._alloc(itt)
+        assert itt.abort_all() == 3
+        assert itt.in_flight == 0
+        # All tids are usable again.
+        for _ in range(4):
+            self._alloc(itt)
+
+    @given(st.integers(min_value=1, max_value=64))
+    @settings(max_examples=20)
+    def test_property_allocate_retire_conserves_capacity(self, n):
+        itt = InflightTransactionTable(capacity=64)
+        entries = [self._alloc(itt) for _ in range(n)]
+        for entry in entries:
+            itt.complete_line(entry.tid)
+            itt.retire(entry.tid)
+        assert itt.in_flight == 0
+        assert len(itt._free_tids) == 64
+
+
+def make_context_entry(ctx_id=1):
+    mem = PhysicalMemory(16 * PAGE_SIZE)
+    space = AddressSpace(asid=ctx_id, frames=FrameAllocator(mem))
+    segment = space.register_segment(ctx_id, 4 * PAGE_SIZE)
+    return ContextEntry(ctx_id=ctx_id, address_space=space, segment=segment)
+
+
+class TestContextTable:
+    def test_install_lookup_remove(self):
+        ct = ContextTable()
+        entry = make_context_entry(5)
+        ct.install(entry)
+        assert ct.lookup(5) is entry
+        assert 5 in ct
+        ct.remove(5)
+        assert ct.lookup(5) is None
+
+    def test_duplicate_install_rejected(self):
+        ct = ContextTable()
+        ct.install(make_context_entry(1))
+        with pytest.raises(ValueError):
+            ct.install(make_context_entry(1))
+
+    def test_qp_registration_checks_ctx(self):
+        entry = make_context_entry(1)
+        qp = make_qp()
+        entry.register_qp(qp)
+        assert entry.qps == [qp]
+        bad_qp = QueuePair(qp_id=2, ctx_id=9, asid=1,
+                           wq=WorkQueue(2, 0), cq=CompletionQueue(2, 128))
+        with pytest.raises(ValueError):
+            entry.register_qp(bad_qp)
+
+    def test_all_qps_spans_contexts(self):
+        ct = ContextTable()
+        a = make_context_entry(1)
+        b = make_context_entry(2)
+        ct.install(a)
+        ct.install(b)
+        a.register_qp(make_qp())
+        assert len(ct.all_qps()) == 1
+
+
+class TestContextCache:
+    def test_miss_then_hit(self):
+        cache = ContextCache(capacity=2)
+        entry = make_context_entry(1)
+        assert cache.lookup(1) is None
+        cache.insert(entry)
+        assert cache.lookup(1) is entry
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_lru_eviction(self):
+        cache = ContextCache(capacity=2)
+        e1, e2, e3 = (make_context_entry(i) for i in (1, 2, 3))
+        cache.insert(e1)
+        cache.insert(e2)
+        cache.lookup(1)          # 1 becomes MRU
+        cache.insert(e3)         # evicts 2
+        assert cache.lookup(2) is None
+        assert cache.lookup(1) is e1
+
+    def test_invalidate_and_flush(self):
+        cache = ContextCache()
+        cache.insert(make_context_entry(1))
+        cache.invalidate(1)
+        assert cache.lookup(1) is None
+        cache.insert(make_context_entry(2))
+        cache.flush()
+        assert cache.lookup(2) is None

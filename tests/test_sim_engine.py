@@ -1,0 +1,208 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import AnyOf, Simulator, SimulationError
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(10)
+        yield sim.timeout(5.5)
+        return sim.now
+
+    p = sim.process(proc(sim))
+    sim.run()
+    assert p.value == pytest.approx(15.5)
+    assert sim.now == pytest.approx(15.5)
+
+
+def test_bare_number_yield_is_a_timeout():
+    sim = Simulator()
+
+    def proc(sim):
+        yield 42
+        return sim.now
+
+    p = sim.process(proc(sim))
+    sim.run()
+    assert p.value == pytest.approx(42.0)
+
+
+def test_process_return_value_propagates_to_waiter():
+    sim = Simulator()
+
+    def child(sim):
+        yield sim.timeout(3)
+        return "payload"
+
+    def parent(sim):
+        result = yield sim.process(child(sim))
+        return result
+
+    p = sim.process(parent(sim))
+    sim.run()
+    assert p.value == "payload"
+
+
+def test_waiting_on_already_completed_process():
+    sim = Simulator()
+
+    def child(sim):
+        yield sim.timeout(1)
+        return 7
+
+    def parent(sim, child_proc):
+        yield sim.timeout(10)  # child completes long before we wait
+        value = yield child_proc
+        return value
+
+    child_proc = sim.process(child(sim))
+    p = sim.process(parent(sim, child_proc))
+    sim.run()
+    assert p.value == 7
+    assert sim.now == pytest.approx(10.0)
+
+
+def test_exception_propagates_to_waiter():
+    sim = Simulator()
+
+    def child(sim):
+        yield sim.timeout(1)
+        raise ValueError("boom")
+
+    def parent(sim):
+        try:
+            yield sim.process(child(sim))
+        except ValueError as exc:
+            return f"caught {exc}"
+
+    p = sim.process(parent(sim))
+    sim.run()
+    assert p.value == "caught boom"
+
+
+def test_unhandled_process_exception_surfaces_from_run():
+    sim = Simulator()
+
+    def child(sim):
+        yield sim.timeout(1)
+        raise RuntimeError("unhandled")
+
+    sim.process(child(sim))
+    with pytest.raises(RuntimeError, match="unhandled"):
+        sim.run()
+
+
+def test_events_fire_in_fifo_order_at_equal_times():
+    sim = Simulator()
+    order = []
+
+    def proc(sim, tag):
+        yield sim.timeout(5)
+        order.append(tag)
+
+    for tag in range(4):
+        sim.process(proc(sim, tag))
+    sim.run()
+    assert order == [0, 1, 2, 3]
+
+
+def test_run_until_limits_time():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(100)
+
+    sim.process(proc(sim))
+    sim.run(until=50)
+    assert sim.now == pytest.approx(50.0)
+    sim.run()
+    assert sim.now == pytest.approx(100.0)
+
+
+def test_manual_event_succeed_wakes_waiter():
+    sim = Simulator()
+    gate = sim.event()
+    log = []
+
+    def waiter(sim):
+        value = yield gate
+        log.append((sim.now, value))
+
+    def opener(sim):
+        yield sim.timeout(20)
+        gate.succeed("open")
+
+    sim.process(waiter(sim))
+    sim.process(opener(sim))
+    sim.run()
+    assert log == [(20.0, "open")]
+
+
+def test_event_cannot_trigger_twice():
+    sim = Simulator()
+    event = sim.event()
+    event.succeed(1)
+    with pytest.raises(SimulationError):
+        event.succeed(2)
+
+
+def test_any_of_fires_on_first():
+    sim = Simulator()
+
+    def proc(sim):
+        first = yield AnyOf(sim, [sim.timeout(5, "fast"), sim.timeout(50, "slow")])
+        return first
+
+    p = sim.process(proc(sim))
+    sim.run()
+    assert "fast" in p.value.values()
+    # The slow timeout still exists but the process resumed at t=5.
+
+
+def test_all_of_waits_for_everything():
+    sim = Simulator()
+
+    def proc(sim):
+        results = yield sim.all_of([sim.timeout(5, "a"), sim.timeout(9, "b")])
+        return sim.now, results
+
+    p = sim.process(proc(sim))
+    sim.run()
+    at, results = p.value
+    assert at == pytest.approx(9.0)
+    assert set(results.values()) == {"a", "b"}
+
+
+def test_run_until_process_detects_deadlock():
+    sim = Simulator()
+
+    def stuck(sim):
+        yield sim.event()  # never triggered
+
+    p = sim.process(stuck(sim))
+    with pytest.raises(SimulationError, match="deadlock"):
+        sim.run_until_process(p)
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-1)
+
+
+def test_stop_halts_run():
+    sim = Simulator()
+
+    def proc(sim):
+        for _ in range(100):
+            yield sim.timeout(1)
+            if sim.now >= 5:
+                sim.stop()
+
+    sim.process(proc(sim))
+    sim.run()
+    assert sim.now == pytest.approx(5.0)

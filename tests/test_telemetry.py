@@ -1,0 +1,75 @@
+"""Tests for cluster telemetry aggregation."""
+
+from repro import telemetry
+from repro.cluster import Cluster, ClusterConfig
+from repro.runtime import RMCSession
+from repro.vm import PAGE_SIZE
+
+CTX = 1
+
+
+def run_some_traffic():
+    cluster = Cluster(config=ClusterConfig(num_nodes=2))
+    gctx = cluster.create_global_context(CTX, 16 * PAGE_SIZE)
+    session = RMCSession(cluster.nodes[0].core, gctx.qp(0), gctx.entry(0))
+    lbuf = session.alloc_buffer(4096)
+
+    def app(sim):
+        for i in range(5):
+            yield from session.read_sync(1, i * 64, lbuf, 64)
+
+    cluster.sim.process(app(cluster.sim))
+    cluster.run()
+    return cluster
+
+
+class TestSnapshot:
+    def test_snapshot_counts_traffic(self):
+        cluster = run_some_traffic()
+        snap = telemetry.snapshot(cluster)
+        assert snap.time_ns > 0
+        assert len(snap.nodes) == 2
+        # Node 0 issued; node 1 served.
+        assert snap.node(0).rmc_counters["wq_requests"] == 5
+        assert snap.node(0).rmc_counters["cq_completions"] == 5
+        assert snap.node(1).rmc_counters["requests_served"] == 5
+        # Conservation: every packet sent was received by someone.
+        assert snap.total("ni_packets_sent") == \
+            snap.total("ni_packets_received")
+        assert snap.fabric_stats["delivered"] == \
+            snap.total("ni_packets_sent")
+
+    def test_snapshot_mmu_fields(self):
+        cluster = run_some_traffic()
+        snap = telemetry.snapshot(cluster)
+        node1 = snap.node(1)
+        assert 0.0 <= node1.tlb_hit_rate <= 1.0
+        assert node1.maq_peak >= 1
+        assert snap.node(0).itt_peak >= 1
+
+    def test_format_report_mentions_each_node(self):
+        cluster = run_some_traffic()
+        report = telemetry.format_report(telemetry.snapshot(cluster))
+        assert "node 0:" in report and "node 1:" in report
+        assert "served=5" in report
+        assert "dram bytes" in report
+
+    def test_error_counters_surface_in_report(self):
+        from repro.runtime import RemoteOpError
+
+        cluster = Cluster(config=ClusterConfig(num_nodes=2))
+        gctx = cluster.create_global_context(CTX, 2 * PAGE_SIZE)
+        session = RMCSession(cluster.nodes[0].core, gctx.qp(0),
+                             gctx.entry(0))
+        lbuf = session.alloc_buffer(4096)
+
+        def app(sim):
+            try:
+                yield from session.read_sync(1, 10 * PAGE_SIZE, lbuf, 64)
+            except RemoteOpError:
+                pass
+
+        cluster.sim.process(app(cluster.sim))
+        cluster.run()
+        report = telemetry.format_report(telemetry.snapshot(cluster))
+        assert "errors_segment_violation" in report

@@ -1,0 +1,141 @@
+"""Tests for distributed transactions over remote atomics."""
+
+import pytest
+
+from repro.apps.transactions import (
+    ACCOUNT_BYTES,
+    AccountStore,
+    TransactionClient,
+    run_transfer_mix,
+)
+from repro.cluster import Cluster, ClusterConfig
+from repro.runtime import RMCSession
+
+
+def build(num_nodes=3, accounts_per_node=4):
+    cluster = Cluster(config=ClusterConfig(num_nodes=num_nodes))
+    cluster.create_global_context(
+        1, accounts_per_node * ACCOUNT_BYTES + (1 << 20))
+    store = AccountStore(cluster, accounts_per_node)
+    return cluster, store
+
+
+def make_client(cluster, store, node_id, tag):
+    node = cluster.nodes[node_id]
+    entry = node.driver.contexts[1]
+    qp = node.driver.create_qp(1)
+    session = RMCSession(node.core, qp, entry)
+    return TransactionClient(session, store, client_tag=tag)
+
+
+class TestSingleTransfer:
+    def test_transfer_moves_money(self):
+        cluster, store = build()
+        client = make_client(cluster, store, 0, tag=1)
+
+        def app(sim):
+            return (yield from client.transfer(0, 7, 250))
+
+        proc = cluster.sim.process(app(cluster.sim))
+        cluster.run()
+        assert proc.value is True
+        assert store.balance(0) == 750
+        assert store.balance(7) == 1250
+        assert store.locks_held() == 0
+
+    def test_insufficient_funds_aborts(self):
+        cluster, store = build()
+        client = make_client(cluster, store, 0, tag=1)
+
+        def app(sim):
+            return (yield from client.transfer(0, 1, 10_000))
+
+        proc = cluster.sim.process(app(cluster.sim))
+        cluster.run()
+        assert proc.value is False
+        assert store.balance(0) == 1000
+        assert store.balance(1) == 1000
+        assert client.stats.committed == 0
+
+    def test_same_account_rejected(self):
+        cluster, store = build()
+        client = make_client(cluster, store, 0, tag=1)
+
+        def app(sim):
+            with pytest.raises(ValueError):
+                yield from client.transfer(3, 3, 1)
+            return True
+
+        proc = cluster.sim.process(app(cluster.sim))
+        cluster.run()
+        assert proc.value is True
+
+
+class TestConcurrency:
+    def test_conservation_under_concurrent_transfers(self):
+        """The headline invariant: no interleaving creates or destroys
+        money, and all locks are released at quiescence."""
+        store, clients = run_transfer_mix(num_nodes=4,
+                                          accounts_per_node=6,
+                                          clients=3, transfers_each=15)
+        assert store.total_balance() == store.num_accounts * 1000
+        assert store.locks_held() == 0
+        assert sum(c.stats.committed for c in clients) > 0
+
+    def test_contended_account_serializes_via_cas(self):
+        """Two clients hammer the same pair: CAS arbitration must
+        serialize them (retries happen, money conserved)."""
+        cluster, store = build(num_nodes=2, accounts_per_node=2)
+        a = make_client(cluster, store, 0, tag=1)
+        b = make_client(cluster, store, 1, tag=2)
+
+        def loop(sim, client, src, dst):
+            for _ in range(10):
+                yield from client.transfer(src, dst, 10)
+
+        cluster.sim.process(loop(cluster.sim, a, 0, 3))
+        cluster.sim.process(loop(cluster.sim, b, 3, 0))
+        cluster.run()
+        assert store.total_balance() == 4 * 1000
+        assert store.locks_held() == 0
+        assert a.stats.committed == 10
+        assert b.stats.committed == 10
+
+    def test_ordered_locking_no_deadlock_on_reverse_pairs(self):
+        """Client A transfers x->y while B transfers y->x in a loop:
+        without ordered acquisition this is the classic deadlock; the
+        run must complete."""
+        cluster, store = build(num_nodes=2, accounts_per_node=2)
+        a = make_client(cluster, store, 0, tag=1)
+        b = make_client(cluster, store, 1, tag=2)
+        done = []
+
+        def loop(sim, client, src, dst, tag):
+            for _ in range(8):
+                yield from client.transfer(src, dst, 5)
+            done.append(tag)
+
+        cluster.sim.process(loop(cluster.sim, a, 1, 2, "a"))
+        cluster.sim.process(loop(cluster.sim, b, 2, 1, "b"))
+        cluster.run(until=1_000_000_000)
+        assert sorted(done) == ["a", "b"], "transfer loops deadlocked"
+
+    def test_tag_zero_reserved(self):
+        cluster, store = build()
+        with pytest.raises(ValueError):
+            make_client(cluster, store, 0, tag=0)
+
+
+class TestStore:
+    def test_locate_partitions_by_node(self):
+        cluster, store = build(num_nodes=3, accounts_per_node=4)
+        assert store.locate(0) == (0, 0)
+        assert store.locate(4) == (1, 0)
+        assert store.locate(11) == (2, 3 * ACCOUNT_BYTES)
+        with pytest.raises(IndexError):
+            store.locate(12)
+
+    def test_initial_balances(self):
+        _cluster, store = build(num_nodes=2, accounts_per_node=3)
+        assert store.total_balance() == 6 * 1000
+        assert store.locks_held() == 0

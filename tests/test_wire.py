@@ -1,0 +1,119 @@
+"""Property-based tests for the wire encoding of protocol packets."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.protocol import (
+    HEADER_BYTES,
+    Opcode,
+    ReplyPacket,
+    ReplyStatus,
+    RequestPacket,
+    decode,
+    encode,
+    wire_size,
+)
+
+nids = st.integers(min_value=0, max_value=0xFFFF)
+tids = st.integers(min_value=0, max_value=0xFFFF)
+ctxs = st.integers(min_value=0, max_value=0xFF)
+offsets = st.integers(min_value=0, max_value=(1 << 48) - 1)
+u64s = st.integers(min_value=0, max_value=2 ** 64 - 1)
+
+
+class TestRequestRoundTrip:
+    @given(dst=nids, src=nids, tid=tids, ctx=ctxs, offset=offsets)
+    @settings(max_examples=100)
+    def test_read_request_roundtrip(self, dst, src, tid, ctx, offset):
+        packet = RequestPacket(dst_nid=dst, src_nid=src, op=Opcode.RREAD,
+                               ctx_id=ctx, offset=offset, tid=tid)
+        decoded = decode(encode(packet))
+        assert isinstance(decoded, RequestPacket)
+        assert (decoded.dst_nid, decoded.src_nid, decoded.tid) == \
+            (dst, src, tid)
+        assert decoded.ctx_id == ctx
+        assert decoded.offset == offset
+        assert decoded.op is Opcode.RREAD
+
+    @given(payload=st.binary(min_size=1, max_size=64), offset=offsets)
+    @settings(max_examples=100)
+    def test_write_request_roundtrip(self, payload, offset):
+        packet = RequestPacket(dst_nid=1, src_nid=0, op=Opcode.RWRITE,
+                               ctx_id=1, offset=offset, tid=5,
+                               length=len(payload), payload=payload)
+        decoded = decode(encode(packet))
+        assert decoded.payload == payload
+        assert decoded.length == len(payload)
+
+    @given(operand=u64s)
+    @settings(max_examples=50)
+    def test_fetch_add_roundtrip(self, operand):
+        packet = RequestPacket(dst_nid=1, src_nid=0,
+                               op=Opcode.RFETCH_ADD, ctx_id=1, offset=64,
+                               tid=0, length=8, operand=operand)
+        decoded = decode(encode(packet))
+        assert decoded.operand == operand
+
+    @given(operand=u64s, compare=u64s)
+    @settings(max_examples=50)
+    def test_cas_roundtrip(self, operand, compare):
+        packet = RequestPacket(dst_nid=1, src_nid=0,
+                               op=Opcode.RCOMP_SWAP, ctx_id=1, offset=0,
+                               tid=0, length=8, operand=operand,
+                               compare=compare)
+        decoded = decode(encode(packet))
+        assert decoded.operand == operand
+        assert decoded.compare == compare
+
+
+class TestReplyRoundTrip:
+    @given(payload=st.one_of(st.none(), st.binary(min_size=1, max_size=64)),
+           status=st.sampled_from(list(ReplyStatus)),
+           old=st.one_of(st.none(), u64s),
+           offset=offsets, tid=tids)
+    @settings(max_examples=150)
+    def test_reply_roundtrip(self, payload, status, old, offset, tid):
+        packet = ReplyPacket(dst_nid=2, src_nid=3, tid=tid, offset=offset,
+                             status=status, payload=payload, old_value=old)
+        decoded = decode(encode(packet))
+        assert decoded.status is status
+        assert decoded.payload == payload
+        assert decoded.old_value == old
+        assert decoded.offset == offset
+        assert decoded.tid == tid
+
+
+class TestWireFormat:
+    def test_header_is_16_bytes(self):
+        packet = RequestPacket(dst_nid=1, src_nid=0, op=Opcode.RREAD,
+                               ctx_id=1, offset=0, tid=0)
+        assert len(encode(packet)) == HEADER_BYTES
+
+    def test_wire_size_tracks_modeled_size_for_reads(self):
+        # The modeled size (header + payload) matches the encoder for
+        # reads and writes (atomic operands ride in the payload area).
+        read = RequestPacket(dst_nid=1, src_nid=0, op=Opcode.RREAD,
+                             ctx_id=1, offset=0, tid=0)
+        assert wire_size(read) == read.size_bytes
+        write = RequestPacket(dst_nid=1, src_nid=0, op=Opcode.RWRITE,
+                              ctx_id=1, offset=0, tid=0, length=64,
+                              payload=b"\x00" * 64)
+        assert wire_size(write) == write.size_bytes
+
+    def test_truncated_packet_rejected(self):
+        with pytest.raises(ValueError, match="truncated"):
+            decode(b"\x00" * 8)
+
+    def test_unknown_opcode_rejected(self):
+        packet = RequestPacket(dst_nid=1, src_nid=0, op=Opcode.RREAD,
+                               ctx_id=1, offset=0, tid=0)
+        raw = bytearray(encode(packet))
+        raw[1] = 0xEE
+        with pytest.raises(ValueError, match="unknown opcode"):
+            decode(bytes(raw))
+
+    def test_oversized_node_id_rejected(self):
+        packet = RequestPacket(dst_nid=70000, src_nid=0, op=Opcode.RREAD,
+                               ctx_id=1, offset=0, tid=0)
+        with pytest.raises(ValueError, match="u16"):
+            encode(packet)

@@ -1,0 +1,80 @@
+"""Sanity tests for the evaluation harnesses (quick configurations)."""
+
+import pytest
+
+from repro.workloads import (
+    PULL_ONLY,
+    PUSH_ONLY,
+    local_dram_latency,
+    pagerank_speedups,
+    remote_iops,
+    remote_read_bandwidth,
+    remote_read_latency,
+    send_recv_bandwidth,
+    send_recv_latency,
+)
+
+
+class TestReadLatencyHarness:
+    def test_small_read_near_paper_value(self):
+        rows = remote_read_latency(sizes=(64,), iterations=8)
+        assert 200 < rows[0].mean_ns < 450       # paper: ~300 ns
+        assert rows[0].p99_ns >= rows[0].p50_ns
+
+    def test_latency_within_4x_local_dram(self):
+        remote = remote_read_latency(sizes=(64,), iterations=8)[0].mean_ns
+        local = local_dram_latency()
+        assert remote / local < 5.0
+
+    def test_latency_grows_with_size(self):
+        rows = remote_read_latency(sizes=(64, 4096), iterations=5)
+        assert rows[1].mean_ns > rows[0].mean_ns
+
+    def test_double_sided_not_faster(self):
+        single = remote_read_latency(sizes=(4096,), iterations=5)
+        double = remote_read_latency(sizes=(4096,), iterations=5,
+                                     double_sided=True)
+        assert double[0].mean_ns >= single[0].mean_ns * 0.9
+
+
+class TestBandwidthHarness:
+    def test_8kb_reads_saturate_dram(self):
+        rows = remote_read_bandwidth(sizes=(8192,), requests=60, warmup=10)
+        assert 8.0 < rows[0].gbytes_per_sec < 11.0   # paper: 9.6 GB/s
+
+    def test_iops_near_10m(self):
+        assert 7.0 < remote_iops(requests=150, warmup=30) < 15.0
+
+    def test_double_sided_aggregate_higher(self):
+        single = remote_read_bandwidth(sizes=(8192,), requests=50,
+                                       warmup=10)[0].gbytes_per_sec
+        double = remote_read_bandwidth(sizes=(8192,), requests=50,
+                                       warmup=10,
+                                       double_sided=True)[0].gbytes_per_sec
+        assert double > 1.5 * single
+
+
+class TestNetpipeHarness:
+    def test_push_beats_pull_small(self):
+        push = send_recv_latency(sizes=(32,), threshold=PUSH_ONLY,
+                                 rounds=4)[0].latency_us
+        pull = send_recv_latency(sizes=(32,), threshold=PULL_ONLY,
+                                 rounds=4)[0].latency_us
+        assert push < pull
+
+    def test_pull_beats_push_large(self):
+        push = send_recv_bandwidth(sizes=(8192,), threshold=PUSH_ONLY,
+                                   messages=12, warmup=3)[0].gbps
+        pull = send_recv_bandwidth(sizes=(8192,), threshold=PULL_ONLY,
+                                   messages=12, warmup=3)[0].gbps
+        assert pull > 2 * push
+
+
+class TestPageRankSweep:
+    def test_tiny_sweep_shapes(self):
+        rows = pagerank_speedups(node_counts=(2,), num_vertices=1024,
+                                 avg_degree=5, llc_total_bytes=16 * 1024)
+        row = rows[0]
+        assert row.shm > 1.2          # 2 threads beat 1
+        assert row.bulk > 0.5         # bulk is in the same regime
+        assert row.fine < row.shm     # fine-grain pays per-edge overhead
