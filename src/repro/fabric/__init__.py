@@ -1,6 +1,7 @@
 """NUMA memory fabric: NIs, crossbar, routed topologies, flow control."""
 
 from .crossbar import CrossbarFabric
+from .faults import FaultDecision, FaultInjector, FaultPolicy
 from .ni import FabricConfig, NetworkInterface
 from .router import RoutedFabric, Router
 from .topology import Topology, complete, mesh2d, ring, torus2d, torus3d
@@ -8,6 +9,9 @@ from .topology import Topology, complete, mesh2d, ring, torus2d, torus3d
 __all__ = [
     "CrossbarFabric",
     "FabricConfig",
+    "FaultDecision",
+    "FaultInjector",
+    "FaultPolicy",
     "NetworkInterface",
     "RoutedFabric",
     "Router",

@@ -18,6 +18,7 @@ from typing import Dict, Optional, Set, Tuple
 
 from ..protocol import VirtualLane
 from ..sim import Resource, Simulator
+from .faults import FaultInjector
 from .ni import FabricConfig, NetworkInterface
 
 __all__ = ["CrossbarFabric"]
@@ -35,6 +36,14 @@ class CrossbarFabric:
         self.severed_pairs: Set[Tuple[int, int]] = set()
         self.packets_delivered = 0
         self.packets_dropped = 0
+        self.drops_by_node: Dict[int, int] = {}
+        self.fault_injector: Optional[FaultInjector] = None
+
+    def install_fault_injector(self, injector: FaultInjector) -> FaultInjector:
+        """Attach a seeded fault source; every transmission consults it."""
+        injector.fabric = self
+        self.fault_injector = injector
+        return injector
 
     def attach(self, node_id: int) -> NetworkInterface:
         """Create and wire the NI for a node; starts its egress pumps."""
@@ -82,8 +91,21 @@ class CrossbarFabric:
             packet = yield ni.egress[vl].get()
             if packet.dst_nid not in self.nis or \
                     not self._reachable(ni.node_id, packet.dst_nid):
-                self.packets_dropped += 1
+                self._count_drop(ni.node_id)
                 ni.notify_failure(packet)
+                continue
+            decision = None
+            if self.fault_injector is not None:
+                decision = self.fault_injector.decide(
+                    ni.node_id, packet.dst_nid, packet)
+            if decision is not None and decision.drop:
+                # The frame leaves the node (serialization is paid) and is
+                # lost on the wire; no credit was consumed downstream.
+                tx = self._tx_ports[ni.node_id]
+                yield tx.acquire()
+                yield sim.timeout(packet.size_bytes / cfg.link_bandwidth_gbps)
+                tx.release()
+                self._count_drop(ni.node_id)
                 continue
             dst_ni = self.nis[packet.dst_nid]
             # Credit-based flow control: hold a receive credit first.
@@ -93,30 +115,76 @@ class CrossbarFabric:
             yield tx.acquire()
             yield sim.timeout(packet.size_bytes / cfg.link_bandwidth_gbps)
             tx.release()
-            # Propagate: flat crossbar latency, then deliver.
+            # Propagate: flat crossbar latency (+ any injected jitter).
+            delay = cfg.link_latency_ns
+            if decision is not None:
+                delay += decision.extra_delay_ns
             self.sim.process(
-                self._deliver_after(packet, dst_ni, cfg.link_latency_ns),
+                self._deliver_after(packet, dst_ni, delay, decision),
                 name="xbar.deliver")
+            if decision is not None and decision.duplicate:
+                self.sim.process(
+                    self._deliver_duplicate(packet, dst_ni, delay, decision),
+                    name="xbar.dup")
 
-    def _deliver_after(self, packet, dst_ni: NetworkInterface, delay: float):
+    def _deliver_after(self, packet, dst_ni: NetworkInterface, delay: float,
+                       decision=None):
         yield self.sim.timeout(delay)
         if not self._reachable(packet.src_nid, packet.dst_nid):
             # Failure raced with the packet in flight: drop + notify.
-            self.packets_dropped += 1
+            self._count_drop(packet.src_nid)
             src_ni = self.nis.get(packet.src_nid)
             if src_ni is not None:
                 src_ni.notify_failure(packet)
             dst_ni.rx_credits[packet.vl].release()
             return
+        self._arrive(packet, dst_ni, decision)
+
+    def _deliver_duplicate(self, packet, dst_ni: NetworkInterface,
+                           delay: float, decision):
+        """A second copy of the same frame: same wire bits, same link seq,
+        so the receiving NI's dedup window rejects whichever arrives last."""
+        yield dst_ni.rx_credits[packet.vl].acquire()
+        yield self.sim.timeout(delay)
+        if not self._reachable(packet.src_nid, packet.dst_nid):
+            dst_ni.rx_credits[packet.vl].release()
+            return
+        self._arrive(packet, dst_ni, decision)
+
+    def _arrive(self, packet, dst_ni: NetworkInterface, decision) -> None:
+        if decision is not None and decision.corrupt:
+            decoded = self.fault_injector.corrupted_copy(
+                packet, decision.corrupt_r)
+            if decoded is None:
+                # CRC check failed at the receiver: frame rejected.
+                dst_ni.reject_corrupt(packet)
+                return
+            packet = decoded
         self.packets_delivered += 1
         dst_ni.deliver(packet)
+
+    def _count_drop(self, src_nid: int) -> None:
+        self.packets_dropped += 1
+        self.drops_by_node[src_nid] = self.drops_by_node.get(src_nid, 0) + 1
 
     # -- observability -------------------------------------------------------
 
     def stats(self) -> Dict[str, int]:
         """Delivery/drop counters for telemetry."""
-        return {
+        stats = {
             "delivered": self.packets_delivered,
             "dropped": self.packets_dropped,
             "attached_nodes": len(self.nis),
+        }
+        if self.fault_injector is not None:
+            stats.update(self.fault_injector.stats())
+        return stats
+
+    def node_stats(self, node_id: int) -> Dict[str, int]:
+        """Per-node fabric counters (drops attributed to the sender)."""
+        ni = self.nis.get(node_id)
+        return {
+            "packets_dropped": self.drops_by_node.get(node_id, 0),
+            "checksum_dropped": ni.checksum_dropped if ni else 0,
+            "duplicates_dropped": ni.duplicates_dropped if ni else 0,
         }

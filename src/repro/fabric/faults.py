@@ -1,0 +1,177 @@
+"""Deterministic fault injection for the soNUMA fabric.
+
+The paper assumes "reliable on-chip links" but requires that "the RMC
+notifies the driver of failures within the soNUMA fabric, including the
+loss of links and nodes" (§5.1). This module turns faults into
+first-class, *injectable* events so availability behaviour can be
+studied the way DRackSim-style rack simulators do: a seeded
+:class:`FaultInjector` attaches to a fabric and applies per-link
+policies — probabilistic packet drop, payload corruption, duplication,
+delay jitter, and transient link flaps (sever for N ns, then restore).
+
+Every decision is drawn from one seeded RNG consumed in transmission
+order, so a given (seed, policy, workload) triple reproduces the exact
+same fault pattern run after run — the property the determinism tests
+pin down.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..protocol import wire
+
+__all__ = ["FaultPolicy", "FaultDecision", "FaultInjector"]
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """Per-link fault rates; all probabilities are per transmitted packet."""
+
+    drop_prob: float = 0.0        # packet silently lost on the link
+    corrupt_prob: float = 0.0     # one wire bit flipped in flight
+    duplicate_prob: float = 0.0   # packet delivered twice
+    delay_jitter_ns: float = 0.0  # extra propagation delay, U(0, jitter)
+
+    def __post_init__(self):
+        for name in ("drop_prob", "corrupt_prob", "duplicate_prob"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be a probability: {p}")
+        if self.delay_jitter_ns < 0:
+            raise ValueError("delay jitter must be non-negative")
+
+    @property
+    def active(self) -> bool:
+        return bool(self.drop_prob or self.corrupt_prob
+                    or self.duplicate_prob or self.delay_jitter_ns)
+
+
+@dataclass
+class FaultDecision:
+    """The injector's verdict for one packet transmission."""
+
+    drop: bool = False
+    corrupt: bool = False
+    duplicate: bool = False
+    extra_delay_ns: float = 0.0
+    #: Pre-drawn in [0,1): selects which wire bit flips when ``corrupt``
+    #: (drawn at decision time so RNG consumption stays in egress order).
+    corrupt_r: float = 0.0
+
+
+class FaultInjector:
+    """Seeded, per-link fault source attached to a fabric.
+
+    Install with :meth:`CrossbarFabric.install_fault_injector` (or the
+    routed fabric's equivalent); the fabric consults :meth:`decide` for
+    every packet crossing a link and applies the verdict.
+    """
+
+    def __init__(self, seed: int = 0,
+                 default_policy: Optional[FaultPolicy] = None):
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self.default_policy = default_policy or FaultPolicy()
+        self._link_policies: Dict[Tuple[int, int], FaultPolicy] = {}
+        self.fabric = None   # bound by install_fault_injector
+        self.drops_injected = 0
+        self.corruptions_injected = 0
+        self.duplicates_injected = 0
+        self.delays_injected = 0
+        self.flaps_scheduled = 0
+        self.undetected_corruptions = 0
+
+    # -- policy management ---------------------------------------------------
+
+    def set_link_policy(self, a: int, b: int, policy: FaultPolicy) -> None:
+        """Override the default policy for the (a, b) link (both ways)."""
+        self._link_policies[(min(a, b), max(a, b))] = policy
+
+    def policy_for(self, src: int, dst: int) -> FaultPolicy:
+        return self._link_policies.get((min(src, dst), max(src, dst)),
+                                       self.default_policy)
+
+    # -- per-packet decisions ------------------------------------------------
+
+    def decide(self, src: int, dst: int, packet) -> Optional[FaultDecision]:
+        """Draw this transmission's fate; None when the link is clean."""
+        policy = self.policy_for(src, dst)
+        if not policy.active:
+            return None
+        rng = self._rng
+        if policy.drop_prob and rng.random() < policy.drop_prob:
+            self.drops_injected += 1
+            return FaultDecision(drop=True)
+        decision = FaultDecision()
+        if policy.corrupt_prob and rng.random() < policy.corrupt_prob:
+            decision.corrupt = True
+            decision.corrupt_r = rng.random()
+            self.corruptions_injected += 1
+        if policy.duplicate_prob and rng.random() < policy.duplicate_prob:
+            decision.duplicate = True
+            self.duplicates_injected += 1
+        if policy.delay_jitter_ns:
+            decision.extra_delay_ns = rng.random() * policy.delay_jitter_ns
+            if decision.extra_delay_ns:
+                self.delays_injected += 1
+        if decision.corrupt or decision.duplicate \
+                or decision.extra_delay_ns:
+            return decision
+        return None
+
+    def corrupted_copy(self, packet, corrupt_r: float):
+        """Model an in-flight bit flip through the real wire encoding.
+
+        Encodes the packet, flips the bit selected by ``corrupt_r``, and
+        re-decodes. CRC-16 catches every single-bit error, so this
+        returns None (receiver drops the frame); the decoded-packet
+        return path exists to model undetected corruption faithfully
+        should a multi-bit policy ever be added.
+        """
+        raw = bytearray(wire.encode(packet))
+        bit = int(corrupt_r * len(raw) * 8)
+        raw[bit // 8] ^= 1 << (bit % 8)
+        try:
+            decoded = wire.decode(bytes(raw))
+        except ValueError:
+            return None
+        self.undetected_corruptions += 1
+        return decoded
+
+    # -- transient link flaps ------------------------------------------------
+
+    def flap_link(self, a: int, b: int, after_ns: float,
+                  down_ns: float) -> None:
+        """Sever the (a, b) link ``after_ns`` from now for ``down_ns``."""
+        if self.fabric is None:
+            raise RuntimeError("injector not installed on a fabric")
+        if down_ns <= 0:
+            raise ValueError("flap duration must be positive")
+        sim = self.fabric.sim
+        fabric = self.fabric
+        self.flaps_scheduled += 1
+
+        def _flap():
+            # Non-daemon on purpose: a scheduled flap always completes,
+            # so a run can never end with the link stuck severed.
+            yield sim.timeout(after_ns)
+            fabric.sever_link(a, b)
+            yield sim.timeout(down_ns)
+            fabric.restore_link(a, b)
+
+        sim.process(_flap(), name=f"faults.flap{a}-{b}")
+
+    # -- observability -------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "fault_drops": self.drops_injected,
+            "fault_corruptions": self.corruptions_injected,
+            "fault_duplicates": self.duplicates_injected,
+            "fault_delays": self.delays_injected,
+            "fault_flaps": self.flaps_scheduled,
+            "fault_undetected": self.undetected_corruptions,
+        }

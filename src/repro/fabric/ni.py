@@ -15,13 +15,18 @@ credit-return wire latency).
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import Callable, Deque, Dict, Optional, Set
 
 from ..protocol import VirtualLane
 from ..sim import Event, Resource, Simulator, Store
 
 __all__ = ["FabricConfig", "NetworkInterface"]
+
+#: How many recent per-source link sequence numbers the receive side
+#: remembers for duplicate rejection.
+_DEDUP_WINDOW = 512
 
 
 @dataclass(frozen=True)
@@ -72,20 +77,74 @@ class NetworkInterface:
         self.packets_sent = 0
         self.packets_received = 0
         self.bytes_sent = 0
+        self.duplicates_dropped = 0    # link-seq dedup rejections
+        self.checksum_dropped = 0      # CRC-failed frames rejected
+        # Link-layer sequencing: one monotonic counter per destination
+        # (stamped at inject time), and a bounded per-source window of
+        # recently seen sequence numbers on the receive side.
+        self._tx_seq: Dict[int, int] = {}
+        self._rx_seen: Dict[int, Set[int]] = {}
+        self._rx_order: Dict[int, Deque[int]] = {}
         #: Optional callback invoked with an undeliverable packet when the
         #: fabric reports a failure (drives the driver's failure path).
         self.on_delivery_failure: Optional[Callable] = None
 
     def inject(self, packet) -> Event:
-        """Queue a packet for transmission on its virtual lane."""
+        """Queue a packet for transmission on its virtual lane.
+
+        Stamps the link-layer sequence number: every transmission toward
+        a destination — including RGP retransmissions, which are rebuilt
+        packets — gets a fresh seq, so receivers can reject duplicated
+        frames without ever confusing a retransmission for a duplicate.
+        """
+        seq = self._tx_seq.get(packet.dst_nid, 0)
+        packet.seq = seq
+        self._tx_seq[packet.dst_nid] = (seq + 1) & 0xFFFFFFFF
         self.packets_sent += 1
         self.bytes_sent += packet.size_bytes
         return self.egress[packet.vl].put(packet)
 
     def deliver(self, packet) -> None:
         """Called by the fabric when a packet arrives (credit was held)."""
+        if self._is_duplicate(packet):
+            self.duplicates_dropped += 1
+            self._release_credit_later(packet.vl)
+            return
         self.packets_received += 1
         self.rx[packet.vl].try_put(packet)
+
+    def reject_corrupt(self, packet) -> None:
+        """Called by the fabric when a frame fails its CRC check: the
+        packet is dropped at the link layer and the credit returned."""
+        self.checksum_dropped += 1
+        self._release_credit_later(packet.vl)
+
+    def _is_duplicate(self, packet) -> bool:
+        src = packet.src_nid
+        seen = self._rx_seen.get(src)
+        if seen is None:
+            seen = self._rx_seen[src] = set()
+            self._rx_order[src] = deque()
+        if packet.seq in seen:
+            return True
+        seen.add(packet.seq)
+        order = self._rx_order[src]
+        order.append(packet.seq)
+        if len(order) > _DEDUP_WINDOW:
+            seen.discard(order.popleft())
+        return False
+
+    def _release_credit_later(self, vl: VirtualLane) -> None:
+        """Return the held receive credit after the usual return latency."""
+        sim = self.sim
+        credits = self.rx_credits[vl]
+        delay = self.config.credit_return_ns
+
+        def _return_credit():
+            yield sim.timeout(delay)
+            credits.release()
+
+        sim.process(_return_credit(), name=f"ni{self.node_id}.credit")
 
     def receive(self, vl: VirtualLane):
         """Coroutine used by RMC pipelines to drain one packet from a lane.

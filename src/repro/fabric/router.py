@@ -16,6 +16,7 @@ from typing import Dict, Optional, Tuple
 
 from ..protocol import VirtualLane
 from ..sim import Resource, Simulator, Store
+from .faults import FaultInjector
 from .ni import FabricConfig, NetworkInterface
 from .topology import Topology
 
@@ -35,6 +36,7 @@ class Router:
         # neighbor -> output line (serialization port, shared by both VLs).
         self.out_lines: Dict[int, Resource] = {}
         self.packets_forwarded = 0
+        self.packets_dropped = 0
 
     def add_input(self, upstream) -> None:
         """Create buffers + forwarding pump for one upstream port."""
@@ -74,9 +76,23 @@ class Router:
                 next_hop = fabric.topology.next_hop[self.node_id].get(
                     packet.dst_nid)
                 if next_hop is None:
+                    self.packets_dropped += 1
                     fabric.packets_dropped += 1
                     credits.release()
                     continue
+                # Per-hop fault injection (drop / delay jitter only; the
+                # crossbar fabric models the full corruption path).
+                extra_delay = 0.0
+                if fabric.fault_injector is not None:
+                    decision = fabric.fault_injector.decide(
+                        self.node_id, next_hop, packet)
+                    if decision is not None:
+                        if decision.drop:
+                            self.packets_dropped += 1
+                            fabric.packets_dropped += 1
+                            credits.release()
+                            continue
+                        extra_delay = decision.extra_delay_ns
                 next_router = fabric.routers[next_hop]
                 # Hold a credit in the downstream input buffer before
                 # occupying the output line (virtual cut-through).
@@ -87,14 +103,16 @@ class Router:
                     packet.size_bytes / cfg.link_bandwidth_gbps)
                 line.release()
                 sim.process(
-                    self._deliver_after(packet, next_router, vl),
+                    self._deliver_after(packet, next_router, vl, extra_delay),
                     name=f"r{self.node_id}.link{next_hop}")
                 self.packets_forwarded += 1
             # This packet has left our buffer: return the upstream credit.
             credits.release()
 
-    def _deliver_after(self, packet, next_router: "Router", vl: VirtualLane):
-        yield self.sim.timeout(self.fabric.config.link_latency_ns)
+    def _deliver_after(self, packet, next_router: "Router", vl: VirtualLane,
+                       extra_delay: float = 0.0):
+        yield self.sim.timeout(
+            self.fabric.config.link_latency_ns + extra_delay)
         next_router.in_buffers[(self.node_id, vl)].try_put(packet)
 
 
@@ -109,6 +127,7 @@ class RoutedFabric:
         self.routers: Dict[int, Router] = {}
         self.nis: Dict[int, NetworkInterface] = {}
         self.packets_dropped = 0
+        self.fault_injector: Optional[FaultInjector] = None
         for node_id in topology.graph.nodes:
             self.routers[node_id] = Router(sim, self, node_id)
         for node_id, router in self.routers.items():
@@ -139,11 +158,30 @@ class RoutedFabric:
             yield router.in_credits[key].acquire()
             router.in_buffers[key].try_put(packet)
 
+    def install_fault_injector(self, injector: FaultInjector) -> FaultInjector:
+        """Attach a seeded fault source consulted on every hop."""
+        injector.fabric = self
+        self.fault_injector = injector
+        return injector
+
     def stats(self) -> Dict[str, int]:
         """Forwarding/drop counters for telemetry."""
-        return {
+        stats = {
             "forwarded": sum(r.packets_forwarded
                              for r in self.routers.values()),
             "dropped": self.packets_dropped,
             "attached_nodes": len(self.nis),
+        }
+        if self.fault_injector is not None:
+            stats.update(self.fault_injector.stats())
+        return stats
+
+    def node_stats(self, node_id: int) -> Dict[str, int]:
+        """Per-node fabric counters (drops at this node's router)."""
+        router = self.routers.get(node_id)
+        ni = self.nis.get(node_id)
+        return {
+            "packets_dropped": router.packets_dropped if router else 0,
+            "checksum_dropped": ni.checksum_dropped if ni else 0,
+            "duplicates_dropped": ni.duplicates_dropped if ni else 0,
         }

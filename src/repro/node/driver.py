@@ -21,10 +21,12 @@ state."
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Set
 
+from ..protocol import Opcode, RequestPacket
 from ..rmc.context import ContextEntry
 from ..rmc.queues import CompletionQueue, QueuePair, WorkQueue
+from ..rmc.rmc import PING_TID
 from ..vm.address import CACHE_LINE_SIZE
 from ..vm.address_space import AddressSpace
 
@@ -60,6 +62,14 @@ class RMCDriver:
         #: When True, a fabric failure resets the RMC automatically.
         self.auto_reset_on_failure = False
         node.ni.on_delivery_failure = self._on_delivery_failure
+        node.rmc.failure_sink = self._on_transaction_timeout
+        # -- heartbeat failure detector state --------------------------------
+        self.suspects: Set[int] = set()
+        #: ``fn(peer_nid)`` callbacks fired on lease expiry / pong return.
+        self.on_node_failure: Optional[Callable[[int], None]] = None
+        self.on_node_recovery: Optional[Callable[[int], None]] = None
+        self._hb_last_pong: Dict[int, float] = {}
+        self._hb_running = False
 
     # -- access control -----------------------------------------------------
 
@@ -131,9 +141,76 @@ class RMCDriver:
         if self.auto_reset_on_failure:
             self.node.rmc.reset()
 
+    def _on_transaction_timeout(self, itt_entry) -> None:
+        """RMC watchdog exhausted a transaction's retry budget."""
+        failure = FabricFailure(
+            time_ns=self.node.sim.now,
+            dst_nid=itt_entry.wq_entry.dst_nid if itt_entry.wq_entry else -1,
+            description=f"transaction tid {itt_entry.tid} timed out after "
+                        f"{itt_entry.attempt} retransmission(s)")
+        self.failures.append(failure)
+        if self.auto_reset_on_failure:
+            self.node.rmc.reset()
+
     def reset_rmc(self) -> int:
         """Explicit RMC reset (returns number of aborted transactions)."""
         return self.node.rmc.reset()
+
+    # -- heartbeat failure detector ------------------------------------------
+
+    def enable_failure_detector(self, peers,
+                                interval_ns: float = 20_000.0,
+                                lease_ns: Optional[float] = None) -> None:
+        """Probe ``peers`` with RPING at ``interval_ns``; a peer whose
+        pong lease (default 3 intervals) expires is declared suspect and
+        ``on_node_failure`` fires; a pong from a suspect fires
+        ``on_node_recovery``. Heartbeat sleeps are daemon events, so an
+        idle detector never keeps the simulation alive.
+        """
+        if self._hb_running:
+            raise RuntimeError("failure detector already running")
+        if lease_ns is None:
+            lease_ns = 3 * interval_ns
+        self._hb_running = True
+        self.node.rmc.ping_sink = self._on_pong
+        sim = self.node.sim
+        now = sim.now
+        for peer in peers:
+            self._hb_last_pong.setdefault(peer, now)
+        sim.process(self._heartbeat_loop(list(peers), interval_ns, lease_ns),
+                    name=f"driver{self.node.node_id}.heartbeat")
+
+    def disable_failure_detector(self) -> None:
+        self._hb_running = False
+
+    def is_suspect(self, peer: int) -> bool:
+        return peer in self.suspects
+
+    def _heartbeat_loop(self, peers, interval_ns: float, lease_ns: float):
+        sim = self.node.sim
+        ni = self.node.ni
+        while self._hb_running:
+            for peer in peers:
+                ni.inject(RequestPacket(
+                    dst_nid=peer, src_nid=self.node.node_id,
+                    op=Opcode.RPING, ctx_id=0, offset=0,
+                    tid=PING_TID, length=1))
+                if sim.now - self._hb_last_pong[peer] > lease_ns \
+                        and peer not in self.suspects:
+                    self.suspects.add(peer)
+                    self.failures.append(FabricFailure(
+                        time_ns=sim.now, dst_nid=peer,
+                        description=f"node {peer} heartbeat lease expired"))
+                    if self.on_node_failure is not None:
+                        self.on_node_failure(peer)
+            yield sim.timeout(interval_ns, daemon=True)
+
+    def _on_pong(self, peer: int) -> None:
+        self._hb_last_pong[peer] = self.node.sim.now
+        if peer in self.suspects:
+            self.suspects.discard(peer)
+            if self.on_node_recovery is not None:
+                self.on_node_recovery(peer)
 
     # -- notifications (§8 extension) ----------------------------------------
 

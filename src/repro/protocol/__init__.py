@@ -3,6 +3,7 @@
 from .packets import (
     HEADER_BYTES,
     MTU_BYTES,
+    TRAILER_BYTES,
     Opcode,
     ReplyPacket,
     ReplyStatus,
@@ -10,16 +11,19 @@ from .packets import (
     VirtualLane,
     packet_size,
 )
-from .wire import decode, encode, wire_size
+from .wire import ChecksumError, crc16, decode, encode, wire_size
 
 __all__ = [
+    "ChecksumError",
     "HEADER_BYTES",
     "MTU_BYTES",
+    "TRAILER_BYTES",
     "Opcode",
     "ReplyPacket",
     "ReplyStatus",
     "RequestPacket",
     "VirtualLane",
+    "crc16",
     "decode",
     "encode",
     "packet_size",

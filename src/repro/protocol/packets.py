@@ -26,6 +26,7 @@ __all__ = [
     "ReplyStatus",
     "VirtualLane",
     "HEADER_BYTES",
+    "TRAILER_BYTES",
     "MTU_BYTES",
     "RequestPacket",
     "ReplyPacket",
@@ -34,6 +35,14 @@ __all__ = [
 
 #: Fixed wire header size (routing + protocol fields).
 HEADER_BYTES = 16
+
+#: Link-layer trailer: per-(src,dst) sequence number (u32), attempt
+#: counter (u8), and CRC-16 over the whole packet. Like an Ethernet
+#: FCS, the trailer is link-level framing: it is carried by
+#: :func:`repro.protocol.wire.encode` but **not** counted in the modeled
+#: protocol size (:func:`packet_size`), so enabling integrity checking
+#: adds no cost to the simulated data path.
+TRAILER_BYTES = 7
 
 #: Link-layer MTU: "large enough to support a fixed-size header and an
 #: optional cache-line-sized payload" (paper §6).
@@ -54,6 +63,10 @@ class Opcode(enum.Enum):
     RFETCH_ADD = "rfetch_add"
     RCOMP_SWAP = "rcomp_swap"
     RNOTIFY = "rnotify"
+    #: Link-liveness probe used by the driver's heartbeat failure
+    #: detector; served by the RRPP without a context lookup and never
+    #: tracked in the ITT (reserved tid).
+    RPING = "rping"
 
 
 class ReplyStatus(enum.Enum):
@@ -69,6 +82,10 @@ class ReplyStatus(enum.Enum):
     BAD_CONTEXT = "bad_context"
     CAS_FAILED = "cas_failed"  # compare-and-swap compare mismatch (still OK-delivered)
     NOTIFY_REJECTED = "notify_rejected"  # no handler / queue full (§8 ext.)
+    #: Local completion status: the source RMC exhausted its retry budget
+    #: for the transaction. Never travels on the wire — it is synthesized
+    #: by the RGP watchdog and delivered through the CQ error field.
+    TIMEOUT = "timeout"
 
 
 class VirtualLane(enum.IntEnum):
@@ -92,6 +109,8 @@ class RequestPacket:
     payload: Optional[bytes] = None          # RWRITE data
     operand: Optional[int] = None            # RFETCH_ADD addend / CAS swap value
     compare: Optional[int] = None            # RCOMP_SWAP compare value
+    seq: int = 0       # per-(src,dst) link sequence number (NI-stamped)
+    attempt: int = 0   # 0 = first transmission; >0 = RGP retransmission
 
     def __post_init__(self):
         if not 0 < self.length <= CACHE_LINE_SIZE:
@@ -128,6 +147,7 @@ class ReplyPacket:
     status: ReplyStatus = ReplyStatus.OK
     payload: Optional[bytes] = None   # RREAD data / atomic old value encoding
     old_value: Optional[int] = None   # atomics: value before the operation
+    seq: int = 0       # per-(src,dst) link sequence number (NI-stamped)
 
     @property
     def vl(self) -> VirtualLane:

@@ -19,6 +19,19 @@ Request header layout (16 bytes, little-endian)::
 
 Atomic operands don't fit the header; they travel in the payload area
 (operand u64 | compare u64), which is accounted in the wire size.
+
+Link-layer trailer (:data:`~repro.protocol.packets.TRAILER_BYTES`,
+7 bytes, appended after the body)::
+
+    bytes 0-3    seq (u32)       per-(src,dst) link sequence number
+    byte  4      attempt (u8)    retransmission attempt (0 = first send)
+    bytes 5-6    CRC-16/CCITT    over header + body + seq + attempt
+
+The trailer is the reliability layer's framing — receivers use the CRC
+to reject corrupted packets (:class:`ChecksumError`) and the sequence
+number to reject link-level duplicates. Like an Ethernet FCS it is not
+part of the protocol-visible packet, so the modeled packet size
+(:func:`~repro.protocol.packets.packet_size`) excludes it.
 """
 
 from __future__ import annotations
@@ -28,13 +41,14 @@ from typing import Union
 
 from .packets import (
     HEADER_BYTES,
+    TRAILER_BYTES,
     Opcode,
     ReplyPacket,
     ReplyStatus,
     RequestPacket,
 )
 
-__all__ = ["encode", "decode", "wire_size"]
+__all__ = ["ChecksumError", "crc16", "encode", "decode", "wire_size"]
 
 _KIND_REQUEST = 0
 _KIND_REPLY = 1
@@ -45,10 +59,37 @@ _STATUSES = {status: i for i, status in enumerate(ReplyStatus)}
 _STATUSES_REV = {i: status for status, i in _STATUSES.items()}
 
 _MAX_U16 = 0xFFFF
+_MAX_U32 = 0xFFFFFFFF
 _MAX_U48 = (1 << 48) - 1
 
 #: Reply flag bit: an old_value u64 follows the payload (atomics).
 _FLAG_OLD_VALUE = 0x01
+
+
+class ChecksumError(ValueError):
+    """The packet's CRC-16 does not match its contents (bit corruption)."""
+
+
+def _crc16_table():
+    table = []
+    for byte in range(256):
+        crc = byte << 8
+        for _ in range(8):
+            crc = ((crc << 1) ^ 0x1021 if crc & 0x8000 else crc << 1) \
+                & 0xFFFF
+        table.append(crc)
+    return table
+
+
+_CRC16_TABLE = _crc16_table()
+
+
+def crc16(data: bytes) -> int:
+    """CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF) of ``data``."""
+    crc = 0xFFFF
+    for byte in data:
+        crc = ((crc << 8) & 0xFFFF) ^ _CRC16_TABLE[(crc >> 8) ^ byte]
+    return crc
 
 
 def _pack_header(kind: int, code: int, dst: int, src: int, tid: int,
@@ -70,8 +111,18 @@ def _pack_header(kind: int, code: int, dst: int, src: int, tid: int,
     return header
 
 
+def _seal(frame: bytes, seq: int, attempt: int) -> bytes:
+    """Append the link-layer trailer (seq + attempt + CRC-16)."""
+    if not 0 <= seq <= _MAX_U32:
+        raise ValueError("seq exceeds wire width (u32)")
+    if not 0 <= attempt <= 0xFF:
+        raise ValueError("attempt exceeds wire width (u8)")
+    sealed = frame + struct.pack("<IB", seq, attempt)
+    return sealed + struct.pack("<H", crc16(sealed))
+
+
 def encode(packet: Union[RequestPacket, ReplyPacket]) -> bytes:
-    """Serialize a packet to its wire representation."""
+    """Serialize a packet to its wire representation (with trailer)."""
     if isinstance(packet, RequestPacket):
         header = _pack_header(_KIND_REQUEST, _OPCODES[packet.op],
                               packet.dst_nid, packet.src_nid, packet.tid,
@@ -82,7 +133,7 @@ def encode(packet: Union[RequestPacket, ReplyPacket]) -> bytes:
         elif packet.op is Opcode.RCOMP_SWAP:
             body = struct.pack("<QQ", packet.operand & (2 ** 64 - 1),
                                packet.compare & (2 ** 64 - 1))
-        return header + body
+        return _seal(header + body, packet.seq, packet.attempt)
     if isinstance(packet, ReplyPacket):
         flags = _FLAG_OLD_VALUE if packet.old_value is not None else 0
         length = len(packet.payload) if packet.payload else 1
@@ -92,19 +143,29 @@ def encode(packet: Union[RequestPacket, ReplyPacket]) -> bytes:
         body = packet.payload or b""
         if packet.old_value is not None:
             body += struct.pack("<Q", packet.old_value & (2 ** 64 - 1))
-        return header + body
+        return _seal(header + body, packet.seq, 0)
     raise TypeError(f"cannot encode {type(packet).__name__}")
 
 
 def decode(wire: bytes) -> Union[RequestPacket, ReplyPacket]:
-    """Parse a wire representation back into a packet object."""
-    if len(wire) < HEADER_BYTES:
+    """Parse a wire representation back into a packet object.
+
+    Verifies the CRC-16 first (raising :class:`ChecksumError` on any
+    corruption), so truncated or bit-flipped buffers are never delivered.
+    """
+    if len(wire) < HEADER_BYTES + TRAILER_BYTES:
         raise ValueError(f"truncated packet: {len(wire)} bytes")
+    (stored_crc,) = struct.unpack("<H", wire[-2:])
+    if crc16(wire[:-2]) != stored_crc:
+        raise ChecksumError(
+            f"CRC mismatch: stored {stored_crc:#06x}, "
+            f"computed {crc16(wire[:-2]):#06x}")
+    seq, attempt = struct.unpack("<IB", wire[-TRAILER_BYTES:-2])
     kind, code, dst, src, tid, ctx_or_flags, length_m1 = struct.unpack(
         "<BBHHHBB", wire[:10])
     offset = int.from_bytes(wire[10:16], "little")
     length = length_m1 + 1
-    body = wire[HEADER_BYTES:]
+    body = wire[HEADER_BYTES:-TRAILER_BYTES]
 
     if kind == _KIND_REQUEST:
         op = _OPCODES_REV.get(code)
@@ -124,7 +185,8 @@ def decode(wire: bytes) -> Union[RequestPacket, ReplyPacket]:
         return RequestPacket(dst_nid=dst, src_nid=src, op=op,
                              ctx_id=ctx_or_flags, offset=offset, tid=tid,
                              length=length, payload=payload,
-                             operand=operand, compare=compare)
+                             operand=operand, compare=compare,
+                             seq=seq, attempt=attempt)
 
     if kind == _KIND_REPLY:
         status = _STATUSES_REV.get(code)
@@ -140,11 +202,11 @@ def decode(wire: bytes) -> Union[RequestPacket, ReplyPacket]:
         payload = payload if payload else None
         return ReplyPacket(dst_nid=dst, src_nid=src, tid=tid,
                            offset=offset, status=status, payload=payload,
-                           old_value=old_value)
+                           old_value=old_value, seq=seq)
 
     raise ValueError(f"unknown packet kind {kind}")
 
 
 def wire_size(packet: Union[RequestPacket, ReplyPacket]) -> int:
-    """Exact on-wire byte count (== len(encode(packet)))."""
+    """Exact on-wire byte count (== len(encode(packet)), incl. trailer)."""
     return len(encode(packet))

@@ -14,11 +14,12 @@ A bounded table naturally bounds the number of WQ requests in flight.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, Optional, Sequence, Set, Tuple
 
 from ..protocol import Opcode
-from .queues import QueuePair
+from .queues import QueuePair, WQEntry
 
 __all__ = ["ITTEntry", "InflightTransactionTable", "ITTFullError"]
 
@@ -40,10 +41,30 @@ class ITTEntry:
     total_lines: int
     completed_lines: int = 0
     error: Optional[str] = None
+    # -- reliability state (retransmission watchdog, RGP) -----------------
+    #: The originating WQ entry + context, kept so uncompleted lines can
+    #: be regenerated on retransmission.
+    wq_entry: Optional[WQEntry] = None
+    ctx: Any = None
+    chunks: Optional[Sequence[Tuple[int, int]]] = None
+    #: Reply offsets already accounted — duplicate replies (a request
+    #: retransmitted because its reply was lost) are rejected with this.
+    completed_offsets: Set[int] = field(default_factory=set)
+    timeout_ns: float = 0.0      # 0 disables the watchdog
+    deadline_ns: float = 0.0     # sim time after which the RGP retransmits
+    retries_left: int = 0
+    attempt: int = 0             # current retransmission attempt (0 = first)
+    failed: bool = False         # force-failed by the watchdog
 
     @property
     def done(self) -> bool:
-        return self.completed_lines >= self.total_lines
+        return self.failed or self.completed_lines >= self.total_lines
+
+    def covers_offset(self, offset: int) -> bool:
+        """Whether a reply offset belongs to this request's line grid."""
+        if self.chunks is None:
+            return True
+        return any(offset == chunk_offset for chunk_offset, _ in self.chunks)
 
     def line_local_vaddr(self, reply_offset: int) -> int:
         """Where a reply's payload lands in the local buffer.
@@ -63,7 +84,13 @@ class InflightTransactionTable:
             raise ValueError("ITT capacity must be >= 1")
         self.capacity = capacity
         self._entries: Dict[int, ITTEntry] = {}
-        self._free_tids: List[int] = list(range(capacity - 1, -1, -1))
+        # FIFO recycling: a retired tid goes to the back of the queue,
+        # so it is not reused until every other free tid has been. This
+        # keeps a tid "quarantined" for ~capacity transactions — far
+        # longer than any stale packet of its previous incarnation can
+        # survive in the fabric — which is what makes the tid a safe
+        # transaction identity for retransmission and reply dedup.
+        self._free_tids: Deque[int] = deque(range(capacity))
         self.allocated_total = 0
         self.peak_in_flight = 0
 
@@ -77,17 +104,24 @@ class InflightTransactionTable:
 
     def allocate(self, qp: QueuePair, wq_index: int, op: Opcode,
                  base_offset: int, local_vaddr: int,
-                 total_lines: int) -> ITTEntry:
+                 total_lines: int,
+                 wq_entry: Optional[WQEntry] = None,
+                 ctx: Any = None,
+                 chunks: Optional[Sequence[Tuple[int, int]]] = None,
+                 timeout_ns: float = 0.0,
+                 retries_left: int = 0) -> ITTEntry:
         """Assign a tid and create the progress entry for a WQ request."""
         if not self._free_tids:
             raise ITTFullError(
                 f"all {self.capacity} tids in flight")
         if total_lines < 1:
             raise ValueError("a request must cover at least one line")
-        tid = self._free_tids.pop()
+        tid = self._free_tids.popleft()
         entry = ITTEntry(tid=tid, qp=qp, wq_index=wq_index, op=op,
                          base_offset=base_offset, local_vaddr=local_vaddr,
-                         total_lines=total_lines)
+                         total_lines=total_lines, wq_entry=wq_entry,
+                         ctx=ctx, chunks=chunks, timeout_ns=timeout_ns,
+                         retries_left=retries_left)
         self._entries[tid] = entry
         self.allocated_total += 1
         if len(self._entries) > self.peak_in_flight:
@@ -101,14 +135,40 @@ class InflightTransactionTable:
             raise KeyError(f"no in-flight transaction with tid {tid}")
         return entry
 
-    def complete_line(self, tid: int, error: Optional[str] = None) -> ITTEntry:
+    def get(self, tid: int) -> Optional[ITTEntry]:
+        """Like :meth:`lookup` but returns None for unknown/retired tids.
+
+        Reliability paths use this (plus an identity check against the
+        entry they hold) so stale replies and watchdogs racing a reset
+        never raise on a recycled tid.
+        """
+        return self._entries.get(tid)
+
+    def complete_line(self, tid: int, error: Optional[str] = None,
+                      offset: Optional[int] = None) -> ITTEntry:
         """Record one line completion; caller checks ``entry.done``."""
         entry = self.lookup(tid)
         if entry.done:
             raise RuntimeError(f"tid {tid} already fully completed")
         entry.completed_lines += 1
+        if offset is not None:
+            entry.completed_offsets.add(offset)
         if error is not None:
             entry.error = error
+        return entry
+
+    def force_fail(self, tid: int, error: str) -> Optional[ITTEntry]:
+        """Terminate a transaction from the watchdog (retry exhaustion).
+
+        Marks the entry failed so ``done`` becomes True and any replies
+        still in flight are treated as stale. Returns the entry, or None
+        if the transaction already completed/retired (lost the race).
+        """
+        entry = self._entries.get(tid)
+        if entry is None or entry.done:
+            return None
+        entry.failed = True
+        entry.error = error
         return entry
 
     def retire(self, tid: int) -> None:

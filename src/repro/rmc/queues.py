@@ -63,6 +63,16 @@ class CQEntry:
     wq_index: int
     error: Optional[str] = None
 
+    @property
+    def status(self) -> str:
+        """Completion status string: ``"ok"`` or the error reason
+        (e.g. ``"timeout"``, ``"segment_violation"``)."""
+        return self.error if self.error is not None else "ok"
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
 
 class _Ring:
     """Common ring mechanics: fixed slots, one cache line per slot."""
@@ -158,6 +168,12 @@ class WorkQueue(_Ring):
             raise IndexError(f"slot {index} out of range")
         self._free.append(index)
 
+    def reset(self) -> None:
+        """Driver recovery path: drop all queued state, free every slot."""
+        self.slots = [None] * self.size
+        self._free = list(range(self.size - 1, -1, -1))
+        self._pending = []
+
 
 class CompletionQueue(_Ring):
     """Bounded ring written by the RMC (RCP), polled by the application."""
@@ -192,6 +208,12 @@ class CompletionQueue(_Ring):
         self.slots[self.read_index] = None
         self.read_index = (self.read_index + 1) % self.size
         return entry
+
+    def reset(self) -> None:
+        """Driver recovery path: drop all completions, rewind indices."""
+        self.slots = [None] * self.size
+        self.write_index = 0
+        self.read_index = 0
 
 
 @dataclass

@@ -26,6 +26,7 @@ from all three are funneled through the shared, 32-entry MAQ.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
@@ -46,9 +47,14 @@ from .itt import InflightTransactionTable
 from .mmu import MMUConfig, RMCMMU
 from .queues import CQEntry, QueuePair, WQEntry
 
-__all__ = ["RMCConfig", "RMC"]
+__all__ = ["RMCConfig", "RMC", "PING_TID"]
 
 _U64_MASK = (1 << 64) - 1
+
+#: Reserved tid carried by RPING probes and their pongs. ITT tids are
+#: 0..itt_entries-1 (at most 64 by default), so the probe traffic can
+#: never collide with a tracked transaction.
+PING_TID = 0xFFFF
 
 
 @dataclass(frozen=True)
@@ -77,6 +83,18 @@ class RMCConfig:
     rrpp_overhead_ns: float = 0.0
     #: Software cost per incoming reply at the source (serialized).
     rcp_overhead_ns: float = 0.0
+    #: Reliability: when a transaction sees no progress for this long,
+    #: the RGP retransmits its uncompleted lines. 0 disables the
+    #: watchdog entirely (the paper's reliable-fabric assumption).
+    retransmit_timeout_ns: float = 100_000.0
+    #: Exponential back-off factor applied to the timeout per attempt.
+    retransmit_backoff: float = 2.0
+    #: Retransmission budget; once exhausted the transaction completes
+    #: with a ``timeout`` error status in the CQ instead of hanging.
+    max_retries: int = 4
+    #: Destination-side replay cache for atomics (exactly-once execution
+    #: under retransmission); entries beyond this are evicted LRU.
+    atomic_replay_entries: int = 256
     mmu: MMUConfig = field(default_factory=MMUConfig)
 
 
@@ -115,6 +133,18 @@ class RMC:
         #: §8 extension hook: ``fn(src_nid, ctx_id, payload) -> bool``
         #: installed by the driver when notifications are enabled.
         self.notification_sink = None
+        #: Reliability hook: ``fn(itt_entry)`` invoked when a transaction
+        #: exhausts its retry budget ("the RMC notifies the driver of
+        #: failures within the soNUMA fabric", §5.1).
+        self.failure_sink = None
+        #: Heartbeat hook: ``fn(src_nid)`` invoked when an RPING pong
+        #: arrives (driver failure detector).
+        self.ping_sink = None
+        #: (src_nid, tid) -> (payload, old_value) of the last atomic
+        #: executed for that transaction, replayed on retransmission so
+        #: non-idempotent ops run exactly once.
+        self._atomic_replay: "OrderedDict[Tuple[int, int], Tuple[Optional[bytes], Optional[int]]]" \
+            = OrderedDict()
         # qp_id -> (qp, owning context entry): the RGP's polling schedule.
         self._qps: Dict[int, Tuple[QueuePair, ContextEntry]] = {}
         self._running = True
@@ -152,6 +182,7 @@ class RMC:
         aborted = self.itt.abort_all()
         self.mmu.reset()
         self.ct_cache.flush()
+        self._atomic_replay.clear()
         self.counters.incr("resets")
         return aborted
 
@@ -208,8 +239,15 @@ class RMC:
         itt_entry = self.itt.allocate(
             qp=qp, wq_index=wq_index, op=wq_entry.op,
             base_offset=wq_entry.offset, local_vaddr=wq_entry.local_vaddr,
-            total_lines=len(chunks))
+            total_lines=len(chunks), wq_entry=wq_entry, ctx=ctx,
+            chunks=chunks,
+            timeout_ns=self.config.retransmit_timeout_ns,
+            retries_left=self.config.max_retries)
         self.counters.incr("wq_requests")
+        if itt_entry.timeout_ns:
+            itt_entry.deadline_ns = sim.now + itt_entry.timeout_ns
+            sim.process(self._watchdog(itt_entry),
+                        name=f"rmc{self.node_id}.rgp.watchdog")
         for chunk_offset, chunk_len in chunks:
             yield sim.timeout(cycle)  # per-line unroll stage
             if self.config.unroll_overhead_ns:
@@ -221,7 +259,7 @@ class RMC:
                 name=f"rmc{self.node_id}.rgp.emit")
 
     def _emit_chunk(self, ctx: ContextEntry, wq_entry: WQEntry, tid: int,
-                    chunk_offset: int, chunk_len: int):
+                    chunk_offset: int, chunk_len: int, attempt: int = 0):
         """Build and inject one line-granularity request packet."""
         payload = None
         if wq_entry.op in (Opcode.RWRITE, Opcode.RNOTIFY):
@@ -237,10 +275,62 @@ class RMC:
             dst_nid=wq_entry.dst_nid, src_nid=self.node_id,
             op=wq_entry.op, ctx_id=ctx.ctx_id, offset=chunk_offset,
             tid=tid, length=chunk_len, payload=payload,
-            operand=wq_entry.operand, compare=wq_entry.compare)
+            operand=wq_entry.operand, compare=wq_entry.compare,
+            attempt=attempt)
         yield self.sim.timeout(self.config.pipeline_cycle_ns)  # pkt gen
         yield self.ni.inject(packet)
         self.counters.incr("lines_sent")
+
+    # -- retransmission watchdog (reliability layer) -------------------------
+
+    def _watchdog(self, entry):
+        """Per-transaction timer: retransmit on silence, fail on budget.
+
+        All sleeps are daemon events, so an armed watchdog never extends
+        a simulation past its last real event — with a clean fabric the
+        reliability layer is timing-invisible.
+        """
+        sim = self.sim
+        while True:
+            delay = entry.deadline_ns - sim.now
+            if delay > 0:
+                yield sim.timeout(delay, daemon=True)
+            if self.itt.get(entry.tid) is not entry or entry.done:
+                return   # completed, reset, or force-failed: stand down
+            if sim.now < entry.deadline_ns:
+                continue  # a reply arrived meanwhile and pushed the deadline
+            if entry.retries_left <= 0:
+                yield from self._timeout_transaction(entry)
+                return
+            entry.retries_left -= 1
+            entry.attempt += 1
+            backoff = self.config.retransmit_backoff ** entry.attempt
+            entry.deadline_ns = sim.now + entry.timeout_ns * backoff
+            self.counters.incr("retransmissions")
+            yield from self._retransmit(entry)
+
+    def _retransmit(self, entry):
+        """Re-emit every line the transaction has not yet completed."""
+        for chunk_offset, chunk_len in entry.chunks:
+            if chunk_offset in entry.completed_offsets:
+                continue
+            if self.itt.get(entry.tid) is not entry or entry.done:
+                return
+            yield self.sim.timeout(self.config.pipeline_cycle_ns)
+            yield from self._emit_chunk(entry.ctx, entry.wq_entry,
+                                        entry.tid, chunk_offset, chunk_len,
+                                        attempt=entry.attempt)
+            self.counters.incr("lines_retransmitted")
+
+    def _timeout_transaction(self, entry):
+        """Retry budget exhausted: error-complete instead of hanging."""
+        failed = self.itt.force_fail(entry.tid, ReplyStatus.TIMEOUT.value)
+        if failed is None:
+            return
+        self.counters.incr("transactions_timed_out")
+        if self.failure_sink is not None:
+            self.failure_sink(entry)
+        yield from self._finish_request(entry)
 
     # -- Remote Request Processing Pipeline (RRPP) ---------------------------
 
@@ -262,6 +352,14 @@ class RMC:
         """CT lookup -> bounds check -> translate -> memory op -> reply."""
         sim = self.sim
         self.counters.incr("requests_served")
+
+        if req.op is Opcode.RPING:
+            # Liveness probe: answered from the pipeline itself, before
+            # any context state is touched, so a pong only attests that
+            # the link and the remote RMC are alive.
+            self.counters.incr("pings_served")
+            yield from self._reply(req)
+            return
 
         ctx = self.ct_cache.lookup(req.ctx_id)
         if ctx is None:
@@ -301,6 +399,20 @@ class RMC:
             yield from self._reply(req, status=ReplyStatus.SEGMENT_VIOLATION)
             return
 
+        replay_key = None
+        if req.op in (Opcode.RFETCH_ADD, Opcode.RCOMP_SWAP):
+            replay_key = (req.src_nid, req.tid)
+            if req.attempt > 0:
+                # Retransmission of a non-idempotent op: if we already
+                # executed it (the reply was lost, not the request),
+                # replay the recorded result instead of re-executing.
+                cached = self._atomic_replay.get(replay_key)
+                if cached is not None:
+                    self.counters.incr("atomic_replays")
+                    yield from self._reply(req, payload=cached[0],
+                                           old_value=cached[1])
+                    return
+
         vaddr = ctx.segment.vaddr_of(req.offset)
         paddr = yield from self.mmu.translate(
             ctx.asid, ctx.address_space.page_table, vaddr)
@@ -338,6 +450,12 @@ class RMC:
         else:  # pragma: no cover - the Opcode enum is closed
             raise ValueError(f"unknown opcode {req.op}")
 
+        if replay_key is not None:
+            self._atomic_replay[replay_key] = (payload, old_value)
+            self._atomic_replay.move_to_end(replay_key)
+            while len(self._atomic_replay) > self.config.atomic_replay_entries:
+                self._atomic_replay.popitem(last=False)
+
         yield from self._reply(req, payload=payload, old_value=old_value)
 
     def _reply(self, req: RequestPacket,
@@ -371,7 +489,28 @@ class RMC:
 
     def _complete(self, reply: ReplyPacket):
         """Deposit payload, count the line, finish the WQ request."""
-        entry = self.itt.lookup(reply.tid)
+        if reply.tid == PING_TID:
+            # Heartbeat pong: route to the driver's failure detector.
+            self.counters.incr("pongs_received")
+            if self.ping_sink is not None:
+                self.ping_sink(reply.src_nid)
+            return
+
+        entry = self.itt.get(reply.tid)
+        if entry is None or entry.done:
+            # The transaction was retired, reset, or force-failed while
+            # this reply was in flight.
+            self.counters.incr("replies_stale")
+            return
+        if not entry.covers_offset(reply.offset):
+            # tid reuse: the reply belongs to a previous occupant.
+            self.counters.incr("replies_stale")
+            return
+        if reply.offset in entry.completed_offsets:
+            # A retransmitted request whose original reply also arrived.
+            self.counters.incr("replies_duplicate")
+            return
+
         error = None
         if reply.status is not ReplyStatus.OK:
             error = reply.status.value
@@ -386,9 +525,18 @@ class RMC:
             yield from self.mmu.access(lpaddr, is_write=True,
                                        size=len(reply.payload))
             self.mmu.write_bytes(lpaddr, reply.payload)
+        # The deposit yielded: re-check that the watchdog didn't time the
+        # transaction out (or a reset recycle the tid) underneath us.
+        if self.itt.get(reply.tid) is not entry or entry.done:
+            self.counters.incr("replies_stale")
+            return
         self.counters.incr("replies_handled")
 
-        self.itt.complete_line(reply.tid, error=error)
+        # Per-line progress refreshes the retransmit deadline, so slow
+        # multi-line transfers are not punished by a per-request timer.
+        if entry.timeout_ns:
+            entry.deadline_ns = self.sim.now + entry.timeout_ns
+        self.itt.complete_line(reply.tid, error=error, offset=reply.offset)
         if entry.done:
             yield from self._finish_request(entry)
 

@@ -12,15 +12,18 @@ from .capi import (
     rmc_write_sync,
 )
 from .layout import CommLayout, MessagingConfig
-from .messaging import Messenger
-from .qp_api import RemoteOpError, RMCSession
+from .messaging import Messenger, MessagingTimeout, PeerFailure
+from .qp_api import RemoteOpError, RemoteOpFailed, RMCSession
 
 __all__ = [
     "Barrier",
     "CommLayout",
     "Messenger",
     "MessagingConfig",
+    "MessagingTimeout",
+    "PeerFailure",
     "RemoteOpError",
+    "RemoteOpFailed",
     "RMCSession",
     "rmc_compare_and_swap",
     "rmc_drain_cq",

@@ -45,7 +45,26 @@ from ..vm.address import CACHE_LINE_SIZE
 from .layout import CommLayout, MessagingConfig
 from .qp_api import RMCSession
 
-__all__ = ["Messenger", "MessagingConfig"]
+__all__ = ["Messenger", "MessagingConfig", "MessagingTimeout", "PeerFailure"]
+
+
+class PeerFailure(RuntimeError):
+    """The transport reported error completions toward this peer (link
+    or node failure): the messaging operation cannot make progress."""
+
+    def __init__(self, peer: int, where: str):
+        super().__init__(f"peer {peer} unreachable during {where}")
+        self.peer = peer
+
+
+class MessagingTimeout(RuntimeError):
+    """recv() hit its deadline with no (complete) message from the peer."""
+
+    def __init__(self, peer: int, timeout_ns: float):
+        super().__init__(
+            f"no message from peer {peer} within {timeout_ns:g} ns")
+        self.peer = peer
+        self.timeout_ns = timeout_ns
 
 _TYPE_EMPTY = 0
 _TYPE_PUSH = 1
@@ -150,35 +169,50 @@ class Messenger:
 
     # -- send ------------------------------------------------------------------
 
-    def send(self, peer: int, data: bytes):
-        """Timed coroutine: deliver ``data`` to ``peer`` (push or pull)."""
+    def send(self, peer: int, data: bytes,
+             timeout_ns: Optional[float] = None):
+        """Timed coroutine: deliver ``data`` to ``peer`` (push or pull).
+
+        With ``timeout_ns`` set, raises :class:`MessagingTimeout` if the
+        peer's bounded buffer window stays exhausted for that long — the
+        escape hatch for send/send head-to-head patterns that would
+        otherwise deadlock on credits (the bounded-buffer analogue of an
+        MPI "unsafe" program)."""
         if not data:
             raise ValueError("cannot send an empty message")
         state = self._peer(peer)
         seq = state.send_seq
         state.send_seq += 1
+        deadline_ns = None
+        if timeout_ns is not None:
+            deadline_ns = self.session.core.sim.now + timeout_ns
         if len(data) <= self.config.threshold:
-            yield from self._send_push(peer, state, seq, data)
+            yield from self._send_push(peer, state, seq, data,
+                                       deadline_ns, timeout_ns)
         else:
-            yield from self._send_pull(peer, state, seq, data)
+            yield from self._send_pull(peer, state, seq, data,
+                                       deadline_ns, timeout_ns)
         self.messages_sent += 1
         self.bytes_sent += len(data)
 
     def _send_push(self, peer: int, state: _PeerState, seq: int,
-                   data: bytes):
+                   data: bytes, deadline_ns: Optional[float] = None,
+                   timeout_ns: Optional[float] = None):
         """Packetize into slots; one remote write per slot."""
         cfg = self.config
         chunk = cfg.PAYLOAD_PER_SLOT
         chunks = [data[i:i + chunk] for i in range(0, len(data), chunk)]
         for index, piece in enumerate(chunks):
-            yield from self._wait_for_credit(peer, state)
+            yield from self._wait_for_credit(peer, state, deadline_ns,
+                                             timeout_ns)
             flags = _FLAG_LAST if index == len(chunks) - 1 else 0
             line = _pack_slot(_TYPE_PUSH, flags, len(piece), seq,
                               payload=piece)
             yield from self._push_slot(peer, state, line)
 
     def _send_pull(self, peer: int, state: _PeerState, seq: int,
-                   data: bytes):
+                   data: bytes, deadline_ns: Optional[float] = None,
+                   timeout_ns: Optional[float] = None):
         """Stage payload locally; push a descriptor; bounded in-flight."""
         cfg = self.config
         if len(data) > self.layout.staging_chunk_bytes:
@@ -188,15 +222,19 @@ class Messenger:
         # Bound in-flight transfers to the staging window via peer acks.
         while state.staged_transfers - self._read_ack(peer) \
                 >= cfg.pull_window:
-            yield self.session.core.compute(
-                self.session.core.config.poll_overhead_ns)
+            self._check_peer(peer, "pull-ack wait")
+            if deadline_ns is not None \
+                    and self.session.core.sim.now >= deadline_ns:
+                raise MessagingTimeout(peer, timeout_ns)
+            yield from self.session.poll_once()
             yield from self.session.core.touch(
                 self.session.space, self._seg_vaddr(self.layout.ack_offset(peer)))
         chunk_offset = self.layout.staging_chunk(peer,
                                                  state.staged_transfers)
         state.staged_transfers += 1
         yield from self._write_local(chunk_offset, data)
-        yield from self._wait_for_credit(peer, state)
+        yield from self._wait_for_credit(peer, state, deadline_ns,
+                                         timeout_ns)
         line = _pack_slot(_TYPE_PULL, _FLAG_LAST, 0, seq,
                           pull_offset=chunk_offset, pull_size=len(data))
         yield from self._push_slot(peer, state, line)
@@ -224,15 +262,31 @@ class Messenger:
                                             CACHE_LINE_SIZE,
                                             callback=_discard_completion)
 
-    def _wait_for_credit(self, peer: int, state: _PeerState):
-        """Stall while the peer's bounded buffer window is exhausted."""
+    def _wait_for_credit(self, peer: int, state: _PeerState,
+                         deadline_ns: Optional[float] = None,
+                         timeout_ns: Optional[float] = None):
+        """Stall while the peer's bounded buffer window is exhausted.
+
+        Raises :class:`PeerFailure` instead of spinning forever when the
+        transport reports error completions toward the peer (the credit
+        write that would free the window is never coming)."""
         while state.sent_slots - self._read_credit(peer) \
                 >= self.config.slots:
-            yield self.session.core.compute(
-                self.session.core.config.poll_overhead_ns)
+            self._check_peer(peer, "credit wait")
+            if deadline_ns is not None \
+                    and self.session.core.sim.now >= deadline_ns:
+                raise MessagingTimeout(peer, timeout_ns)
+            # Reap completions while stalled: an error completion toward
+            # the peer is the only way this wait can ever learn that the
+            # credit write is never coming.
+            yield from self.session.poll_once()
             yield from self.session.core.touch(
                 self.session.space,
                 self._seg_vaddr(self.layout.credit_offset(peer)))
+
+    def _check_peer(self, peer: int, where: str) -> None:
+        if peer in self.session.failed_peers:
+            raise PeerFailure(peer, where)
 
     def _read_credit(self, peer: int) -> int:
         """Functional read of the credit counter the peer writes to us."""
@@ -247,13 +301,21 @@ class Messenger:
 
     # -- receive -----------------------------------------------------------------
 
-    def recv(self, peer: int):
+    def recv(self, peer: int, timeout_ns: Optional[float] = None):
         """Timed coroutine: block until one full message from ``peer``
-        arrives; returns its bytes."""
+        arrives; returns its bytes.
+
+        With ``timeout_ns`` set, raises :class:`MessagingTimeout` if no
+        complete message arrived within that window — the escape hatch
+        for receivers whose peer may have died mid-message."""
         state = self._peer(peer)
+        deadline_ns = None
+        if timeout_ns is not None:
+            deadline_ns = self.session.core.sim.now + timeout_ns
         parts = []
         while True:
-            line = yield from self._poll_slot(peer, state)
+            line = yield from self._poll_slot(peer, state, deadline_ns,
+                                              timeout_ns)
             slot_type, flags, _length, _seq, pull_offset, pull_size, \
                 payload = _unpack_slot(line)
             yield self.session.core.compute(self.config.software_chunk_ns)
@@ -274,11 +336,16 @@ class Messenger:
         self.messages_received += 1
         return b"".join(parts)
 
-    def _poll_slot(self, peer: int, state: _PeerState):
+    def _poll_slot(self, peer: int, state: _PeerState,
+                   deadline_ns: Optional[float] = None,
+                   timeout_ns: Optional[float] = None):
         """Spin on the next inbound slot until it becomes non-empty."""
         offset = self.layout.slot_offset(peer, state.next_slot)
         vaddr = self._seg_vaddr(offset)
+        sim = self.session.core.sim
         while True:
+            if deadline_ns is not None and sim.now >= deadline_ns:
+                raise MessagingTimeout(peer, timeout_ns)
             yield self.session.core.compute(
                 self.session.core.config.poll_overhead_ns)
             yield from self.session.core.touch(self.session.space, vaddr)

@@ -25,14 +25,14 @@ the coherent WQ/CQ line accesses shared with the RMC.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..node.core import Core
 from ..protocol import Opcode
 from ..rmc.context import ContextEntry
 from ..rmc.queues import CQEntry, QueuePair, WQEntry
 
-__all__ = ["RemoteOpError", "RMCSession"]
+__all__ = ["RemoteOpError", "RemoteOpFailed", "RMCSession"]
 
 
 #: Marker callback registered by synchronous operations: their
@@ -43,15 +43,20 @@ __all__ = ["RemoteOpError", "RMCSession"]
 _SYNC_WAITER = object()
 
 
-class RemoteOpError(RuntimeError):
-    """A remote operation completed with an error status (e.g. a segment
-    violation reported through the CQ, §4.2)."""
+class RemoteOpFailed(RuntimeError):
+    """A remote operation completed with an error status delivered
+    through the CQ — a segment violation (§4.2) or a reliability-layer
+    ``timeout`` after the RMC exhausted its retransmission budget."""
 
     def __init__(self, wq_index: int, error: str):
         super().__init__(f"remote operation in WQ slot {wq_index} "
                          f"failed: {error}")
         self.wq_index = wq_index
         self.error = error
+
+
+#: Backward-compatible alias (the original name of the exception).
+RemoteOpError = RemoteOpFailed
 
 
 class RMCSession:
@@ -68,8 +73,14 @@ class RMCSession:
         self._callbacks: Dict[int, Tuple[Optional[Callable], object]] = {}
         # wq_index -> CQEntry for completions reaped before their waiter.
         self._finished: Dict[int, CQEntry] = {}
+        # wq_index -> WQEntry for every operation still outstanding
+        # (reliability: reset() returns these so reads can be replayed).
+        self._posted: Dict[int, WQEntry] = {}
         #: CQ entries that reported errors (observable by applications).
         self.errors: list = []
+        #: Destinations that have produced at least one error completion
+        #: (messaging uses this to break spin loops on dead peers).
+        self.failed_peers: Set[int] = set()
         self.ops_issued = 0
         self.ops_completed = 0
 
@@ -146,6 +157,13 @@ class RMCSession:
         while self.qp.outstanding() > 0:
             yield from self._poll_cq_once(callback)
 
+    def poll_once(self, callback: Optional[Callable] = None):
+        """Timed coroutine: one CQ polling sweep; returns the reaped
+        completion (or None). Lets higher-level stall loops (e.g. the
+        messaging credit wait) observe error completions — and thereby
+        peer failure — while they spin on something else."""
+        return (yield from self._poll_cq_once(callback))
+
     # -- synchronous API -------------------------------------------------------
 
     def read_sync(self, dst_nid: int, offset: int, local_vaddr: int,
@@ -202,6 +220,51 @@ class RMCSession:
         yield from self._wait_completion(index)
         return int.from_bytes(self.buffer_peek(local_vaddr, 8), "little")
 
+    # -- failure recovery ------------------------------------------------------
+
+    def consume_errors(self) -> List[CQEntry]:
+        """Return and clear the accumulated error completions.
+
+        ``failed_peers`` is cleared too: consuming the errors is the
+        application declaring it has handled them (e.g. after a link
+        was restored and the peer is reachable again).
+        """
+        errors, self.errors = self.errors, []
+        self.failed_peers.clear()
+        return errors
+
+    def reset(self) -> List[WQEntry]:
+        """Recovery path after a fabric failure: clear the QP rings and
+        session bookkeeping; returns the WQ entries that were still
+        outstanding so the application can decide what to replay.
+
+        Pair with ``driver.reset_rmc()`` (which aborts the ITT side);
+        then :meth:`replay` can re-drive idempotent operations.
+        """
+        pending = [self._posted[index] for index in sorted(self._posted)]
+        self._posted.clear()
+        self._callbacks.clear()
+        self._finished.clear()
+        self.qp.wq.reset()
+        self.qp.cq.reset()
+        return pending
+
+    def replay(self, entries):
+        """Timed coroutine: re-issue ``entries`` (from :meth:`reset`)
+        synchronously. Only reads are replayed automatically — they are
+        idempotent; writes/atomics may have executed remotely before the
+        failure, so re-driving them is an application decision. Returns
+        the number of operations replayed."""
+        replayed = 0
+        for entry in entries:
+            if entry.op is not Opcode.RREAD:
+                continue
+            yield from self.wait_for_slot()
+            index = yield from self._post(entry, _SYNC_WAITER)
+            yield from self._wait_completion(index)
+            replayed += 1
+        return replayed
+
     # -- internals -------------------------------------------------------------
 
     def _post(self, entry: WQEntry, callback: Optional[Callable]):
@@ -215,6 +278,7 @@ class RMCSession:
         yield from self.core.touch(self.space, slot_vaddr, is_write=True)
         index = self.qp.wq.post(entry)
         self._callbacks[index] = (callback, None)
+        self._posted[index] = entry
         self.ops_issued += 1
         return index
 
@@ -229,8 +293,11 @@ class RMCSession:
         self.qp.cq.reap()
         self.qp.wq.release_slot(cq_entry.wq_index)
         self.ops_completed += 1
+        posted = self._posted.pop(cq_entry.wq_index, None)
         if cq_entry.error is not None:
             self.errors.append(cq_entry)
+            if posted is not None:
+                self.failed_peers.add(posted.dst_nid)
         registered, _arg = self._callbacks.pop(cq_entry.wq_index,
                                                (None, None))
         if registered is _SYNC_WAITER:

@@ -68,9 +68,14 @@ class Event:
     An event starts *pending*, is *triggered* exactly once via
     :meth:`succeed` or :meth:`fail`, and then notifies its callbacks.
     Processes wait on events by yielding them.
+
+    A *daemon* event (watchdog timers, heartbeat ticks) does not keep the
+    simulation alive: :meth:`Simulator.run` returns once only daemon
+    events remain in the heap, so background reliability machinery never
+    extends a run past its last piece of real work.
     """
 
-    __slots__ = ("sim", "callbacks", "_triggered", "_ok", "value")
+    __slots__ = ("sim", "callbacks", "_triggered", "_ok", "value", "daemon")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
@@ -78,6 +83,7 @@ class Event:
         self._triggered = False
         self._ok = True
         self.value: Any = None
+        self.daemon = False
 
     @property
     def triggered(self) -> bool:
@@ -121,11 +127,13 @@ class Timeout(Event):
 
     __slots__ = ("delay",)
 
-    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None,
+                 daemon: bool = False):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
         super().__init__(sim)
         self.delay = delay
+        self.daemon = daemon
         self._triggered = True  # scheduled immediately, fires at now+delay
         self.value = value
         sim._schedule_at(sim.now + delay, self)
@@ -325,10 +333,13 @@ class Simulator:
         self._counter = itertools.count()
         self._active_process: Optional[Process] = None
         self._stopped = False
+        self._pending_real = 0   # scheduled non-daemon events
 
     # -- scheduling ------------------------------------------------------
 
     def _schedule_at(self, when: float, event: Event) -> None:
+        if not event.daemon:
+            self._pending_real += 1
         heapq.heappush(self._heap, (when, next(self._counter), event))
 
     def _queue_event(self, event: Event) -> None:
@@ -341,9 +352,13 @@ class Simulator:
         """Create a fresh, untriggered event."""
         return Event(self)
 
-    def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """Create an event that fires ``delay`` ns from now."""
-        return Timeout(self, delay, value)
+    def timeout(self, delay: float, value: Any = None,
+                daemon: bool = False) -> Timeout:
+        """Create an event that fires ``delay`` ns from now.
+
+        ``daemon`` timers do not keep :meth:`run` alive (used by
+        retransmission watchdogs and failure detectors)."""
+        return Timeout(self, delay, value, daemon=daemon)
 
     def process(self, generator: Generator, name: str = "") -> Process:
         """Register a generator as a new process starting immediately."""
@@ -365,6 +380,8 @@ class Simulator:
 
     def _step(self) -> None:
         when, _tiebreak, event = heapq.heappop(self._heap)
+        if not event.daemon:
+            self._pending_real -= 1
         if when < self.now:
             raise SimulationError("time went backwards")
         self.now = when
@@ -382,10 +399,15 @@ class Simulator:
     def run(self, until: Optional[float] = None) -> float:
         """Run until the heap drains, ``until`` is reached, or :meth:`stop`.
 
+        Daemon events alone do not sustain the run: once no non-daemon
+        event remains, the run ends as if the heap had drained.
+
         Returns the simulated time at which the run ended.
         """
         self._stopped = False
         while self._heap and not self._stopped:
+            if self._pending_real <= 0:
+                break
             when = self._heap[0][0]
             if until is not None and when > until:
                 self.now = until

@@ -33,6 +33,12 @@ class NodeSnapshot:
     dram_bytes: int
     ct_cache_hit_rate: float
     driver_failures: int
+    # Reliability counters (appended with defaults so callers that
+    # construct snapshots positionally keep working).
+    ni_checksum_dropped: int = 0
+    ni_duplicates_dropped: int = 0
+    fabric_node_stats: Dict[str, int] = field(default_factory=dict)
+    suspected_nodes: int = 0
 
 
 @dataclass
@@ -57,6 +63,9 @@ def snapshot(cluster) -> ClusterSnapshot:
     nodes = []
     for node in cluster.nodes:
         rmc = node.rmc
+        fabric = cluster.fabric
+        node_stats = (fabric.node_stats(node.node_id)
+                      if hasattr(fabric, "node_stats") else {})
         nodes.append(NodeSnapshot(
             node_id=node.node_id,
             rmc_counters=rmc.counters.as_dict(),
@@ -71,6 +80,10 @@ def snapshot(cluster) -> ClusterSnapshot:
             dram_bytes=node.memsys.dram.bytes_transferred,
             ct_cache_hit_rate=rmc.ct_cache.hit_rate,
             driver_failures=len(node.driver.failures),
+            ni_checksum_dropped=node.ni.checksum_dropped,
+            ni_duplicates_dropped=node.ni.duplicates_dropped,
+            fabric_node_stats=node_stats,
+            suspected_nodes=len(node.driver.suspects),
         ))
     return ClusterSnapshot(time_ns=cluster.sim.now, nodes=nodes,
                            fabric_stats=cluster.fabric.stats())
@@ -101,6 +114,23 @@ def format_report(snap: ClusterSnapshot) -> str:
                   if k.startswith("errors_")}
         if errors:
             lines.append(f"  errors: {errors}")
+        reliability = {
+            "retransmissions":
+                node.rmc_counters.get("retransmissions", 0),
+            "lines_retransmitted":
+                node.rmc_counters.get("lines_retransmitted", 0),
+            "timed_out":
+                node.rmc_counters.get("transactions_timed_out", 0),
+            "stale_replies": node.rmc_counters.get("replies_stale", 0),
+            "dup_replies": node.rmc_counters.get("replies_duplicate", 0),
+            "crc_dropped": node.ni_checksum_dropped,
+            "dup_frames_dropped": node.ni_duplicates_dropped,
+            "link_drops": node.fabric_node_stats.get("packets_dropped", 0),
+        }
+        if any(reliability.values()):
+            lines.append(f"  reliability: {reliability}")
         if node.driver_failures:
             lines.append(f"  fabric failures seen: {node.driver_failures}")
+        if node.suspected_nodes:
+            lines.append(f"  suspected peers: {node.suspected_nodes}")
     return "\n".join(lines)

@@ -1,0 +1,327 @@
+"""Chaos testing: seeded fault injection across the full stack.
+
+A :class:`FaultInjector` attached to the fabric drops, corrupts,
+duplicates, and delays packets while real workloads run on top. The
+reliability layer (CRC trailer + link sequencing in the NI, watchdog
+retransmission in the RGP, reply dedup in the RCP, atomic replay in
+the RRPP) must hide every injected fault from the application — or,
+when a link is truly dead, surface a ``timeout`` error completion
+instead of hanging.
+"""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.fabric import FaultInjector, FaultPolicy
+from repro.node import NodeConfig
+from repro.rmc import RMCConfig
+from repro.runtime import (
+    Messenger,
+    MessagingConfig,
+    MessagingTimeout,
+    PeerFailure,
+    RemoteOpFailed,
+    RMCSession,
+)
+from repro import telemetry
+from repro.vm import PAGE_SIZE
+
+CTX = 1
+SEG = 16 * PAGE_SIZE
+
+
+def build(num_nodes=3, policy=None, seed=7, timeout_ns=5000.0,
+          max_retries=4, seg=SEG):
+    """Cluster with a fast-retransmit RMC and an installed injector."""
+    rmc_cfg = RMCConfig(retransmit_timeout_ns=timeout_ns,
+                        max_retries=max_retries)
+    cluster = Cluster(config=ClusterConfig(
+        num_nodes=num_nodes, node=NodeConfig(rmc=rmc_cfg)))
+    injector = cluster.fabric.install_fault_injector(
+        FaultInjector(seed=seed, default_policy=policy or FaultPolicy()))
+    gctx = cluster.create_global_context(CTX, seg)
+    sessions = {n: RMCSession(cluster.nodes[n].core, gctx.qp(n),
+                              gctx.entry(n)) for n in range(num_nodes)}
+    return cluster, gctx, sessions, injector
+
+
+def _pattern(tag: int, length: int) -> bytes:
+    return bytes((tag * 37 + i) & 0xFF for i in range(length))
+
+
+def _chaos_read_write_run(seed):
+    """The canonical chaos workload; returns (mismatches, fingerprint).
+
+    Three nodes cross-read seeded patterns and cross-write signatures
+    under 1% drop + 0.5% corruption, exactly the acceptance scenario.
+    """
+    policy = FaultPolicy(drop_prob=0.01, corrupt_prob=0.005)
+    cluster, _g, sessions, injector = build(policy=policy, seed=seed)
+    num_nodes = 3
+    for peer in range(num_nodes):
+        cluster.poke_segment(peer, CTX, 0, _pattern(peer, 2048))
+    mismatches = []
+
+    def app(sim, n):
+        session = sessions[n]
+        lbuf = session.alloc_buffer(8192)
+        for rnd in range(6):
+            for peer in range(num_nodes):
+                if peer == n:
+                    continue
+                size = 64 * (1 + (rnd + n + peer) % 8)
+                yield from session.read_sync(peer, 0, lbuf, size)
+                got = session.buffer_peek(lbuf, size)
+                if got != _pattern(peer, size):
+                    mismatches.append(("read", n, peer, rnd))
+        # Leave a signature in every peer's segment.
+        sig = _pattern(0xA0 + n, 512)
+        session.buffer_poke(lbuf, sig)
+        for peer in range(num_nodes):
+            if peer == n:
+                continue
+            yield from session.write_sync(peer, 4096 + n * 512, lbuf, 512)
+
+    for n in range(num_nodes):
+        cluster.sim.process(app(cluster.sim, n))
+    cluster.run(until=50_000_000)
+
+    for n in range(num_nodes):
+        sig = _pattern(0xA0 + n, 512)
+        for peer in range(num_nodes):
+            if peer == n:
+                continue
+            if cluster.peek_segment(peer, CTX, 4096 + n * 512, 512) != sig:
+                mismatches.append(("write", n, peer))
+
+    snap = telemetry.snapshot(cluster)
+    fingerprint = {
+        "time_ns": cluster.sim.now,
+        "injector": injector.stats(),
+        "fabric": cluster.fabric.stats(),
+        "retransmissions": snap.total("ni_checksum_dropped"),
+        "rmc": [node.rmc_counters for node in snap.nodes],
+    }
+    return mismatches, fingerprint
+
+
+class TestChaosWorkloads:
+    def test_reads_and_writes_survive_drop_and_corruption(self):
+        mismatches, fingerprint = _chaos_read_write_run(seed=1)
+        assert mismatches == []
+        # The run must actually have been chaotic...
+        stats = fingerprint["injector"]
+        assert stats["fault_drops"] + stats["fault_corruptions"] > 0
+        # ...and the recovery machinery must have engaged: every injected
+        # fault kills a packet, so some transaction retransmitted.
+        retransmissions = sum(c.get("retransmissions", 0)
+                              for c in fingerprint["rmc"])
+        assert retransmissions > 0
+        # CRC-16 catches every single-bit flip: nothing corrupt delivered.
+        assert stats["fault_undetected"] == 0
+
+    def test_chaos_run_is_deterministic(self):
+        first = _chaos_read_write_run(seed=42)
+        second = _chaos_read_write_run(seed=42)
+        assert first == second
+
+    def test_delay_jitter_reorders_but_never_loses(self):
+        policy = FaultPolicy(delay_jitter_ns=400.0)
+        cluster, _g, sessions, injector = build(policy=policy, seed=9)
+        cluster.poke_segment(1, CTX, 0, _pattern(1, 1024))
+        results = {}
+
+        def app(sim):
+            session = sessions[0]
+            lbuf = session.alloc_buffer(4096)
+            for _ in range(8):
+                yield from session.read_sync(1, 0, lbuf, 1024)
+            results["data"] = session.buffer_peek(lbuf, 1024)
+
+        cluster.sim.process(app(cluster.sim))
+        cluster.run(until=5_000_000)
+        assert results["data"] == _pattern(1, 1024)
+        assert injector.delays_injected > 0
+        assert injector.drops_injected == 0
+
+    def test_atomics_execute_exactly_once_under_chaos(self):
+        policy = FaultPolicy(drop_prob=0.05, duplicate_prob=0.2)
+        cluster, _g, sessions, injector = build(policy=policy, seed=3,
+                                                timeout_ns=3000.0)
+        cluster.poke_segment(2, CTX, 0, bytes(8))
+        adds_per_node = 20
+
+        def adder(sim, n):
+            session = sessions[n]
+            lbuf = session.alloc_buffer(4096)
+            last = -1
+            for _ in range(adds_per_node):
+                old = yield from session.fetch_add_sync(2, 0, lbuf, 1)
+                # The shared counter only ever grows, so each adder's
+                # observed old values never decrease. (They may repeat:
+                # a late retransmitted request of the *previous* op can
+                # answer from the replay cache under tid reuse — but a
+                # re-EXECUTED atomic would overshoot the final sum,
+                # which the assertion below pins down.)
+                assert old >= last
+                last = old
+
+        for n in (0, 1):
+            cluster.sim.process(adder(cluster.sim, n))
+        cluster.run(until=50_000_000)
+        final = int.from_bytes(cluster.peek_segment(2, CTX, 0, 8), "little")
+        assert final == 2 * adds_per_node
+        # Duplicated frames reached the NI twice; link sequencing dropped
+        # every second copy.
+        assert injector.duplicates_injected > 0
+        snap = telemetry.snapshot(cluster)
+        assert snap.total("ni_duplicates_dropped") \
+            == injector.duplicates_injected
+
+
+class TestErrorCompletions:
+    def test_severed_link_surfaces_timeout_no_hang(self):
+        cluster, _g, sessions, _inj = build(num_nodes=2, timeout_ns=2000.0,
+                                            max_retries=2)
+        cluster.fabric.sever_link(0, 1)
+        outcome = {}
+
+        def app(sim):
+            session = sessions[0]
+            lbuf = session.alloc_buffer(4096)
+            try:
+                yield from session.read_sync(1, 0, lbuf, 256)
+            except RemoteOpFailed as exc:
+                outcome["error"] = exc.error
+                outcome["at_ns"] = sim.now
+
+        cluster.sim.process(app(cluster.sim))
+        cluster.run(until=10_000_000)
+        assert outcome["error"] == "timeout"
+        # Retry budget: 2000 * (1 + 2 + 4) = 14 us of backoff, plus
+        # pipeline slack — far below the 10 ms run bound, i.e. no hang.
+        assert outcome["at_ns"] < 50_000
+        counters = cluster.nodes[0].rmc.counters.as_dict()
+        assert counters["transactions_timed_out"] == 1
+        assert counters["retransmissions"] == 2
+        assert sessions[0].failed_peers == {1}
+
+    def test_link_flap_recovers_via_retransmission(self):
+        cluster, _g, sessions, injector = build(num_nodes=2,
+                                                timeout_ns=3000.0)
+        cluster.poke_segment(1, CTX, 0, _pattern(5, 64))
+        injector.flap_link(0, 1, after_ns=0.0, down_ns=10_000.0)
+        results = {}
+
+        def app(sim):
+            session = sessions[0]
+            lbuf = session.alloc_buffer(4096)
+            yield sim.timeout(10.0)  # land inside the outage window
+            yield from session.read_sync(1, 0, lbuf, 64)
+            results["data"] = session.buffer_peek(lbuf, 64)
+
+        cluster.sim.process(app(cluster.sim))
+        cluster.run(until=10_000_000)
+        assert results["data"] == _pattern(5, 64)
+        counters = cluster.nodes[0].rmc.counters.as_dict()
+        assert counters["retransmissions"] >= 1
+        assert counters.get("transactions_timed_out", 0) == 0
+
+
+class TestMessagingUnderFaults:
+    def _messengers(self, cluster, sessions, config=None):
+        return {n: Messenger(sessions[n], n, len(sessions), config)
+                for n in sessions}
+
+    MSG_SEG = 64 * PAGE_SIZE  # room for the per-peer messaging regions
+
+    def test_messages_arrive_intact_under_drops(self):
+        policy = FaultPolicy(drop_prob=0.02)
+        cluster, _g, sessions, injector = build(num_nodes=2, policy=policy,
+                                                seed=11, timeout_ns=3000.0,
+                                                seg=self.MSG_SEG)
+        msgrs = self._messengers(cluster, sessions)
+        payloads = [_pattern(i, 40 + 30 * i) for i in range(6)]
+        received = []
+
+        def sender(sim):
+            for p in payloads:
+                yield from msgrs[0].send(1, p)
+
+        def receiver(sim):
+            for _ in payloads:
+                data = yield from msgrs[1].recv(0)
+                received.append(data)
+
+        cluster.sim.process(sender(cluster.sim))
+        cluster.sim.process(receiver(cluster.sim))
+        cluster.run(until=50_000_000)
+        assert received == payloads
+        assert injector.drops_injected > 0
+
+    def test_recv_timeout_when_peer_silent(self):
+        cluster, _g, sessions, _inj = build(num_nodes=2, seg=self.MSG_SEG)
+        msgrs = self._messengers(cluster, sessions)
+        outcome = {}
+
+        def receiver(sim):
+            try:
+                yield from msgrs[1].recv(0, timeout_ns=40_000.0)
+            except MessagingTimeout as exc:
+                outcome["peer"] = exc.peer
+                outcome["at_ns"] = sim.now
+
+        cluster.sim.process(receiver(cluster.sim))
+        cluster.run(until=1_000_000)
+        assert outcome["peer"] == 0
+        assert outcome["at_ns"] == pytest.approx(40_000.0, abs=500.0)
+
+    def test_sender_sees_peer_failure_instead_of_deadlock(self):
+        cluster, _g, sessions, _inj = build(num_nodes=2, timeout_ns=2000.0,
+                                            max_retries=1, seg=self.MSG_SEG)
+        msgrs = self._messengers(cluster, sessions,
+                                 MessagingConfig(slots=2))
+        cluster.fabric.sever_link(0, 1)
+        outcome = {}
+
+        def sender(sim):
+            try:
+                for i in range(10):
+                    yield from msgrs[0].send(1, b"x" * 32)
+            except PeerFailure as exc:
+                outcome["peer"] = exc.peer
+
+        cluster.sim.process(sender(cluster.sim))
+        cluster.run(until=10_000_000)
+        assert outcome["peer"] == 1
+
+
+class TestZeroFaultOverhead:
+    def _timed_reads(self, install_injector):
+        cluster = Cluster(config=ClusterConfig(num_nodes=2))
+        if install_injector:
+            # Installed but inactive: the hot path must not change.
+            cluster.fabric.install_fault_injector(FaultInjector(seed=123))
+        gctx = cluster.create_global_context(CTX, SEG)
+        session = RMCSession(cluster.nodes[0].core, gctx.qp(0),
+                             gctx.entry(0))
+        cluster.poke_segment(1, CTX, 0, _pattern(2, 4096))
+        times = []
+
+        def app(sim):
+            lbuf = session.alloc_buffer(8192)
+            for size in (64, 256, 1024, 4096):
+                start = sim.now
+                yield from session.read_sync(1, 0, lbuf, size)
+                times.append(sim.now - start)
+
+        cluster.sim.process(app(cluster.sim))
+        cluster.run(until=10_000_000)
+        return times, cluster.fabric.stats()
+
+    def test_idle_injector_is_timing_invisible(self):
+        with_inj, stats = self._timed_reads(True)
+        without_inj, _ = self._timed_reads(False)
+        assert with_inj == without_inj
+        assert stats["fault_drops"] == 0
+        assert stats["fault_corruptions"] == 0

@@ -131,3 +131,59 @@ class TestNodeFailure:
         cluster.run(until=100000)
         assert cluster.nodes[0].rmc.counters["resets"] == 1
         assert cluster.nodes[0].rmc.itt.in_flight == 0
+
+
+class TestErrorCompletionRecovery:
+    """The retransmission layer's end of recovery (§5.1): a dead link
+    produces a ``timeout`` error completion within the retry budget, and
+    once the link heals the *same* session keeps working — no RMC reset
+    or fresh QP required."""
+
+    def _build_fast_retry(self):
+        from repro.node import NodeConfig
+        from repro.rmc import RMCConfig
+
+        cluster = Cluster(config=ClusterConfig(
+            num_nodes=2,
+            node=NodeConfig(rmc=RMCConfig(retransmit_timeout_ns=2000.0,
+                                          max_retries=2))))
+        gctx = cluster.create_global_context(CTX, SEG)
+        sessions = {n: RMCSession(cluster.nodes[n].core, gctx.qp(n),
+                                  gctx.entry(n)) for n in range(2)}
+        return cluster, sessions
+
+    def test_sever_fail_restore_succeed(self):
+        from repro.runtime import RemoteOpFailed
+
+        cluster, sessions = self._build_fast_retry()
+        cluster.poke_segment(1, CTX, 0, b"ok" + bytes(62))
+        cluster.fabric.sever_link(0, 1)
+        outcome = {}
+
+        def app(sim):
+            session = sessions[0]
+            lbuf = session.alloc_buffer(4096)
+            try:
+                yield from session.read_sync(1, 0, lbuf, 64)
+            except RemoteOpFailed as exc:
+                outcome["error"] = exc.error
+                outcome["failed_at_ns"] = sim.now
+            # Driver-level recovery: heal the link, acknowledge the
+            # error record (this also clears the failed-peer mark)...
+            cluster.fabric.restore_link(0, 1)
+            outcome["errors_drained"] = len(session.consume_errors())
+            # ...and the very same session/QP carries traffic again.
+            yield from session.read_sync(1, 0, lbuf, 64)
+            outcome["data"] = session.buffer_peek(lbuf, 2)
+
+        cluster.sim.process(app(cluster.sim))
+        cluster.run(until=10_000_000)
+        assert outcome["error"] == "timeout"
+        # Retry budget 2000 * (1 + 2 + 4) = 14 us — the failure is
+        # surfaced promptly, not after the 10 ms run bound.
+        assert outcome["failed_at_ns"] < 50_000
+        assert outcome["errors_drained"] == 1
+        assert outcome["data"] == b"ok"
+        assert sessions[0].failed_peers == set()
+        counters = cluster.nodes[0].rmc.counters.as_dict()
+        assert counters["transactions_timed_out"] == 1

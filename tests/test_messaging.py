@@ -274,3 +274,31 @@ class TestBarrier:
             by_step.setdefault(step, []).append(t)
         for step in range(4):
             assert max(by_step[step]) <= min(by_step[step + 1])
+
+
+class TestSendTimeout:
+    def test_head_to_head_send_escapes_via_timeout(self):
+        """Both endpoints send with full windows and nobody receives —
+        the bounded-buffer deadlock. ``timeout_ns`` turns it into a
+        clean MessagingTimeout on both sides instead of a hang."""
+        from repro.runtime import MessagingTimeout
+
+        cluster, _sessions, messengers = build(
+            config=MessagingConfig(slots=2))
+        outcome = {}
+
+        def pusher(sim, me, peer):
+            try:
+                for _ in range(10):
+                    yield from messengers[me].send(peer, b"y" * 40,
+                                                   timeout_ns=100_000.0)
+            except MessagingTimeout as exc:
+                outcome[me] = (exc.peer, sim.now)
+
+        cluster.sim.process(pusher(cluster.sim, 0, 1))
+        cluster.sim.process(pusher(cluster.sim, 1, 0))
+        cluster.run(until=10_000_000)
+        assert outcome[0][0] == 1
+        assert outcome[1][0] == 0
+        # Prompt escape: within the timeout plus polling slack.
+        assert max(t for _p, t in outcome.values()) < 300_000

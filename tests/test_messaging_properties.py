@@ -56,30 +56,40 @@ class TestMessagingProperties:
 
         proc = cluster.sim.process(receiver(cluster.sim))
         cluster.sim.process(sender(cluster.sim))
-        cluster.run()
+        cluster.run(until=500_000_000)
         assert proc.value == expected
 
     @given(sizes_ab=message_sizes, sizes_ba=message_sizes)
     @settings(max_examples=8, deadline=None)
     def test_bidirectional_traffic_does_not_cross_contaminate(
             self, sizes_ab, sizes_ba):
+        """Each endpoint sends and receives *concurrently* — the safe
+        shape for full-duplex traffic. (Send-everything-then-receive is
+        the bounded-buffer analogue of an MPI "unsafe" program: with
+        both windows full neither side ever drains the other, which is
+        exactly what ``send(timeout_ns=...)`` exists to escape — see
+        test_messaging.py for that behaviour.)"""
         cluster, messengers = build()
         expected_ab = [payload_for(i, s) for i, s in enumerate(sizes_ab)]
         expected_ba = [payload_for(i + 100, s)
                        for i, s in enumerate(sizes_ba)]
 
-        def endpoint(sim, me, peer, outgoing, incoming_count, results):
+        def sender(sim, me, peer, outgoing):
             for message in outgoing:
                 yield from messengers[me].send(peer, message)
+
+        def receiver(sim, me, peer, incoming_count, results):
             for _ in range(incoming_count):
                 results.append((yield from messengers[me].recv(peer)))
 
         got_at_b, got_at_a = [], []
-        cluster.sim.process(endpoint(cluster.sim, 0, 1, expected_ab,
+        cluster.sim.process(sender(cluster.sim, 0, 1, expected_ab))
+        cluster.sim.process(receiver(cluster.sim, 0, 1,
                                      len(expected_ba), got_at_a))
-        cluster.sim.process(endpoint(cluster.sim, 1, 0, expected_ba,
+        cluster.sim.process(sender(cluster.sim, 1, 0, expected_ba))
+        cluster.sim.process(receiver(cluster.sim, 1, 0,
                                      len(expected_ab), got_at_b))
-        cluster.run()
+        cluster.run(until=500_000_000)
         assert got_at_b == expected_ab
         assert got_at_a == expected_ba
 
@@ -109,6 +119,6 @@ class TestMessagingProperties:
         proc = cluster.sim.process(receiver(cluster.sim))
         cluster.sim.process(sender(cluster.sim, 1, msgs_from_1))
         cluster.sim.process(sender(cluster.sim, 2, msgs_from_2))
-        cluster.run()
+        cluster.run(until=500_000_000)
         assert proc.value[1] == msgs_from_1
         assert proc.value[2] == msgs_from_2
