@@ -9,7 +9,15 @@ records measured-vs-paper values.
 
 from __future__ import annotations
 
+import pathlib
 import sys
+
+# Belt-and-braces with pyproject's `pythonpath = ["src"]` (pytest >= 7):
+# make `python -m pytest benchmarks -q` work from a clean checkout even
+# when the ini option is unavailable (e.g. direct script imports).
+_SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
 
 
 def print_table(title: str, headers, rows) -> None:

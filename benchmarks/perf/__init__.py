@@ -1,0 +1,8 @@
+"""Wall-clock performance harness for the simulation kernel and workloads.
+
+Unlike the ``test_*`` benches (which reproduce the paper's *simulated*
+results), this package measures how fast the simulator itself runs:
+events/second, wall seconds, and peak RSS. Results are emitted as
+``BENCH_kernel.json`` / ``BENCH_workloads.json`` so the perf trajectory
+of the kernel is tracked across PRs (see README.md for the schema).
+"""

@@ -1,0 +1,69 @@
+"""Shared measurement utilities for the perf harness.
+
+Methodology: each benchmark runs ``repeat`` times in-process and the
+*minimum* wall time is reported. The minimum is the standard robust
+estimator for microbenchmarks — noise (scheduler preemption, frequency
+scaling, allocator state) only ever adds time, so the fastest repetition
+is the closest observation of the true cost.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import resource
+import sys
+import time
+from typing import Callable, Dict
+
+# Make `python benchmarks/perf/bench_*.py` work from a clean checkout
+# without the PYTHONPATH=src incantation.
+_SRC = pathlib.Path(__file__).resolve().parents[2] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+__all__ = ["measure", "peak_rss_kb", "geomean", "write_json", "SRC_ROOT"]
+
+SRC_ROOT = _SRC
+
+
+def measure(fn: Callable[[], int], repeat: int = 5) -> Dict[str, float]:
+    """Run ``fn`` ``repeat`` times; return stats for the fastest rep.
+
+    ``fn`` must return the number of kernel events it processed.
+    """
+    best_wall = float("inf")
+    events = 0
+    for _ in range(repeat):
+        start = time.perf_counter()
+        events = fn()
+        wall = time.perf_counter() - start
+        if wall < best_wall:
+            best_wall = wall
+    return {
+        "events": events,
+        "wall_s": best_wall,
+        "events_per_sec": events / best_wall if best_wall > 0 else 0.0,
+    }
+
+
+def peak_rss_kb() -> int:
+    """Peak resident set size of this process, in kilobytes (Linux)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+
+def geomean(values) -> float:
+    values = list(values)
+    if not values:
+        return 0.0
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))
+
+
+def write_json(path: str, payload: dict) -> None:
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {path}")

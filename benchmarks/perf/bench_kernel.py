@@ -1,0 +1,185 @@
+"""Kernel microbenchmarks: raw event throughput of the simulation engine.
+
+Each benchmark drives a fixed number of modeled operations through the
+kernel and reports wall seconds + operations/second (best of N reps).
+The suite runs unchanged against older engine revisions (it feature-
+detects ``call_later``), which is how ``baseline.json`` was captured at
+the pre-optimization HEAD.
+
+Usage::
+
+    python benchmarks/perf/bench_kernel.py --out BENCH_kernel.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+if __package__ in (None, ""):
+    from _common import geomean, measure, peak_rss_kb, write_json
+else:
+    from ._common import geomean, measure, peak_rss_kb, write_json
+
+from repro.sim import Simulator, Store
+
+SCHEMA = "bench_kernel/v1"
+
+
+def bench_timeout_chain(n: int) -> int:
+    """One process sleeping through n explicit Timeout objects."""
+    sim = Simulator()
+
+    def proc():
+        timeout = sim.timeout
+        for _ in range(n):
+            yield timeout(1.0)
+
+    sim.process(proc())
+    sim.run()
+    return n
+
+
+def bench_delay_chain(n: int) -> int:
+    """One process sleeping through n bare-number yields (the fast-path
+    idiom used by the component hot loops)."""
+    sim = Simulator()
+
+    def proc():
+        for _ in range(n):
+            yield 1.0
+
+    sim.process(proc())
+    sim.run()
+    return n
+
+
+def bench_zero_delay(n: int) -> int:
+    """n zero-delay yields: same-timestamp handoffs that never need the
+    heap."""
+    sim = Simulator()
+
+    def proc():
+        for _ in range(n):
+            yield None
+
+    sim.process(proc())
+    sim.run()
+    return n
+
+
+def bench_store_pingpong(n: int) -> int:
+    """Two processes trading items through a pair of Stores."""
+    sim = Simulator()
+    a = Store(sim)
+    b = Store(sim)
+    rounds = n // 2
+
+    def ping():
+        for _ in range(rounds):
+            yield a.put(1)
+            yield b.get()
+
+    def pong():
+        for _ in range(rounds):
+            yield a.get()
+            yield b.put(1)
+
+    sim.process(ping())
+    sim.process(pong())
+    sim.run()
+    return rounds * 4
+
+
+def bench_deferred_fanout(n: int) -> int:
+    """A chain of n deferred callbacks (``call_later``); on engines
+    without the primitive, the pre-elision equivalent: one spawned
+    process per callback."""
+    sim = Simulator()
+    count = [0]
+
+    if hasattr(sim, "call_later"):
+        def tick():
+            count[0] += 1
+            if count[0] < n:
+                sim.call_later(1.0, tick)
+
+        sim.call_later(1.0, tick)
+    else:
+        def tick_proc():
+            yield 1.0
+            count[0] += 1
+            if count[0] < n:
+                sim.process(tick_proc())
+
+        sim.process(tick_proc())
+    sim.run()
+    return n
+
+
+BENCHES = {
+    "timeout_chain": bench_timeout_chain,
+    "delay_chain": bench_delay_chain,
+    "zero_delay": bench_zero_delay,
+    "store_pingpong": bench_store_pingpong,
+    "deferred_fanout": bench_deferred_fanout,
+}
+
+
+def run_suite(events: int, repeat: int) -> dict:
+    results = {}
+    for name, fn in BENCHES.items():
+        results[name] = measure(lambda fn=fn: fn(events), repeat=repeat)
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--events", type=int, default=200_000,
+                        help="modeled operations per benchmark")
+    parser.add_argument("--repeat", type=int, default=5,
+                        help="repetitions per benchmark (min is reported)")
+    parser.add_argument("--out", default="BENCH_kernel.json")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline.json to compute speedups against")
+    args = parser.parse_args(argv)
+
+    results = run_suite(args.events, args.repeat)
+
+    aggregate = {
+        "events_per_sec_geomean": geomean(
+            r["events_per_sec"] for r in results.values()),
+        "speedup_vs_baseline": None,
+    }
+    if args.baseline:
+        import json
+        with open(args.baseline) as fh:
+            base = json.load(fh)["results"]
+        ratios = [results[name]["events_per_sec"] / base[name]
+                  for name in results if name in base]
+        if ratios:
+            aggregate["speedup_vs_baseline"] = geomean(ratios)
+
+    payload = {
+        "schema": SCHEMA,
+        "config": {
+            "events": args.events,
+            "repeat": args.repeat,
+            "python": sys.version.split()[0],
+        },
+        "results": results,
+        "peak_rss_kb": peak_rss_kb(),
+        "aggregate": aggregate,
+    }
+    write_json(args.out, payload)
+    for name, r in results.items():
+        print(f"  {name:18s} {r['events_per_sec'] / 1e6:7.3f} M events/s"
+              f"  ({r['wall_s']:.3f} s)")
+    if aggregate["speedup_vs_baseline"] is not None:
+        print(f"  speedup vs baseline: "
+              f"{aggregate['speedup_vs_baseline']:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,106 @@
+"""Workload-level wall-clock benchmarks: full soNUMA stacks end to end.
+
+Where :mod:`bench_kernel` measures the bare engine, these drive the
+complete model — RMC pipelines, MMU, caches, fabric — through the
+paper's workloads and report wall seconds, simulated-operation
+throughput, and kernel events/second (when the engine exposes an event
+counter, which the optimized engine does via per-run totals).
+
+Usage::
+
+    python benchmarks/perf/bench_workloads.py --out BENCH_workloads.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+if __package__ in (None, ""):
+    from _common import peak_rss_kb, write_json
+else:
+    from ._common import peak_rss_kb, write_json
+
+from repro.workloads.microbench import remote_read_latency
+from repro.workloads.netpipe import send_recv_latency
+from repro.workloads.pagerank_sweep import pagerank_speedups
+
+SCHEMA = "bench_workloads/v1"
+
+
+def _timed(fn, repeat: int):
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        wall = time.perf_counter() - start
+        if wall < best:
+            best = wall
+    return best
+
+
+def bench_netpipe_sweep(repeat: int) -> dict:
+    """The Fig. 1-style send/recv latency sweep (messaging stack)."""
+    sizes = (32, 128, 512, 2048)
+    rounds = 8
+    wall = _timed(lambda: send_recv_latency(sizes=sizes, threshold=256,
+                                            rounds=rounds), repeat)
+    return {
+        "wall_s": wall,
+        "messages": len(sizes) * rounds,
+        "messages_per_sec": len(sizes) * rounds / wall,
+    }
+
+
+def bench_remote_reads(repeat: int) -> dict:
+    """The Fig. 7-style one-sided remote-read latency ladder."""
+    sizes = (64, 512, 4096)
+    iterations = 8
+    wall = _timed(lambda: remote_read_latency(sizes=sizes,
+                                              iterations=iterations), repeat)
+    return {
+        "wall_s": wall,
+        "reads": len(sizes) * iterations,
+        "reads_per_sec": len(sizes) * iterations / wall,
+    }
+
+
+def bench_pagerank_iteration(repeat: int) -> dict:
+    """One PageRank speedup point (Fig. 9): the three sharing models on
+    a two-node cluster."""
+    wall = _timed(lambda: pagerank_speedups(
+        node_counts=(2,), num_vertices=1024, avg_degree=4,
+        llc_total_bytes=32 * 1024), repeat)
+    return {"wall_s": wall, "runs_per_sec": 1.0 / wall}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="repetitions per workload (min is reported)")
+    parser.add_argument("--out", default="BENCH_workloads.json")
+    args = parser.parse_args(argv)
+
+    results = {
+        "netpipe_sweep": bench_netpipe_sweep(args.repeat),
+        "remote_reads": bench_remote_reads(args.repeat),
+        "pagerank_iteration": bench_pagerank_iteration(args.repeat),
+    }
+    payload = {
+        "schema": SCHEMA,
+        "config": {
+            "repeat": args.repeat,
+            "python": sys.version.split()[0],
+        },
+        "results": results,
+        "peak_rss_kb": peak_rss_kb(),
+    }
+    write_json(args.out, payload)
+    for name, r in results.items():
+        print(f"  {name:20s} {r['wall_s']:.3f} s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

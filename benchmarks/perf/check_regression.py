@@ -1,0 +1,63 @@
+"""CI gate: fail when the kernel microbenchmark regresses too far.
+
+Compares a fresh ``BENCH_kernel.json`` against the committed
+``baseline.json`` and exits non-zero if the geomean slowdown exceeds the
+allowed factor (default 2x, generous because CI machines are noisy and
+heterogeneous; the gate exists to catch order-of-magnitude mistakes like
+an accidentally quadratic heap, not 20% jitter).
+
+Usage::
+
+    python benchmarks/perf/check_regression.py \
+        --bench BENCH_kernel.json --baseline benchmarks/perf/baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+if __package__ in (None, ""):
+    from _common import geomean
+else:
+    from ._common import geomean
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bench", default="BENCH_kernel.json")
+    parser.add_argument("--baseline",
+                        default="benchmarks/perf/baseline.json")
+    parser.add_argument("--max-regression", type=float, default=2.0,
+                        help="fail if baseline/current exceeds this factor")
+    args = parser.parse_args(argv)
+
+    with open(args.bench) as fh:
+        current = json.load(fh)["results"]
+    with open(args.baseline) as fh:
+        base = json.load(fh)["results"]
+
+    ratios = {}
+    for name, rate in base.items():
+        if name in current:
+            ratios[name] = current[name]["events_per_sec"] / rate
+    if not ratios:
+        print("no overlapping benchmarks between bench and baseline")
+        return 1
+
+    overall = geomean(ratios.values())
+    for name, ratio in sorted(ratios.items()):
+        print(f"  {name:18s} {ratio:6.2f}x vs baseline")
+    print(f"  geomean: {overall:.2f}x "
+          f"(floor: {1.0 / args.max_regression:.2f}x)")
+
+    if overall < 1.0 / args.max_regression:
+        print(f"FAIL: kernel is more than {args.max_regression:.1f}x "
+              "slower than the committed baseline")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

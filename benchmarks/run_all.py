@@ -3,23 +3,35 @@
 
 Runs the same harnesses the pytest benchmarks use and prints each
 experiment's rows in the paper's units. Use ``--quick`` for a reduced
-sweep (CI-sized runs).
+sweep (CI-sized runs), ``--parallel N`` to fan the experiments out over
+N worker processes (one simulator per process; output is byte-identical
+to the serial run), and ``--json PATH`` to also save the captured
+experiment output as JSON.
 
-    python benchmarks/run_all.py [--quick]
+    python benchmarks/run_all.py [--quick] [--parallel N] [--json PATH]
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import io
+import json
+import pathlib
 import sys
 import time
+
+# Importable from a clean checkout without PYTHONPATH=src.
+_SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
 
 
 def banner(title: str) -> None:
     print(f"\n{'=' * 72}\n{title}\n{'=' * 72}")
 
 
-def fig1():
+def fig1(quick: bool):
     from repro.baselines import TCPNetworkModel
 
     banner("Fig. 1 — Netpipe on a Calxeda microserver (commodity TCP)")
@@ -162,9 +174,9 @@ def table2(quick: bool):
               f"{'sim/paper':>10} {'sim/ours':>10} {'ib/paper':>9} "
               f"{'ib/ours':>9}")
     print(header)
-    for name, dp, do, sp, so, ip, io in rows:
+    for name, dp, do, sp, so, ip, io_ in rows:
         print(f"{name:<16} {dp:>10.2f} {do:>10.2f} {sp:>10.2f} "
-              f"{so:>10.2f} {ip:>9.2f} {io:>9.2f}")
+              f"{so:>10.2f} {ip:>9.2f} {io_:>9.2f}")
 
 
 def fig9(quick: bool):
@@ -194,27 +206,70 @@ def fig9(quick: bool):
               f"{r.fine:>7.2f}")
 
 
+EXPERIMENTS = {
+    "fig1": fig1,
+    "fig7": fig7,
+    "fig8": fig8,
+    "table2": table2,
+    "fig9": fig9,
+}
+
+
+def _run_one(job) -> str:
+    """Run one experiment with its stdout captured; returns the text.
+
+    Module-level so it pickles into multiprocessing workers. Every
+    experiment builds its own seeded simulators, so the captured output
+    is identical no matter which process runs it.
+    """
+    name, quick = job
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        EXPERIMENTS[name](quick)
+    return buffer.getvalue()
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
                         help="reduced sweeps for CI-sized runs")
-    parser.add_argument("--only", choices=["fig1", "fig7", "fig8",
-                                           "table2", "fig9"],
+    parser.add_argument("--only", choices=sorted(EXPERIMENTS),
                         help="run a single experiment")
+    parser.add_argument("--parallel", type=int, default=1, metavar="N",
+                        help="fan experiments out over N worker processes")
+    parser.add_argument("--json", metavar="PATH",
+                        help="also write captured output as JSON")
     args = parser.parse_args()
 
-    experiments = {
-        "fig1": lambda: fig1(),
-        "fig7": lambda: fig7(args.quick),
-        "fig8": lambda: fig8(args.quick),
-        "table2": lambda: table2(args.quick),
-        "fig9": lambda: fig9(args.quick),
-    }
-    chosen = [args.only] if args.only else list(experiments)
+    chosen = [args.only] if args.only else list(EXPERIMENTS)
+    jobs = [(name, args.quick) for name in chosen]
     start = time.time()
+    if args.parallel > 1:
+        import multiprocessing
+
+        with multiprocessing.Pool(args.parallel) as pool:
+            outputs = pool.map(_run_one, jobs)
+    else:
+        outputs = [_run_one(job) for job in jobs]
+
+    # Canonical merge order: the experiment list, never completion order.
+    results = dict(zip(chosen, outputs))
     for name in chosen:
-        experiments[name]()
-    print(f"\nall experiments completed in {time.time() - start:.0f}s")
+        sys.stdout.write(results[name])
+    sys.stdout.write("\nall experiments completed\n")
+
+    if args.json:
+        payload = {
+            "schema": "run_all/v1",
+            "quick": args.quick,
+            "experiments": results,
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    # Wall-clock note goes to stderr so stdout/JSON stay deterministic.
+    print(f"elapsed: {time.time() - start:.0f}s", file=sys.stderr)
     return 0
 
 

@@ -14,6 +14,7 @@ the soNUMA fabric", §5.1).
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Dict, Optional, Set, Tuple
 
 from ..protocol import VirtualLane
@@ -103,7 +104,7 @@ class CrossbarFabric:
                 # lost on the wire; no credit was consumed downstream.
                 tx = self._tx_ports[ni.node_id]
                 yield tx.acquire()
-                yield sim.timeout(packet.size_bytes / cfg.link_bandwidth_gbps)
+                yield packet.size_bytes / cfg.link_bandwidth_gbps
                 tx.release()
                 self._count_drop(ni.node_id)
                 continue
@@ -113,23 +114,24 @@ class CrossbarFabric:
             # Serialize on this node's (shared) injection port.
             tx = self._tx_ports[ni.node_id]
             yield tx.acquire()
-            yield sim.timeout(packet.size_bytes / cfg.link_bandwidth_gbps)
+            yield packet.size_bytes / cfg.link_bandwidth_gbps
             tx.release()
             # Propagate: flat crossbar latency (+ any injected jitter).
             delay = cfg.link_latency_ns
             if decision is not None:
                 delay += decision.extra_delay_ns
-            self.sim.process(
-                self._deliver_after(packet, dst_ni, delay, decision),
-                name="xbar.deliver")
+            # Elision: one deferred callback per in-flight packet instead
+            # of a spawned process (spawn + timeout = two kernel events).
+            self.sim.call_later(
+                delay, partial(self._deliver_now, packet, dst_ni, decision))
             if decision is not None and decision.duplicate:
                 self.sim.process(
                     self._deliver_duplicate(packet, dst_ni, delay, decision),
                     name="xbar.dup")
 
-    def _deliver_after(self, packet, dst_ni: NetworkInterface, delay: float,
-                       decision=None):
-        yield self.sim.timeout(delay)
+    def _deliver_now(self, packet, dst_ni: NetworkInterface, decision=None):
+        """Propagation delay has elapsed: land the packet (or drop it if a
+        failure raced with it in flight)."""
         if not self._reachable(packet.src_nid, packet.dst_nid):
             # Failure raced with the packet in flight: drop + notify.
             self._count_drop(packet.src_nid)
@@ -145,7 +147,7 @@ class CrossbarFabric:
         """A second copy of the same frame: same wire bits, same link seq,
         so the receiving NI's dedup window rejects whichever arrives last."""
         yield dst_ni.rx_credits[packet.vl].acquire()
-        yield self.sim.timeout(delay)
+        yield delay
         if not self._reachable(packet.src_nid, packet.dst_nid):
             dst_ni.rx_credits[packet.vl].release()
             return

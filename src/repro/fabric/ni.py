@@ -135,16 +135,13 @@ class NetworkInterface:
         return False
 
     def _release_credit_later(self, vl: VirtualLane) -> None:
-        """Return the held receive credit after the usual return latency."""
-        sim = self.sim
-        credits = self.rx_credits[vl]
-        delay = self.config.credit_return_ns
+        """Return the held receive credit after the usual return latency.
 
-        def _return_credit():
-            yield sim.timeout(delay)
-            credits.release()
-
-        sim.process(_return_credit(), name=f"ni{self.node_id}.credit")
+        Elision: a deferred callback instead of a spawned process — one
+        kernel event per credit return rather than two (spawn + timeout).
+        """
+        self.sim.call_later(self.config.credit_return_ns,
+                            self.rx_credits[vl].release)
 
     def receive(self, vl: VirtualLane):
         """Coroutine used by RMC pipelines to drain one packet from a lane.
@@ -153,15 +150,8 @@ class NetworkInterface:
         after the credit-return latency.
         """
         packet = yield self.rx[vl].get()
-        sim = self.sim
-        credits = self.rx_credits[vl]
-        delay = self.config.credit_return_ns
-
-        def _return_credit():
-            yield sim.timeout(delay)
-            credits.release()
-
-        sim.process(_return_credit(), name=f"ni{self.node_id}.credit")
+        self.sim.call_later(self.config.credit_return_ns,
+                            self.rx_credits[vl].release)
         return packet
 
     def notify_failure(self, packet) -> None:

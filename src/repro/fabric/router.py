@@ -12,6 +12,7 @@ latency.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Dict, Optional, Tuple
 
 from ..protocol import VirtualLane
@@ -66,7 +67,7 @@ class Router:
         credits = self.in_credits[key]
         while True:
             packet = yield buffer.get()
-            yield sim.timeout(cfg.router_delay_ns)  # route computation + xbar
+            yield cfg.router_delay_ns  # route computation + xbar
             if packet.dst_nid == self.node_id:
                 # Ejection port: hand to the local NI (credit-controlled).
                 ni = fabric.nis[self.node_id]
@@ -99,21 +100,17 @@ class Router:
                 yield next_router.in_credits[(self.node_id, vl)].acquire()
                 line = self.out_lines[next_hop]
                 yield line.acquire()
-                yield sim.timeout(
-                    packet.size_bytes / cfg.link_bandwidth_gbps)
+                yield packet.size_bytes / cfg.link_bandwidth_gbps
                 line.release()
-                sim.process(
-                    self._deliver_after(packet, next_router, vl, extra_delay),
-                    name=f"r{self.node_id}.link{next_hop}")
+                # Elision: the in-flight hop is a deferred callback, not
+                # a spawned process (halves kernel events per hop).
+                sim.call_later(
+                    cfg.link_latency_ns + extra_delay,
+                    partial(next_router.in_buffers[(self.node_id, vl)].try_put,
+                            packet))
                 self.packets_forwarded += 1
             # This packet has left our buffer: return the upstream credit.
             credits.release()
-
-    def _deliver_after(self, packet, next_router: "Router", vl: VirtualLane,
-                       extra_delay: float = 0.0):
-        yield self.sim.timeout(
-            self.fabric.config.link_latency_ns + extra_delay)
-        next_router.in_buffers[(self.node_id, vl)].try_put(packet)
 
 
 class RoutedFabric:

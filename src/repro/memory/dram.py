@@ -73,12 +73,11 @@ class DRAMChannel:
         # Controller queueing/scheduling overhead is pipelined (does not
         # occupy the data bus), so back-to-back line reads stream at the
         # effective channel bandwidth.
-        yield self.sim.timeout(cfg.controller_overhead_ns)
+        yield cfg.controller_overhead_ns
         yield self._bus.acquire()
-        serialization = size / cfg.effective_bandwidth
-        yield self.sim.timeout(serialization)
+        yield size / cfg.effective_bandwidth
         self._bus.release()
-        yield self.sim.timeout(cfg.latency_ns)
+        yield cfg.latency_ns
         self.bytes_transferred += size
         if is_write:
             self.writes += 1

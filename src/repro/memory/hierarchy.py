@@ -81,8 +81,7 @@ class AgentPort:
 
     def _access_line(self, line: int, is_write: bool, full_line: bool,
                      allocate: bool):
-        sim = self.system.sim
-        yield sim.timeout(self.l1.config.latency_ns)
+        yield self.l1.config.latency_ns
         if self.l1.probe(line, is_write=is_write):
             if is_write:
                 self.system._invalidate_other_l1s(self, line)
@@ -91,7 +90,7 @@ class AgentPort:
         # L1 miss: take an MSHR for the duration of the fill.
         yield self._mshrs.acquire()
         try:
-            yield sim.timeout(self.system.l2.config.latency_ns)
+            yield self.system.l2.config.latency_ns
             if self.system.l2.probe(line, is_write=False):
                 served = "l2"
             elif is_write and full_line:

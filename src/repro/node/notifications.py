@@ -79,7 +79,7 @@ class NotificationQueue:
         """Application-side coroutine: block (no polling!) until a
         notification arrives; charged the interrupt delivery cost."""
         notification = yield self._queue.get()
-        yield self.sim.timeout(self.interrupt_cost_ns)
+        yield self.interrupt_cost_ns
         return notification
 
     def __len__(self) -> int:

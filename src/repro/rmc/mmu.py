@@ -64,12 +64,12 @@ class RMCMMU:
     def _walk_level_access(self):
         """One page-table-node access, serialized through the MAQ."""
         yield self.maq.acquire()
-        yield self.sim.timeout(self.config.walk_level_latency_ns)
+        yield self.config.walk_level_latency_ns
         self.maq.release()
 
     def translate(self, asid: int, page_table: PageTable, vaddr: int):
         """Timed coroutine: virtual -> physical through TLB or walker."""
-        yield self.sim.timeout(self.config.tlb_latency_ns)
+        yield self.config.tlb_latency_ns
         self.translations += 1
         pte = self.tlb.lookup(asid, vaddr)
         if pte is None:

@@ -216,9 +216,9 @@ class RMC:
                     continue
                 found_work = True
                 wq_entry = qp.wq.consume(index)
-                yield sim.timeout(cycle)  # ITT entry initialization
-                if self.config.request_overhead_ns:
-                    yield sim.timeout(self.config.request_overhead_ns)
+                # ITT entry initialization plus the (RMCemu) software
+                # pickup cost, coalesced into one kernel event.
+                yield cycle + self.config.request_overhead_ns
                 if self.config.unroll_overhead_ns:
                     # RMCemu: the RGP kernel thread processes requests
                     # serially, so generation happens inline.
@@ -228,7 +228,7 @@ class RMC:
                                 name=f"rmc{self.node_id}.rgp.gen")
             if not found_work:
                 yield self._rgp_wake.wait()
-                yield sim.timeout(self.config.idle_poll_ns)
+                yield self.config.idle_poll_ns
 
     def _generate(self, qp: QueuePair, ctx: ContextEntry, wq_index: int,
                   wq_entry: WQEntry):
@@ -248,11 +248,11 @@ class RMC:
             itt_entry.deadline_ns = sim.now + itt_entry.timeout_ns
             sim.process(self._watchdog(itt_entry),
                         name=f"rmc{self.node_id}.rgp.watchdog")
+        # Per-line unroll stage plus the (RMCemu) serialized software
+        # unroll cost, coalesced into one kernel event per line.
+        per_line = cycle + self.config.unroll_overhead_ns
         for chunk_offset, chunk_len in chunks:
-            yield sim.timeout(cycle)  # per-line unroll stage
-            if self.config.unroll_overhead_ns:
-                # RMCemu: software unrolling serializes line emission.
-                yield sim.timeout(self.config.unroll_overhead_ns)
+            yield per_line
             sim.process(
                 self._emit_chunk(ctx, wq_entry, itt_entry.tid,
                                  chunk_offset, chunk_len),
@@ -277,7 +277,7 @@ class RMC:
             tid=tid, length=chunk_len, payload=payload,
             operand=wq_entry.operand, compare=wq_entry.compare,
             attempt=attempt)
-        yield self.sim.timeout(self.config.pipeline_cycle_ns)  # pkt gen
+        yield self.config.pipeline_cycle_ns  # pkt gen
         yield self.ni.inject(packet)
         self.counters.incr("lines_sent")
 
@@ -316,7 +316,7 @@ class RMC:
                 continue
             if self.itt.get(entry.tid) is not entry or entry.done:
                 return
-            yield self.sim.timeout(self.config.pipeline_cycle_ns)
+            yield self.config.pipeline_cycle_ns
             yield from self._emit_chunk(entry.ctx, entry.wq_entry,
                                         entry.tid, chunk_offset, chunk_len,
                                         attempt=entry.attempt)
@@ -339,12 +339,14 @@ class RMC:
         sim = self.sim
         while self._running:
             packet = yield from self.ni.receive(VirtualLane.REQUEST)
-            yield sim.timeout(self.config.pipeline_cycle_ns)  # decode
             if self.config.rrpp_overhead_ns:
-                # RMCemu: one kernel thread serves requests serially.
-                yield sim.timeout(self.config.rrpp_overhead_ns)
+                # RMCemu: one kernel thread serves requests serially
+                # (decode + software cost, coalesced into one event).
+                yield (self.config.pipeline_cycle_ns
+                       + self.config.rrpp_overhead_ns)
                 yield from self._serve_request(packet)
             else:
+                yield self.config.pipeline_cycle_ns  # decode
                 sim.process(self._serve_request(packet),
                             name=f"rmc{self.node_id}.rrpp.serve")
 
@@ -463,7 +465,7 @@ class RMC:
                payload: Optional[bytes] = None,
                old_value: Optional[int] = None):
         """Generate the single reply for a request (§6)."""
-        yield self.sim.timeout(self.config.pipeline_cycle_ns)
+        yield self.config.pipeline_cycle_ns
         reply = ReplyPacket(dst_nid=req.src_nid, src_nid=self.node_id,
                             tid=req.tid, offset=req.offset, status=status,
                             payload=payload, old_value=old_value)
@@ -477,13 +479,15 @@ class RMC:
         sim = self.sim
         while self._running:
             packet = yield from self.ni.receive(VirtualLane.REPLY)
-            yield sim.timeout(self.config.pipeline_cycle_ns)  # decode
             if self.config.rcp_overhead_ns:
                 # RMCemu: RGP and RCP share one emulation vCPU; replies
-                # are completed serially in software.
-                yield sim.timeout(self.config.rcp_overhead_ns)
+                # are completed serially in software (decode + software
+                # cost, coalesced into one event).
+                yield (self.config.pipeline_cycle_ns
+                       + self.config.rcp_overhead_ns)
                 yield from self._complete(packet)
             else:
+                yield self.config.pipeline_cycle_ns  # decode
                 sim.process(self._complete(packet),
                             name=f"rmc{self.node_id}.rcp.complete")
 

@@ -33,12 +33,33 @@ A process finishes when its generator returns; the generator's return value
 becomes the process's :attr:`Event.value`. Exceptions raised inside a
 process propagate to any process waiting on it, and to :meth:`Simulator.run`
 if nobody is waiting (errors never pass silently).
+
+Performance model (see docs/architecture.md, "Kernel fast paths"):
+
+* **Bare-number yields are the fast path.** ``yield 0.5`` resumes the
+  process through a pooled internal event — no :class:`Timeout` object is
+  allocated, and the pool is recycled after every delivery. Component hot
+  loops use this idiom (optionally via :meth:`Simulator.delay`, which also
+  documents coalesced delays).
+* **Zero-delay and same-timestamp events skip the heap.** Anything
+  scheduled at the current timestamp goes onto a FIFO deque (the
+  "now-queue") instead of the heap; heap entries that mature at the
+  current timestamp are always drained before the now-queue, so the total
+  FIFO order of equal-time events is exactly the order they were
+  scheduled in — bit-identical to the heap-only kernel.
+* **:meth:`Simulator.call_later` schedules a bare callback** without
+  spawning a process (used for credit returns and in-flight packet
+  delivery), again through the pooled-event path.
+
+None of the fast paths changes simulated timestamps: they remove Python
+objects and heap traffic, not simulated time.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 __all__ = [
@@ -52,6 +73,10 @@ __all__ = [
     "StopSimulation",
     "WakeSignal",
 ]
+
+#: Upper bound on the recycled-event free list (plenty for every model in
+#: the repo; merely caps memory if a workload bursts).
+_POOL_LIMIT = 4096
 
 
 class SimulationError(RuntimeError):
@@ -75,7 +100,8 @@ class Event:
     extends a run past its last piece of real work.
     """
 
-    __slots__ = ("sim", "callbacks", "_triggered", "_ok", "value", "daemon")
+    __slots__ = ("sim", "callbacks", "_triggered", "_ok", "value", "daemon",
+                 "_pooled", "_cb")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
@@ -84,6 +110,7 @@ class Event:
         self._ok = True
         self.value: Any = None
         self.daemon = False
+        self._pooled = False
 
     @property
     def triggered(self) -> bool:
@@ -123,7 +150,13 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires automatically after a fixed delay."""
+    """An event that fires automatically after a fixed delay.
+
+    Hot paths should prefer yielding the bare delay (``yield 0.5``), which
+    goes through the simulator's pooled-event fast path; a :class:`Timeout`
+    object is for when the event itself is needed (``any_of`` arms,
+    carrying a ``value``, daemon timers).
+    """
 
     __slots__ = ("delay",)
 
@@ -131,24 +164,22 @@ class Timeout(Event):
                  daemon: bool = False):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(sim)
-        self.delay = delay
-        self.daemon = daemon
+        # Inlined Event.__init__ (this constructor is hot).
+        self.sim = sim
+        self.callbacks = []
         self._triggered = True  # scheduled immediately, fires at now+delay
+        self._ok = True
         self.value = value
+        self.daemon = daemon
+        self._pooled = False
+        self.delay = delay
         sim._schedule_at(sim.now + delay, self)
 
 
-class Initialize(Event):
-    """Internal event used to start a freshly created process."""
-
-    __slots__ = ()
-
-    def __init__(self, sim: "Simulator", process: "Process"):
-        super().__init__(sim)
-        self.callbacks.append(process._resume)
-        self._triggered = True
-        sim._schedule_at(sim.now, self)
+def _run_deferred(event: Event) -> None:
+    """Delivery callback for :meth:`Simulator.call_later`: the scheduled
+    function rides in ``event.value``."""
+    event.value()
 
 
 class Process(Event):
@@ -159,7 +190,8 @@ class Process(Event):
     for it by yielding it.
     """
 
-    __slots__ = ("generator", "name", "_waiting_on")
+    __slots__ = ("generator", "name", "_waiting_on", "_send", "_throw",
+                 "_resume_cb")
 
     def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
         if not hasattr(generator, "send"):
@@ -168,7 +200,12 @@ class Process(Event):
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._waiting_on: Optional[Event] = None
-        Initialize(sim, self)
+        # Bound once: resumed on every event the process waits for (a
+        # fresh bound method per wait would be an allocation each).
+        self._send = generator.send
+        self._throw = generator.throw
+        self._resume_cb = self._resume
+        sim._schedule_resume(self, sim.now)
 
     @property
     def is_alive(self) -> bool:
@@ -181,10 +218,10 @@ class Process(Event):
         sim = self.sim
         sim._active_process = self
         try:
-            if trigger.ok:
-                target = self.generator.send(trigger.value)
+            if trigger._ok:
+                target = self._send(trigger.value)
             else:
-                target = self.generator.throw(trigger.value)
+                target = self._throw(trigger.value)
         except StopIteration as stop:
             sim._active_process = None
             self._triggered = True
@@ -197,32 +234,54 @@ class Process(Event):
             self._triggered = True
             self._ok = False
             self.value = exc
-            exc.__traceback__ = exc.__traceback__
             sim._queue_event(self)
             return
         sim._active_process = None
 
-        # Normalize what the process yielded into an Event to wait on.
-        if target is None:
-            target = Timeout(sim, 0.0)
+        # Wait on whatever the process yielded. Bare numbers and ``None``
+        # take the pooled fast path: no Timeout object, no heap traffic
+        # for zero delays. The scheduling is inlined (vs. calling
+        # _schedule_resume) because this is the hottest branch in the
+        # repository.
+        cls = target.__class__
+        if cls is float or cls is int or target is None:
+            pool = sim._pool
+            if pool:
+                event = pool.pop()
+                event._ok = True
+                event.value = None
+                event.daemon = False
+            else:
+                event = sim._pooled_event()
+            event._cb = self._resume_cb
+            self._waiting_on = event
+            sim._pending_real += 1
+            if target:
+                if target < 0:
+                    raise ValueError(f"negative timeout delay: {target}")
+                heapq.heappush(sim._heap,
+                               (sim.now + target, next(sim._counter), event))
+            else:
+                sim._now_queue.append(event)
+        elif isinstance(target, Event):
+            if target.callbacks is None:
+                # Already processed: resume at the current time with the
+                # event's outcome (success value or failure exception).
+                sim._schedule_resume(self, sim.now, target.value, target._ok)
+            else:
+                target.callbacks.append(self._resume_cb)
+                self._waiting_on = target
         elif isinstance(target, (int, float)):
-            target = Timeout(sim, float(target))
-        elif not isinstance(target, Event):
+            # Numeric subclasses (bool, numpy scalars) missed the exact-
+            # type fast path above; honour them like the bare numbers.
+            delay = float(target)
+            if delay < 0:
+                raise ValueError(f"negative timeout delay: {delay}")
+            sim._schedule_resume(self, sim.now + delay)
+        else:
             raise SimulationError(
                 f"process {self.name!r} yielded non-event {target!r}"
             )
-
-        if target.callbacks is None:
-            # Already processed: resume immediately at the current time.
-            immediate = Event(sim)
-            immediate.callbacks.append(self._resume)
-            if target.ok:
-                immediate.succeed(target.value)
-            else:
-                immediate.fail(target.value)
-        else:
-            target.callbacks.append(self._resume)
-            self._waiting_on = target
 
 
 class _Condition(Event):
@@ -320,31 +379,106 @@ class WakeSignal:
 
 
 class Simulator:
-    """The event loop: a heap of (time, tiebreak, event) triples.
+    """The event loop: a heap of (time, tiebreak, event) triples plus a
+    FIFO "now-queue" for events at the current timestamp.
 
     All timestamps are nanoseconds. Events scheduled at equal times fire
-    in FIFO order of scheduling (the tiebreak counter guarantees a total
-    order, keeping runs deterministic).
+    in FIFO order of scheduling: heap entries that matured to the current
+    timestamp were necessarily scheduled before anything appended to the
+    now-queue at that timestamp, so draining matured heap entries first
+    and the now-queue second reproduces the exact total order a pure
+    (time, tiebreak) heap would give, while zero-delay traffic — the bulk
+    of all events — never touches the heap.
     """
 
     def __init__(self):
         self.now: float = 0.0
         self._heap: List = []
+        self._now_queue: deque = deque()
         self._counter = itertools.count()
         self._active_process: Optional[Process] = None
         self._stopped = False
         self._pending_real = 0   # scheduled non-daemon events
+        self._pool: List[Event] = []   # recycled internal events
+        self.events_processed = 0      # lifetime dispatch count
 
     # -- scheduling ------------------------------------------------------
 
     def _schedule_at(self, when: float, event: Event) -> None:
         if not event.daemon:
             self._pending_real += 1
-        heapq.heappush(self._heap, (when, next(self._counter), event))
+        if when <= self.now:
+            if when < self.now:
+                raise SimulationError("time went backwards")
+            self._now_queue.append(event)
+        else:
+            heapq.heappush(self._heap, (when, next(self._counter), event))
 
     def _queue_event(self, event: Event) -> None:
         """Queue an already-triggered event for callback delivery *now*."""
-        self._schedule_at(self.now, event)
+        if not event.daemon:
+            self._pending_real += 1
+        self._now_queue.append(event)
+
+    def _pooled_event(self) -> Event:
+        """An internal one-callback event from the free list.
+
+        Pooled events never escape the kernel: their ``callbacks`` stays
+        ``None`` (they dispatch through the ``_cb`` slot instead) and
+        they return to the pool right after delivery.
+        """
+        pool = self._pool
+        if pool:
+            return pool.pop()
+        event = Event.__new__(Event)
+        event.sim = self
+        event.callbacks = None
+        event._triggered = True
+        event._ok = True
+        event.value = None
+        event.daemon = False
+        event._pooled = True
+        return event
+
+    def _schedule_resume(self, process: Process, when: float,
+                         value: Any = None, ok: bool = True) -> None:
+        """Resume ``process`` at ``when`` through a pooled event (the
+        bare-delay / already-processed-event fast path)."""
+        event = self._pooled_event()
+        event._ok = ok
+        event.value = value
+        event.daemon = False
+        event._cb = process._resume_cb
+        process._waiting_on = event
+        self._pending_real += 1
+        if when <= self.now:
+            self._now_queue.append(event)
+        else:
+            heapq.heappush(self._heap, (when, next(self._counter), event))
+
+    def call_later(self, delay: float, fn: Callable[[], None],
+                   daemon: bool = False) -> None:
+        """Run ``fn()`` after ``delay`` ns without spawning a process.
+
+        The bookkeeping fast path: credit returns, in-flight packet
+        delivery, and similar fire-and-forget actions cost one pooled
+        event instead of a process + generator + completion event. ``fn``
+        must not yield; it runs synchronously at dispatch time.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        event = self._pooled_event()
+        event._ok = True
+        event.value = fn
+        event.daemon = daemon
+        event._cb = _run_deferred
+        if not daemon:
+            self._pending_real += 1
+        when = self.now + delay
+        if when <= self.now:
+            self._now_queue.append(event)
+        else:
+            heapq.heappush(self._heap, (when, next(self._counter), event))
 
     # -- public factory helpers -----------------------------------------
 
@@ -359,6 +493,20 @@ class Simulator:
         ``daemon`` timers do not keep :meth:`run` alive (used by
         retransmission watchdogs and failure detectors)."""
         return Timeout(self, delay, value, daemon=daemon)
+
+    @staticmethod
+    def delay(ns: float) -> float:
+        """A coalesced fixed delay for the pooled fast path.
+
+        ``yield sim.delay(a + b)`` is the idiom for back-to-back fixed
+        delays that used to be separate ``timeout`` yields: one pooled
+        event replaces N Timeout objects, and simulated time is identical
+        because nothing observable happens between the legs. Returns the
+        bare number — the kernel's resume path does the rest.
+        """
+        if ns < 0:
+            raise ValueError(f"negative timeout delay: {ns}")
+        return ns
 
     def process(self, generator: Generator, name: str = "") -> Process:
         """Register a generator as a new process starting immediately."""
@@ -378,23 +526,46 @@ class Simulator:
 
     # -- the event loop --------------------------------------------------
 
-    def _step(self) -> None:
-        when, _tiebreak, event = heapq.heappop(self._heap)
+    def _next_when(self) -> float:
+        """Timestamp of the next event to dispatch (heap or now-queue)."""
+        if self._heap and self._heap[0][0] <= self.now:
+            return self.now
+        if self._now_queue:
+            return self.now
+        return self._heap[0][0]
+
+    def _dispatch(self, event: Event) -> None:
         if not event.daemon:
             self._pending_real -= 1
-        if when < self.now:
-            raise SimulationError("time went backwards")
-        self.now = when
+        self.events_processed += 1
+        if event._pooled:
+            event._cb(event)
+            if len(self._pool) < _POOL_LIMIT:
+                event.value = None
+                self._pool.append(event)
+            return
         callbacks = event.callbacks
         event.callbacks = None  # marks the event as fully processed
         if callbacks:
             for callback in callbacks:
                 callback(event)
-        elif not event.ok and not isinstance(event, Process):
+        elif not event._ok:
             # A failed event nobody waited for: surface it.
             raise event.value
-        elif not event.ok and isinstance(event, Process):
-            raise event.value
+
+    def _step(self) -> None:
+        heap = self._heap
+        if heap and heap[0][0] <= self.now:
+            # Matured heap entries predate anything in the now-queue.
+            event = heapq.heappop(heap)[2]
+        elif self._now_queue:
+            event = self._now_queue.popleft()
+        else:
+            when, _tiebreak, event = heapq.heappop(heap)
+            if when < self.now:
+                raise SimulationError("time went backwards")
+            self.now = when
+        self._dispatch(event)
 
     def run(self, until: Optional[float] = None) -> float:
         """Run until the heap drains, ``until`` is reached, or :meth:`stop`.
@@ -405,14 +576,50 @@ class Simulator:
         Returns the simulated time at which the run ended.
         """
         self._stopped = False
-        while self._heap and not self._stopped:
-            if self._pending_real <= 0:
-                break
-            when = self._heap[0][0]
-            if until is not None and when > until:
-                self.now = until
-                return self.now
-            self._step()
+        # The dispatch loop is inlined (vs. calling _step per event):
+        # local bindings of the heap, now-queue, and pool cut attribute
+        # lookups on the hottest path in the repository.
+        heap = self._heap
+        nowq = self._now_queue
+        pop = heapq.heappop
+        pool = self._pool
+        processed = 0
+        try:
+            while not self._stopped and self._pending_real > 0:
+                if heap and heap[0][0] <= self.now:
+                    event = pop(heap)[2]
+                elif nowq:
+                    event = nowq.popleft()
+                elif heap:
+                    when = heap[0][0]
+                    if until is not None and when > until:
+                        self.now = until
+                        return self.now
+                    self.now = when
+                    event = pop(heap)[2]
+                else:
+                    break
+                if not event.daemon:
+                    self._pending_real -= 1
+                processed += 1
+                if event._pooled:
+                    event._cb(event)
+                    if len(pool) < _POOL_LIMIT:
+                        event.value = None
+                        pool.append(event)
+                    continue
+                callbacks = event.callbacks
+                event.callbacks = None
+                if callbacks:
+                    if len(callbacks) == 1:
+                        callbacks[0](event)
+                    else:
+                        for callback in callbacks:
+                            callback(event)
+                elif not event._ok:
+                    raise event.value
+        finally:
+            self.events_processed += processed
         if until is not None and self.now < until:
             self.now = until
         return self.now
@@ -421,14 +628,23 @@ class Simulator:
         """Run until ``process`` completes; return its value.
 
         ``limit`` guards against runaway simulations (raises if exceeded).
+        Mirrors :meth:`run`'s daemon accounting: if only daemon events
+        remain (e.g. a watchdog-only heap), the process can never
+        complete, so a deadlock error is raised instead of spinning the
+        daemon timers forever.
         """
         while not process.triggered:
-            if not self._heap:
+            if not self._heap and not self._now_queue:
                 raise SimulationError(
                     f"deadlock: no events pending but {process.name!r} "
                     "has not completed"
                 )
-            if self._heap[0][0] > limit:
+            if self._pending_real <= 0:
+                raise SimulationError(
+                    f"deadlock: only daemon events remain but "
+                    f"{process.name!r} has not completed"
+                )
+            if self._next_when() > limit:
                 raise SimulationError(
                     f"simulation exceeded time limit {limit} ns"
                 )

@@ -21,12 +21,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from ..apps.graph import Graph, zipf_graph
-from ..apps.pagerank import (
-    PageRankResult,
-    run_shm,
-    run_sonuma_bulk,
-    run_sonuma_fine,
-)
+from ..apps.pagerank import run_shm, run_sonuma_bulk, run_sonuma_fine
 from ..cluster.cluster import ClusterConfig
 from ..memory.cache import CacheConfig
 from ..memory.hierarchy import MemoryConfig
@@ -64,6 +59,23 @@ def scaled_node_config(llc_bytes: int = 64 * 1024,
     )
 
 
+def _sweep_job(job) -> float:
+    """Run one point of the sweep in its own simulator; returns its
+    elapsed simulated time. Module-level so it pickles into worker
+    processes; every job is fully self-contained (own Simulator, fixed
+    seed), so results are identical no matter which process runs it.
+    """
+    kind, graph, parallelism, supersteps, seed, llc_total_bytes, config = job
+    if kind == "shm":
+        return run_shm(
+            graph, parallelism, supersteps=supersteps, seed=seed,
+            llc_per_core_bytes=max(1024, llc_total_bytes // parallelism),
+        ).elapsed_ns
+    runner = run_sonuma_bulk if kind == "bulk" else run_sonuma_fine
+    return runner(graph, parallelism, supersteps=supersteps, seed=seed,
+                  cluster_config=config).elapsed_ns
+
+
 def pagerank_speedups(graph: Optional[Graph] = None,
                       node_counts: Sequence[int] = (2, 4, 8),
                       supersteps: int = 1,
@@ -71,7 +83,8 @@ def pagerank_speedups(graph: Optional[Graph] = None,
                       avg_degree: float = 8.0,
                       llc_total_bytes: int = 64 * 1024,
                       cluster_config_factory=None,
-                      seed: int = 7) -> List[SpeedupRow]:
+                      seed: int = 7,
+                      workers: int = 1) -> List[SpeedupRow]:
     """Run all three variants across ``node_counts``; speedups are
     relative to single-threaded SHM (the paper's baseline).
 
@@ -86,14 +99,14 @@ def pagerank_speedups(graph: Optional[Graph] = None,
 
     ``cluster_config_factory(n) -> ClusterConfig`` lets the Fig. 9-right
     bench substitute the development-platform configuration.
+
+    ``workers > 1`` fans the sweep points out over a multiprocessing
+    pool — one simulator per process. Every point is independently
+    seeded and the merge follows the job-list order, so the returned
+    rows are identical to the serial run.
     """
     graph = graph or zipf_graph(num_vertices, avg_degree=avg_degree,
                                 seed=seed)
-
-    def shm_run(threads: int) -> PageRankResult:
-        return run_shm(graph, threads, supersteps=supersteps, seed=seed,
-                       llc_per_core_bytes=max(1024,
-                                              llc_total_bytes // threads))
 
     def sonuma_config(n: int) -> ClusterConfig:
         per_node_llc = max(8 * 1024, llc_total_bytes // n)
@@ -112,16 +125,28 @@ def pagerank_speedups(graph: Optional[Graph] = None,
         return ClusterConfig(num_nodes=n, node=scaled_node_config(
             llc_bytes=per_node_llc))
 
-    baseline = shm_run(1).elapsed_ns
-    rows = []
+    jobs = [("shm", graph, 1, supersteps, seed, llc_total_bytes, None)]
     for n in node_counts:
-        shm_time = shm_run(n).elapsed_ns
-        bulk_time = run_sonuma_bulk(
-            graph, n, supersteps=supersteps, seed=seed,
-            cluster_config=sonuma_config(n)).elapsed_ns
-        fine_time = run_sonuma_fine(
-            graph, n, supersteps=supersteps, seed=seed,
-            cluster_config=sonuma_config(n)).elapsed_ns
+        config = sonuma_config(n)
+        jobs.append(("shm", graph, n, supersteps, seed,
+                     llc_total_bytes, None))
+        jobs.append(("bulk", graph, n, supersteps, seed,
+                     llc_total_bytes, config))
+        jobs.append(("fine", graph, n, supersteps, seed,
+                     llc_total_bytes, config))
+
+    if workers > 1:
+        import multiprocessing
+
+        with multiprocessing.Pool(workers) as pool:
+            times = pool.map(_sweep_job, jobs)
+    else:
+        times = [_sweep_job(job) for job in jobs]
+
+    baseline = times[0]
+    rows = []
+    for i, n in enumerate(node_counts):
+        shm_time, bulk_time, fine_time = times[1 + 3 * i:4 + 3 * i]
         rows.append(SpeedupRow(
             parallelism=n,
             shm=baseline / shm_time,

@@ -1,0 +1,98 @@
+"""Smoke tests for the wall-clock perf harness and parallel runners."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+
+def _load_bench_kernel():
+    sys.path.insert(0, str(REPO / "benchmarks" / "perf"))
+    try:
+        import bench_kernel
+    finally:
+        sys.path.pop(0)
+    return bench_kernel
+
+
+def test_bench_kernel_suite_runs_and_counts_events():
+    bench_kernel = _load_bench_kernel()
+    results = bench_kernel.run_suite(events=2000, repeat=1)
+    assert set(results) == {"timeout_chain", "delay_chain", "zero_delay",
+                            "store_pingpong", "deferred_fanout"}
+    for stats in results.values():
+        assert stats["events"] > 0
+        assert stats["wall_s"] > 0
+        assert stats["events_per_sec"] > 0
+
+
+def test_bench_kernel_cli_emits_schema(tmp_path):
+    out = tmp_path / "BENCH_kernel.json"
+    subprocess.run(
+        [sys.executable, str(REPO / "benchmarks/perf/bench_kernel.py"),
+         "--events", "2000", "--repeat", "1", "--out", str(out),
+         "--baseline", str(REPO / "benchmarks/perf/baseline.json")],
+        check=True, capture_output=True, cwd=REPO)
+    payload = json.loads(out.read_text())
+    assert payload["schema"] == "bench_kernel/v1"
+    assert payload["peak_rss_kb"] > 0
+    assert payload["aggregate"]["speedup_vs_baseline"] is not None
+
+
+def test_run_all_parallel_output_byte_identical(tmp_path):
+    """--parallel N must produce byte-identical stdout and JSON."""
+    def run(extra):
+        out = tmp_path / f"out{len(extra)}.json"
+        proc = subprocess.run(
+            [sys.executable, str(REPO / "benchmarks/run_all.py"),
+             "--quick", "--only", "fig1", "--json", str(out)] + extra,
+            check=True, capture_output=True, cwd=REPO)
+        return proc.stdout, out.read_bytes()
+
+    serial_stdout, serial_json = run([])
+    parallel_stdout, parallel_json = run(["--parallel", "2"])
+    assert serial_stdout == parallel_stdout
+    assert serial_json == parallel_json
+
+
+def test_pagerank_sweep_workers_match_serial():
+    from repro.workloads.pagerank_sweep import pagerank_speedups
+
+    kwargs = dict(node_counts=(2,), num_vertices=512, avg_degree=4,
+                  llc_total_bytes=32 * 1024)
+    serial = pagerank_speedups(workers=1, **kwargs)
+    parallel = pagerank_speedups(workers=2, **kwargs)
+    assert serial == parallel
+
+
+def test_check_regression_gate(tmp_path):
+    """The CI gate passes on the committed artifacts and fails on a
+    fabricated 10x regression."""
+    sys.path.insert(0, str(REPO / "benchmarks" / "perf"))
+    try:
+        import check_regression
+    finally:
+        sys.path.pop(0)
+
+    baseline = REPO / "benchmarks/perf/baseline.json"
+    base = json.loads(baseline.read_text())
+
+    good = tmp_path / "good.json"
+    good.write_text(json.dumps({
+        "results": {k: {"events_per_sec": v}
+                    for k, v in base["results"].items()},
+    }))
+    assert check_regression.main(["--bench", str(good),
+                                  "--baseline", str(baseline)]) == 0
+
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({
+        "results": {k: {"events_per_sec": v / 10.0}
+                    for k, v in base["results"].items()},
+    }))
+    assert check_regression.main(["--bench", str(bad),
+                                  "--baseline", str(baseline)]) == 1

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import AnyOf, Simulator, SimulationError
+from repro.sim import AnyOf, Simulator, SimulationError, WakeSignal
 
 
 def test_timeout_advances_clock():
@@ -206,3 +206,155 @@ def test_stop_halts_run():
     sim.process(proc(sim))
     sim.run()
     assert sim.now == pytest.approx(5.0)
+
+
+# -- satellite regressions: tracebacks, daemon accounting, latches -------
+
+
+def test_process_exception_carries_traceback():
+    """The frames that raised inside the process survive to the caller
+    of run_until_process (regression for a dropped-traceback no-op)."""
+    import traceback
+
+    sim = Simulator()
+
+    def deep_helper():
+        raise ValueError("boom with context")
+
+    def proc(sim):
+        yield sim.timeout(1)
+        deep_helper()
+
+    p = sim.process(proc(sim))
+    with pytest.raises(ValueError, match="boom with context") as excinfo:
+        sim.run_until_process(p)
+    frames = [f.name for f in
+              traceback.extract_tb(excinfo.value.__traceback__)]
+    assert "deep_helper" in frames
+    assert "proc" in frames
+
+
+def test_run_until_process_stops_on_daemon_only_heap():
+    """A watchdog-only heap can never complete the target process:
+    run_until_process must deadlock-error, not spin the timers forever."""
+    sim = Simulator()
+
+    def watchdog(sim):
+        while True:
+            yield sim.timeout(10, daemon=True)
+
+    def stuck(sim):
+        yield sim.event()  # never triggered
+
+    sim.process(watchdog(sim))
+    p = sim.process(stuck(sim))
+    with pytest.raises(SimulationError, match="daemon"):
+        sim.run_until_process(p)
+
+
+def test_wake_signal_trigger_before_wait_is_latched():
+    sim = Simulator()
+    signal = WakeSignal(sim)
+    signal.trigger()  # nobody waiting: must latch
+    log = []
+
+    def waiter(sim):
+        yield signal.wait()
+        log.append(sim.now)
+
+    sim.process(waiter(sim))
+    sim.run()
+    assert log == [0.0]
+
+
+def test_wake_signal_double_trigger_coalesces():
+    """Two triggers with no waiter latch a single wake: the second
+    wait() has nothing to consume and deadlocks."""
+    sim = Simulator()
+    signal = WakeSignal(sim)
+    signal.trigger()
+    signal.trigger()
+
+    def waiter(sim):
+        yield signal.wait()  # consumes the (single) latched wake
+        yield signal.wait()  # never fires
+
+    p = sim.process(waiter(sim))
+    with pytest.raises(SimulationError, match="deadlock"):
+        sim.run_until_process(p)
+
+
+def test_wake_signal_rewait_after_fire():
+    sim = Simulator()
+    signal = WakeSignal(sim)
+    wakes = []
+
+    def waiter(sim):
+        yield signal.wait()
+        wakes.append(sim.now)
+        yield signal.wait()
+        wakes.append(sim.now)
+
+    def producer(sim):
+        yield sim.timeout(5)
+        signal.trigger()
+        yield sim.timeout(10)
+        signal.trigger()
+
+    sim.process(waiter(sim))
+    sim.process(producer(sim))
+    sim.run()
+    assert wakes == [5.0, 15.0]
+
+
+def test_any_of_with_already_processed_event():
+    sim = Simulator()
+
+    def proc(sim):
+        early = sim.timeout(1, "early")
+        yield sim.timeout(5)  # `early` fires and is fully processed
+        result = yield AnyOf(sim, [early, sim.timeout(50, "late")])
+        return sim.now, result
+
+    p = sim.process(proc(sim))
+    sim.run()
+    assert p.value == (5.0, {0: "early"})
+
+
+def test_all_of_with_already_processed_events():
+    sim = Simulator()
+
+    def proc(sim):
+        a = sim.timeout(1, "a")
+        b = sim.timeout(2, "b")
+        yield sim.timeout(5)  # both children already processed
+        results = yield sim.all_of([a, b])
+        return sim.now, results
+
+    p = sim.process(proc(sim))
+    sim.run()
+    assert p.value == (5.0, {0: "a", 1: "b"})
+
+
+def test_call_later_runs_deferred_callback():
+    sim = Simulator()
+    fired = []
+
+    sim.call_later(7.5, lambda: fired.append(sim.now))
+    sim.call_later(0.0, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [0.0, 7.5]
+
+
+def test_call_later_daemon_does_not_sustain_run():
+    sim = Simulator()
+    fired = []
+
+    def proc(sim):
+        yield sim.timeout(3)
+
+    sim.call_later(100.0, lambda: fired.append(sim.now), daemon=True)
+    sim.process(proc(sim))
+    sim.run()
+    assert sim.now == pytest.approx(3.0)
+    assert fired == []
