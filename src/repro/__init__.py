@@ -42,13 +42,24 @@ Quickstart::
     cluster.run()
 """
 
-from .cluster import Cluster, ClusterConfig, GlobalContext
+from .cluster import (
+    Cluster,
+    ClusterConfig,
+    GlobalContext,
+    MembershipService,
+    NodeFaultController,
+)
 from .node import Node, NodeConfig
 from .runtime import (
     Barrier,
     Messenger,
     MessagingConfig,
+    MessagingTimeout,
+    NodeEvicted,
+    PeerFailure,
+    RankFailed,
     RemoteOpError,
+    RemoteOpFailed,
     RMCSession,
 )
 from .sim import Simulator
@@ -60,11 +71,18 @@ __all__ = [
     "Cluster",
     "ClusterConfig",
     "GlobalContext",
+    "MembershipService",
     "Messenger",
     "MessagingConfig",
+    "MessagingTimeout",
     "Node",
     "NodeConfig",
+    "NodeEvicted",
+    "NodeFaultController",
+    "PeerFailure",
+    "RankFailed",
     "RemoteOpError",
+    "RemoteOpFailed",
     "RMCSession",
     "Simulator",
     "__version__",

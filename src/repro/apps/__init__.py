@@ -1,7 +1,13 @@
 """Applications: graph substrate, PageRank x3, BFS x2, key-value store."""
 
 from .bfs import BFSResult, bfs_reference, run_bfs_fine, run_bfs_push
-from .bsp import BSPEngine, BSPResult, MinLabelProgram, PageRankProgram
+from .bsp import (
+    BSPEngine,
+    BSPResult,
+    FaultTolerantBSPEngine,
+    MinLabelProgram,
+    PageRankProgram,
+)
 from .transactions import AccountStore, TransactionClient, run_transfer_mix
 from .graph import (
     Graph,
@@ -10,7 +16,14 @@ from .graph import (
     partition_random,
     zipf_graph,
 )
-from .kvstore import KVClient, KVServer, KVStats
+from .kvstore import (
+    AvailabilityStats,
+    FailoverKVClient,
+    KVClient,
+    KVServer,
+    KVStats,
+    ReplicatedKVServer,
+)
 from .pagerank import (
     PageRankResult,
     PageRankTiming,
@@ -27,10 +40,14 @@ __all__ = [
     "TransactionClient",
     "run_transfer_mix",
     "BSPResult",
+    "FaultTolerantBSPEngine",
     "Graph",
     "MinLabelProgram",
     "PageRankProgram",
+    "AvailabilityStats",
+    "FailoverKVClient",
     "KVClient",
+    "ReplicatedKVServer",
     "bfs_reference",
     "run_bfs_fine",
     "run_bfs_push",

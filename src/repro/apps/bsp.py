@@ -30,15 +30,15 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Protocol, Sequence
+from typing import Dict, List, Optional, Protocol, Sequence, Set
 
 from ..cluster.cluster import Cluster, ClusterConfig
-from ..runtime.barrier import Barrier
-from ..runtime.qp_api import RMCSession
+from ..runtime.barrier import Barrier, NodeEvicted, RankFailed
+from ..runtime.qp_api import RemoteOpFailed, RMCSession
 from .graph import Graph, partition_random
 
-__all__ = ["VertexProgram", "BSPEngine", "BSPResult", "PageRankProgram",
-           "MinLabelProgram"]
+__all__ = ["VertexProgram", "BSPEngine", "BSPResult",
+           "FaultTolerantBSPEngine", "PageRankProgram", "MinLabelProgram"]
 
 _CTX = 1
 
@@ -75,6 +75,10 @@ class BSPResult:
     elapsed_ns: float
     converged: bool
     remote_reads: int
+    #: Fault-tolerant runs only: crash-recovery rounds executed.
+    recoveries: int = 0
+    #: Fault-tolerant runs only: checkpoints taken (across all ranks).
+    checkpoints: int = 0
 
 
 class PageRankProgram:
@@ -145,7 +149,7 @@ class BSPEngine:
         self.num_nodes = num_nodes
         self.partition = partition_random(graph, num_nodes, seed=seed)
         max_part = max(len(m) for m in self.partition.members)
-        segment = max_part * RECORD_BYTES + (1 << 20)
+        segment = self._segment_bytes(max_part)
         self.cluster = Cluster(config=cluster_config
                                or ClusterConfig(num_nodes=num_nodes))
         self.gctx = self.cluster.create_global_context(_CTX, segment)
@@ -158,6 +162,10 @@ class BSPEngine:
             n: Barrier(self.sessions[n], n, list(range(num_nodes)))
             for n in range(num_nodes)
         }
+
+    def _segment_bytes(self, max_part: int) -> int:
+        """Per-node context segment size (subclasses add regions)."""
+        return max_part * RECORD_BYTES + (1 << 20)
 
     def _record_offset(self, vertex: int) -> int:
         return self.partition.local_index[vertex] * RECORD_BYTES
@@ -268,3 +276,422 @@ class BSPEngine:
         return BSPResult(values=values, supersteps_run=steps_run[0],
                          elapsed_ns=sim.now - start, converged=converged,
                          remote_reads=remote_reads[0])
+
+
+class FaultTolerantBSPEngine(BSPEngine):
+    """BSP with checkpoint-to-peer-memory and crash-restart recovery.
+
+    Every ``checkpoint_every`` supersteps each rank snapshots its full
+    record array twice: a local copy (its own restore source) and a
+    one-sided bulk write into its ring successor's memory (the restore
+    source for *its* partition if the rank dies). Checkpoints are
+    double-slotted with the header written after the data, so a crash
+    mid-checkpoint always leaves one complete older snapshot behind.
+
+    When a node is crashed, the membership layer evicts it within the
+    lease and every survivor observes a typed failure — ``RankFailed``
+    from the barrier, or an error-completed shuffle read. Survivors then
+    run a recovery round: they quiesce, rendezvous, compute the restore
+    point ``R`` (the minimum durable checkpoint header across all
+    participants — always present in someone's double slots, because the
+    barrier bounds progress skew to one superstep), restore their own
+    partitions from their local snapshots, and the dead rank's ring
+    successor *adopts* its partition out of the checkpoint it already
+    holds. Shuffle reads for the dead partition are redirected to the
+    adopter, the dead rank is excluded from every barrier, and execution
+    resumes at superstep ``R``. Re-execution is deterministic, so the
+    final values are bit-for-bit identical to a fault-free run.
+
+    Modeled shortcuts (documented limits):
+
+    * Local snapshot copies and restores are functional (untimed) —
+      checkpoint cost is dominated by the modeled remote bulk write.
+    * Single-failure tolerance: adopted partitions are not
+      re-checkpointed, a second failure hitting the dead rank's ring
+      successor is rejected with ``RuntimeError``, and the recovery
+      rendezvous state is valid for one incident per run.
+    * A restarted node rejoins the *cluster* (new incarnation/epoch) but
+      not the computation; its partition stays with the adopter.
+    * Recovery forces one proceed decision, so a crash landing exactly
+      on the convergence boundary may re-run one extra superstep — the
+      update is idempotent there, so values are unchanged.
+    """
+
+    def __init__(self, graph: Graph, num_nodes: int,
+                 cluster_config: Optional[ClusterConfig] = None,
+                 seed: int = 7, checkpoint_every: int = 1,
+                 hb_interval_ns: float = 5_000.0,
+                 lease_ns: Optional[float] = None, fault_seed: int = 0):
+        if num_nodes < 2:
+            raise ValueError("fault tolerance needs at least two nodes")
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        self.checkpoint_every = checkpoint_every
+        super().__init__(graph, num_nodes, cluster_config=cluster_config,
+                         seed=seed)
+        self.failed_ranks: Set[int] = set()
+        self.membership = self.cluster.enable_membership(
+            interval_ns=hb_interval_ns, lease_ns=lease_ns,
+            on_evict=self._note_eviction)
+        self.controller = self.cluster.fault_controller(seed=fault_seed)
+
+    def _segment_bytes(self, max_part: int) -> int:
+        """Records + 2 local ckpt slots + 2 peer ckpt slots (+headers)
+        + the adoption region, all below the barrier/messaging lines."""
+        stride = max_part * RECORD_BYTES
+        self.part_stride = stride
+        self.local_ckpt_base = stride                # my own snapshots
+        self.local_hdr_base = 3 * stride             # 2 x 64B headers
+        self.peer_ckpt_base = 3 * stride + 128       # ring predecessor's
+        self.peer_hdr_base = 5 * stride + 128        # 2 x 64B headers
+        self.adopt_base = 5 * stride + 256           # adopted partition
+        return 6 * stride + 256 + (1 << 20)
+
+    def _note_eviction(self, node_id: int, epoch: int) -> None:
+        """Membership eviction callback: once a rank is evicted it is
+        failed for the rest of the computation, even if the node later
+        restarts and rejoins the cluster."""
+        if node_id >= self.num_nodes or node_id in self.failed_ranks:
+            return
+        self.failed_ranks.add(node_id)
+        for barrier in self.barriers.values():
+            barrier.note_eviction(node_id)
+
+    # -- checkpoint plumbing (functional reads of durable state) -------------
+
+    def _peek_u64(self, nid: int, offset: int) -> int:
+        return int.from_bytes(
+            self.cluster.peek_segment(nid, _CTX, offset, 8), "little")
+
+    def _durable_header(self, nid: int, hdr_base: int) -> int:
+        """Highest completed checkpoint header in a 2-slot region."""
+        return max(self._peek_u64(nid, hdr_base),
+                   self._peek_u64(nid, hdr_base + 64))
+
+    def _slot_with_header(self, nid: int, hdr_base: int,
+                          header: int) -> int:
+        for slot in (0, 1):
+            if self._peek_u64(nid, hdr_base + slot * 64) == header:
+                return slot
+        raise RuntimeError(
+            f"node {nid}: no checkpoint slot with header {header}")
+
+    def _init_records(self, program: VertexProgram, rank: int,
+                      home_nid: int, base_offset: int) -> None:
+        graph = self.graph
+        for vertex in self.partition.members[rank]:
+            self.cluster.poke_segment(
+                home_nid, _CTX, base_offset + self._record_offset(vertex),
+                _pack(program.init(graph, vertex), 0.0,
+                      program.aux(graph, vertex)))
+
+    def _adopter_of(self, rank: int) -> int:
+        succ = (rank + 1) % self.num_nodes
+        if succ in self.failed_ranks:
+            raise RuntimeError(
+                f"ring-adjacent failures: rank {rank}'s checkpoint "
+                f"peer {succ} is dead too (single-failure tolerance)")
+        return succ
+
+    # -- the fault-tolerant run ----------------------------------------------
+
+    def run(self, program: VertexProgram, max_supersteps: int,
+            stop_on_convergence: bool = True,
+            tolerance: float = 0.0) -> BSPResult:
+        graph, partition = self.graph, self.partition
+        cluster = self.cluster
+        sim = cluster.sim
+        num_nodes = self.num_nodes
+        every = self.checkpoint_every
+
+        for node_id in range(num_nodes):
+            self._init_records(program, node_id, node_id, 0)
+
+        remote_reads = [0]
+        steps_run = [0]
+        recoveries = [0]
+        checkpoints = [0]
+        changed: Dict[int, bool] = {n: True for n in range(num_nodes)}
+        proceed = [True]
+        #: rank -> (home node, base offset of its record array). Adoption
+        #: redirects a dead rank's home; single writer (the adopter).
+        partition_home = {n: (n, 0) for n in range(num_nodes)}
+        #: Workers still running (recovery only waits for these).
+        active = set(range(num_nodes))
+        #: Modeled out-of-band recovery control plane (one incident).
+        recovery: Dict[str, object] = {"arrived": {}, "plan": None}
+        failed = self.failed_ranks
+
+        def decider() -> int:
+            # Lowest live rank makes the collective proceed decision
+            # (rank 0 in fault-free runs).
+            return min(r for r in range(num_nodes) if r not in failed)
+
+        def raise_errors(session: RMCSession) -> None:
+            if session.errors:
+                entry = session.errors[0]
+                raise RemoteOpFailed(entry.wq_index, entry.error)
+
+        def checkpoint(node_id, session, seg_base, hdr_buf, progress):
+            nbytes = len(partition.members[node_id]) * RECORD_BYTES
+            if nbytes == 0:
+                return
+            slot = (progress // every) % 2
+            data = session.buffer_peek(seg_base, nbytes)
+            # Local snapshot first: every survivor restores from its own
+            # copy, whichever node died.
+            cluster.poke_segment(node_id, _CTX,
+                                 self.local_ckpt_base
+                                 + slot * self.part_stride, data)
+            cluster.poke_segment(node_id, _CTX,
+                                 self.local_hdr_base + slot * 64,
+                                 progress.to_bytes(8, "little"))
+            checkpoints[0] += 1
+            succ = (node_id + 1) % num_nodes
+            if succ in failed:
+                return   # checkpoint peer is gone: keep local copies only
+            # Remote snapshot: bulk one-sided write, then the header —
+            # the slot is valid only once its header lands.
+            yield from session.wait_for_slot()
+            yield from session.write_async(
+                succ, self.peer_ckpt_base + slot * self.part_stride,
+                seg_base, nbytes)
+            yield from session.drain_cq()
+            raise_errors(session)
+            session.buffer_poke(hdr_buf, progress.to_bytes(8, "little"))
+            yield from session.write_sync(
+                succ, self.peer_hdr_base + slot * 64, hdr_buf, 8)
+
+        def restore_rank(rank, src_nid, src_ckpt, src_hdr,
+                         dst_nid, dst_base, restore_pt):
+            if restore_pt == 0:
+                self._init_records(program, rank, dst_nid, dst_base)
+                return
+            nbytes = len(partition.members[rank]) * RECORD_BYTES
+            if nbytes == 0:
+                return
+            slot = self._slot_with_header(src_nid, src_hdr, restore_pt)
+            data = cluster.peek_segment(
+                src_nid, _CTX, src_ckpt + slot * self.part_stride, nbytes)
+            cluster.poke_segment(dst_nid, _CTX, dst_base, data)
+
+        def recover(node_id, session, barrier, step):
+            # Quiesce: outstanding operations toward the dead node
+            # error-complete once the retransmission budget runs out.
+            yield from session.drain_cq()
+            session.consume_errors()
+            # Wait for the control plane's verdict. No eviction within
+            # a few leases => the failure was transient (a link flap):
+            # state is untouched, retry the same superstep.
+            deadline = sim.now + 4 * self.membership.lease_ns
+            while not failed and sim.now < deadline:
+                yield sim.timeout(self.membership.interval_ns)
+            # A live rank that already RETURNED proves the whole run
+            # completed: finishing the final rendezvous requires seeing
+            # every live rank's arrival there — this one's included. The
+            # collective result is fully materialized, so recovery is
+            # bookkeeping only: no restore, no re-execution, and no
+            # further barrier (the returned rank would never answer one
+            # — its arrival line is frozen at the final generation).
+            finished = [r for r in range(num_nodes)
+                        if r != node_id and r not in failed
+                        and r not in active]
+            if finished:
+                for d in sorted(failed):
+                    barrier.exclude(d)
+                return None
+            if not failed:
+                return step
+            recovery["arrived"][node_id] = barrier.generation
+            while recovery["plan"] is None:
+                live = [r for r in range(num_nodes)
+                        if r not in failed and r in active]
+                arrived = recovery["arrived"]
+                if node_id == min(live) \
+                        and all(r in arrived for r in live):
+                    dead = sorted(failed)
+                    # Restore point: minimum durable header anywhere.
+                    # Progress skew is barrier-bounded, so every 2-slot
+                    # region still holds a snapshot with this header.
+                    durables = [self._durable_header(r,
+                                                     self.local_hdr_base)
+                                for r in live]
+                    durables += [self._durable_header(
+                        self._adopter_of(d), self.peer_hdr_base)
+                        for d in dead]
+                    recovery["plan"] = {
+                        "restore": min(durables),
+                        "generation": max(arrived[r] for r in live),
+                        "dead": dead,
+                    }
+                    recoveries[0] += 1
+                    break
+                yield sim.timeout(self.membership.interval_ns)
+            plan = recovery["plan"]
+            restore_pt = plan["restore"]
+            for d in plan["dead"]:
+                barrier.exclude(d)
+            if plan["generation"] > barrier.generation:
+                barrier.resync_generation(plan["generation"])
+            session.consume_errors()
+            restore_rank(node_id, node_id, self.local_ckpt_base,
+                         self.local_hdr_base, node_id, 0, restore_pt)
+            for d in plan["dead"]:
+                if self._adopter_of(d) != node_id \
+                        or partition_home[d][0] == node_id:
+                    continue
+                if any(h == node_id for r, (h, _) in partition_home.items()
+                       if r != node_id and r != d):
+                    raise RuntimeError("adoption region already in use: "
+                                       "single-failure tolerance")
+                restore_rank(d, node_id, self.peer_ckpt_base,
+                             self.peer_hdr_base, node_id,
+                             self.adopt_base, restore_pt)
+                partition_home[d] = (node_id, self.adopt_base)
+            changed[node_id] = True
+            proceed[0] = True
+            return restore_pt
+
+        def worker(node_id):
+            session = self.sessions[node_id]
+            barrier = self.barriers[node_id]
+            core = session.core
+            space = session.space
+            seg_base = session.ctx.segment.base_vaddr
+            mirrors = {
+                r: session.alloc_buffer(
+                    max(len(partition.members[r]), 1) * RECORD_BYTES)
+                for r in range(num_nodes) if r != node_id
+            }
+            hdr_buf = session.alloc_buffer(8)
+            step = 0
+            try:
+                while True:
+                    try:
+                        if step >= max_supersteps:
+                            # Final rendezvous. Inside the resilient
+                            # loop: a crash racing it sends every
+                            # survivor through the same recovery and
+                            # re-execution instead of leaving some
+                            # returned and some blocked.
+                            yield from barrier.wait()
+                            return
+                        yield from barrier.wait()  # changed[] is final
+                        if node_id == decider():
+                            proceed[0] = any(changed[n]
+                                             for n in range(num_nodes))
+                            for n in range(num_nodes):
+                                changed[n] = False
+                        yield from barrier.wait()  # decision visible
+                        if stop_on_convergence and not proceed[0]:
+                            yield from barrier.wait()  # final rendezvous
+                            return
+                        if node_id == decider():
+                            steps_run[0] = step + 1
+
+                        # Shuffle: one bulk read per remote-homed rank.
+                        for r in range(num_nodes):
+                            home, base = partition_home[r]
+                            if home == node_id:
+                                continue
+                            nbytes = (len(partition.members[r])
+                                      * RECORD_BYTES)
+                            if nbytes == 0:
+                                continue
+                            yield from session.wait_for_slot()
+                            yield from session.read_async(
+                                home, base, mirrors[r], nbytes)
+                            remote_reads[0] += 1
+                        yield from session.drain_cq()
+                        raise_errors(session)   # never compute on stale
+                        #                         mirror contents
+
+                        read_at = step % 2
+                        write_off = 8 * ((step + 1) % 2)
+                        for rank in range(num_nodes):
+                            home, base = partition_home[rank]
+                            if home != node_id:
+                                continue
+                            for vertex in partition.members[rank]:
+                                yield core.compute(
+                                    program.vertex_compute_ns)
+                                inputs = []
+                                for u in graph.in_neighbors[vertex]:
+                                    owner = partition.owner[u]
+                                    o_home, o_base = partition_home[owner]
+                                    rel = self._record_offset(u)
+                                    if o_home == node_id:
+                                        vaddr = seg_base + o_base + rel
+                                    else:
+                                        vaddr = mirrors[owner] + rel
+                                    raw = yield from core.mem_read(
+                                        space, vaddr, 24)
+                                    vals = _unpack(raw)
+                                    inputs.append((vals[read_at],
+                                                   vals[2]))
+                                    yield core.compute(
+                                        program.edge_compute_ns)
+                                new_value = program.update(graph, vertex,
+                                                           inputs)
+                                rec_vaddr = (seg_base + base
+                                             + self._record_offset(vertex))
+                                old_value = _unpack(session.buffer_peek(
+                                    rec_vaddr, 24))[read_at]
+                                if abs(new_value - old_value) > tolerance:
+                                    changed[node_id] = True
+                                yield from core.mem_write(
+                                    space, rec_vaddr + write_off,
+                                    struct.pack("<d", new_value))
+
+                        if (step + 1) % every == 0:
+                            yield from checkpoint(node_id, session,
+                                                  seg_base, hdr_buf,
+                                                  step + 1)
+                        step += 1
+                    except (RankFailed, NodeEvicted, RemoteOpFailed):
+                        if barrier.self_evicted or node_id in failed \
+                                or self.controller.is_down(node_id):
+                            return   # it is me who died
+                        step = yield from recover(node_id, session,
+                                                  barrier, step)
+                        if step is None:
+                            return   # run already complete (see recover)
+            finally:
+                active.discard(node_id)
+
+        start = sim.now
+        procs = [sim.process(worker(n), name=f"ftbsp{n}")
+                 for n in range(num_nodes)]
+        sim.run()
+        for proc in procs:
+            if not proc.ok:
+                raise proc.value
+
+        final_epoch = steps_run[0] % 2
+        values = [0.0] * graph.num_vertices
+        for rank in range(num_nodes):
+            home, base = partition_home[rank]
+            if rank in failed and home == rank:
+                # Died without being adopted (i.e. after its last
+                # superstep): its freshest surviving state is the remote
+                # checkpoint held by its ring successor.
+                succ = self._adopter_of(rank)
+                durable = self._durable_header(succ, self.peer_hdr_base)
+                if durable < steps_run[0]:
+                    raise RuntimeError(
+                        f"rank {rank} died un-adopted with a stale "
+                        f"checkpoint ({durable} < {steps_run[0]})")
+                slot = self._slot_with_header(succ, self.peer_hdr_base,
+                                              durable)
+                home = succ
+                base = self.peer_ckpt_base + slot * self.part_stride
+            for vertex in partition.members[rank]:
+                raw = cluster.peek_segment(
+                    home, _CTX, base + self._record_offset(vertex), 24)
+                values[vertex] = _unpack(raw)[final_epoch]
+        converged = steps_run[0] < max_supersteps
+        return BSPResult(values=values, supersteps_run=steps_run[0],
+                         elapsed_ns=sim.now - start, converged=converged,
+                         remote_reads=remote_reads[0],
+                         recoveries=recoveries[0],
+                         checkpoints=checkpoints[0])

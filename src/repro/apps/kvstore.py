@@ -14,6 +14,17 @@ module implements that design point on the soNUMA API:
   shipped to the server); a CAS-based optimistic client PUT is provided
   for single-writer keys.
 
+Fault tolerance (PR 5): :class:`ReplicatedKVServer` mirrors every PUT to
+K backup nodes with one-sided bucket writes *at the same table offset*
+(identical table geometry means identical probe chains, so a backup's
+table is byte-for-byte the primary's), acking only once every backup
+holds the bucket — the in-memory replication recipe of Besta & Hoefler's
+fault-tolerant RMA work. :class:`FailoverKVClient` walks an ordered
+replica list: when a replica's reads error-complete (crash, eviction,
+fencing), it fails over to the next and keeps serving. Because PUT acks
+imply full replication, an acknowledged PUT is never lost; staleness is
+bounded by the single in-flight PUT.
+
 Bucket layout (64 bytes)::
 
     bytes 0-7    key (u64; 0 = empty bucket)
@@ -25,13 +36,14 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Sequence, Tuple
 
-from ..runtime.qp_api import RMCSession
+from ..runtime.qp_api import RemoteOpFailed, RMCSession
 from ..sim import LatencyStat
 from ..vm.address import CACHE_LINE_SIZE
 
-__all__ = ["KVServer", "KVClient", "KVStats", "BUCKET_BYTES",
+__all__ = ["KVServer", "KVClient", "KVStats", "ReplicatedKVServer",
+           "FailoverKVClient", "AvailabilityStats", "BUCKET_BYTES",
            "MAX_VALUE_BYTES"]
 
 BUCKET_BYTES = CACHE_LINE_SIZE
@@ -191,3 +203,134 @@ class KVClient:
         yield from self.session.write_sync(self.server_nid, offset,
                                            scratch, BUCKET_BYTES)
         return True
+
+
+# -- fault-tolerant variants (PR 5) ------------------------------------------
+
+@dataclass
+class AvailabilityStats:
+    """Client-observed availability under node failures."""
+
+    gets_ok: int = 0
+    #: GETs that exhausted every replica (true unavailability window).
+    gets_failed: int = 0
+    #: Times the client advanced to the next replica.
+    failovers: int = 0
+    #: Individual replica attempts that error-completed.
+    replica_errors: int = 0
+    #: Replicas skipped without a timeout because membership had already
+    #: evicted them (the control plane saving the client a lease wait).
+    evicted_skips: int = 0
+
+    @property
+    def availability(self) -> float:
+        total = self.gets_ok + self.gets_failed
+        return self.gets_ok / total if total else 1.0
+
+    def as_dict(self) -> dict:
+        return {"gets_ok": self.gets_ok, "gets_failed": self.gets_failed,
+                "failovers": self.failovers,
+                "replica_errors": self.replica_errors,
+                "evicted_skips": self.evicted_skips,
+                "availability": self.availability}
+
+
+class ReplicatedKVServer(KVServer):
+    """Primary that mirrors each PUT to K backups before acking.
+
+    Replicas must register the table with identical geometry (same
+    ``num_buckets`` and ``table_offset``): the primary then ships the
+    packed 64-byte bucket line to the *same* slot on every backup with a
+    one-sided write, and the backup tables stay byte-for-byte identical
+    — including probe-chain structure — without any backup-side CPU.
+    A PUT is acknowledged only after every backup write completes, so an
+    acknowledged PUT survives any single crash (with K >= 1 backups).
+    """
+
+    def __init__(self, session: RMCSession, backups: Sequence[int],
+                 num_buckets: int = 4096, table_offset: int = 0):
+        super().__init__(session, num_buckets=num_buckets,
+                         table_offset=table_offset)
+        self.backups = list(backups)
+        self.puts_acked = 0
+        self.replica_writes = 0
+        self._scratch = session.alloc_buffer(BUCKET_BYTES)
+
+    def put_replicated(self, key: int, value: bytes):
+        """Timed coroutine: local insert, then synchronous replication
+        to every backup. Returns the bucket slot once fully replicated
+        (the ack point — nothing acked here can be lost to one crash)."""
+        slot = yield from self.put_timed(key, value)
+        offset = self.table_offset + slot * BUCKET_BYTES
+        self.session.buffer_poke(self._scratch, _pack_bucket(key, value))
+        for backup in self.backups:
+            yield from self.session.write_sync(backup, offset,
+                                               self._scratch, BUCKET_BYTES)
+            self.replica_writes += 1
+        self.puts_acked += 1
+        return slot
+
+
+class FailoverKVClient(KVClient):
+    """GET client that walks an ordered replica list on failures.
+
+    Reads go to the current replica; when a probe error-completes
+    (crashed node, severed link, epoch-fenced reply) the client records
+    the failure, rotates to the next replica, and retries the whole GET
+    there. With a membership service attached, replicas the control
+    plane has already evicted are skipped outright — failover happens at
+    epoch-change speed instead of per-op timeout speed.
+
+    Staleness bound: backups only ever lag the primary by the single PUT
+    currently inside :meth:`ReplicatedKVServer.put_replicated`; any
+    *acknowledged* PUT is readable from every replica.
+    """
+
+    def __init__(self, session: RMCSession, replica_nids: Sequence[int],
+                 num_buckets: int, table_offset: int = 0,
+                 max_probes: int = 16, membership=None):
+        if not replica_nids:
+            raise ValueError("need at least one replica")
+        super().__init__(session, replica_nids[0], num_buckets,
+                         table_offset=table_offset, max_probes=max_probes)
+        self.replicas = list(replica_nids)
+        self.membership = membership
+        self.current = 0
+        self.availability = AvailabilityStats()
+
+    @property
+    def active_replica(self) -> int:
+        return self.replicas[self.current]
+
+    def _fail_over(self) -> None:
+        self.current = (self.current + 1) % len(self.replicas)
+        self.availability.failovers += 1
+
+    def get(self, key: int):   # noqa: C901 - failover loop
+        """Timed coroutine: GET with replica failover. Raises the last
+        :class:`RemoteOpFailed` only if *every* replica fails."""
+        last_error: Optional[RemoteOpFailed] = None
+        for _ in range(len(self.replicas)):
+            target = self.replicas[self.current]
+            if self.membership is not None \
+                    and not self.membership.is_live(target):
+                self.availability.evicted_skips += 1
+                self._fail_over()
+                continue
+            self.server_nid = target
+            try:
+                value = yield from super().get(key)
+            except RemoteOpFailed as exc:
+                last_error = exc
+                self.availability.replica_errors += 1
+                # The session records the peer as failed; absorb it so the
+                # next replica starts from a clean slate.
+                self.session.consume_errors()
+                self._fail_over()
+                continue
+            self.availability.gets_ok += 1
+            return value
+        self.availability.gets_failed += 1
+        if last_error is not None:
+            raise last_error
+        raise RemoteOpFailed(-1, "no live replica to serve the GET")

@@ -1,5 +1,17 @@
-"""Cluster assembly: multi-node systems and global contexts."""
+"""Cluster assembly: multi-node systems, global contexts, membership,
+and node-level fault injection."""
 
 from .cluster import Cluster, ClusterConfig, GlobalContext
+from .failures import FaultEvent, NodeFaultController
+from .membership import MemberRecord, MembershipService, MemberState
 
-__all__ = ["Cluster", "ClusterConfig", "GlobalContext"]
+__all__ = [
+    "Cluster",
+    "ClusterConfig",
+    "FaultEvent",
+    "GlobalContext",
+    "MemberRecord",
+    "MemberState",
+    "MembershipService",
+    "NodeFaultController",
+]

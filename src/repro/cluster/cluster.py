@@ -80,9 +80,68 @@ class Cluster:
             Node(self.sim, node_id, self.fabric, self.config.node)
             for node_id in range(self.config.num_nodes)
         ]
+        #: Set by :meth:`enable_membership` / :meth:`fault_controller`.
+        self.membership = None
+        self.faults = None
 
     def __len__(self) -> int:
         return len(self.nodes)
+
+    # -- failure handling control plane (§5.1) -------------------------------
+
+    def enable_membership(self, interval_ns: float = 20_000.0,
+                          lease_ns: Optional[float] = None,
+                          on_join=None, on_evict=None, on_rejoin=None):
+        """Start the lease-based membership service: every node probes
+        every other with RPING heartbeats; lease expiry evicts (with
+        epoch fencing on all NIs), pong resumption rejoins. Callbacks
+        (``fn(node_id, epoch)``) passed here are registered before the
+        initial joins fire. Returns the
+        :class:`~repro.cluster.membership.MembershipService`."""
+        from .membership import MembershipService
+
+        if self.membership is not None:
+            raise RuntimeError("membership already enabled")
+        self.membership = MembershipService(self, interval_ns=interval_ns,
+                                            lease_ns=lease_ns)
+        for callback, registry in ((on_join, self.membership.on_join),
+                                   (on_evict, self.membership.on_evict),
+                                   (on_rejoin, self.membership.on_rejoin)):
+            if callback is not None:
+                registry.append(callback)
+        self.membership.start()
+        if self.faults is not None:
+            self.faults.membership = self.membership
+        return self.membership
+
+    def fault_controller(self, seed: int = 0):
+        """Create (once) the node-level fault controller, bound to the
+        membership service when one is enabled. Returns the
+        :class:`~repro.cluster.failures.NodeFaultController`."""
+        from .failures import NodeFaultController
+
+        if self.faults is None:
+            self.faults = NodeFaultController(self, self.membership,
+                                              seed=seed)
+        return self.faults
+
+    def on_evict(self, callback) -> None:
+        """Register ``fn(node_id, epoch)`` fired on every eviction."""
+        self._membership_required().on_evict.append(callback)
+
+    def on_rejoin(self, callback) -> None:
+        """Register ``fn(node_id, epoch)`` fired on every rejoin."""
+        self._membership_required().on_rejoin.append(callback)
+
+    def on_join(self, callback) -> None:
+        """Register ``fn(node_id, epoch)`` fired for each initial join."""
+        self._membership_required().on_join.append(callback)
+
+    def _membership_required(self):
+        if self.membership is None:
+            raise RuntimeError(
+                "call enable_membership() before registering callbacks")
+        return self.membership
 
     def create_global_context(self, ctx_id: int, segment_size: int,
                               qps_per_node: int = 1,

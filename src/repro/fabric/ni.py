@@ -19,7 +19,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Deque, Dict, Optional, Set
 
-from ..protocol import VirtualLane
+from ..protocol import Opcode, PING_TID, VirtualLane
 from ..sim import Event, Resource, Simulator, Store
 
 __all__ = ["FabricConfig", "NetworkInterface"]
@@ -79,12 +79,21 @@ class NetworkInterface:
         self.bytes_sent = 0
         self.duplicates_dropped = 0    # link-seq dedup rejections
         self.checksum_dropped = 0      # CRC-failed frames rejected
+        self.epoch_fenced = 0          # stale-incarnation frames fenced
+        #: This node's incarnation epoch, stamped into every injected
+        #: frame's trailer. 0 until the membership service assigns one.
+        self.epoch = 0
         # Link-layer sequencing: one monotonic counter per destination
         # (stamped at inject time), and a bounded per-source window of
         # recently seen sequence numbers on the receive side.
         self._tx_seq: Dict[int, int] = {}
         self._rx_seen: Dict[int, Set[int]] = {}
         self._rx_order: Dict[int, Deque[int]] = {}
+        # Epoch fencing: minimum acceptable incarnation per source
+        # (installed by the membership service on eviction) and the
+        # highest incarnation actually observed per source.
+        self._rx_fence: Dict[int, int] = {}
+        self._rx_epoch: Dict[int, int] = {}
         #: Optional callback invoked with an undeliverable packet when the
         #: fabric reports a failure (drives the driver's failure path).
         self.on_delivery_failure: Optional[Callable] = None
@@ -96,9 +105,12 @@ class NetworkInterface:
         a destination — including RGP retransmissions, which are rebuilt
         packets — gets a fresh seq, so receivers can reject duplicated
         frames without ever confusing a retransmission for a duplicate.
+        Also stamps the node's current incarnation epoch so receivers can
+        fence frames emitted by an earlier (pre-crash) incarnation.
         """
         seq = self._tx_seq.get(packet.dst_nid, 0)
         packet.seq = seq
+        packet.epoch = self.epoch
         self._tx_seq[packet.dst_nid] = (seq + 1) & 0xFFFFFFFF
         self.packets_sent += 1
         self.bytes_sent += packet.size_bytes
@@ -106,12 +118,68 @@ class NetworkInterface:
 
     def deliver(self, packet) -> None:
         """Called by the fabric when a packet arrives (credit was held)."""
+        if self._is_fenced(packet):
+            self.epoch_fenced += 1
+            self._release_credit_later(packet.vl)
+            return
         if self._is_duplicate(packet):
             self.duplicates_dropped += 1
             self._release_credit_later(packet.vl)
             return
         self.packets_received += 1
         self.rx[packet.vl].try_put(packet)
+
+    # -- incarnation fencing (membership layer, §5.1) ------------------------
+
+    def fence_peer(self, src_nid: int, min_epoch: int) -> None:
+        """Reject frames from ``src_nid`` whose incarnation epoch is below
+        ``min_epoch``. Installed by the membership service when a node is
+        evicted: any in-flight or straggler frame from the dead
+        incarnation is dropped at the link layer and can never reach a
+        pipeline (and therefore never complete into a CQ)."""
+        if min_epoch > self._rx_fence.get(src_nid, 0):
+            self._rx_fence[src_nid] = min_epoch
+
+    def _is_fenced(self, packet) -> bool:
+        src = packet.src_nid
+        if packet.epoch < self._rx_fence.get(src, 0):
+            # Liveness probes (RPING and their pongs) are exempt: they
+            # never complete into a CQ — which is what the fence
+            # protects — and a fenced-but-running node's pongs are the
+            # only evidence the cluster can ever get that it is
+            # reachable again. Fencing them would make gray/partition
+            # rejoin impossible.
+            if (getattr(packet, "op", None) is Opcode.RPING
+                    or getattr(packet, "tid", None) == PING_TID):
+                return False
+            return True
+        # A frame from a *newer* incarnation restarts link-level state:
+        # the reborn node's sequence numbers begin again at zero, so the
+        # dedup window tracking its previous life must be discarded.
+        if packet.epoch > self._rx_epoch.get(src, 0):
+            self._rx_epoch[src] = packet.epoch
+            self._rx_seen.pop(src, None)
+            self._rx_order.pop(src, None)
+        return False
+
+    def reset_link_state(self) -> None:
+        """Forget all link-layer tx/rx state (node restart).
+
+        A restarted node transmits from seq 0 in a fresh incarnation;
+        peers accept it because the higher trailer epoch resets their
+        per-source dedup window (see :meth:`_is_fenced`)."""
+        self._tx_seq.clear()
+        self._rx_seen.clear()
+        self._rx_order.clear()
+        self._rx_epoch.clear()
+        for vl in VirtualLane:
+            while True:
+                ok, _ = self.rx[vl].try_get()
+                if not ok:
+                    break
+                # Each buffered frame held a receive credit; return it so
+                # the pool is full again when the node comes back up.
+                self.rx_credits[vl].release()
 
     def reject_corrupt(self, packet) -> None:
         """Called by the fabric when a frame fails its CRC check: the

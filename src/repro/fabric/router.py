@@ -13,7 +13,7 @@ latency.
 from __future__ import annotations
 
 from functools import partial
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Set, Tuple
 
 from ..protocol import VirtualLane
 from ..sim import Resource, Simulator, Store
@@ -68,6 +68,18 @@ class Router:
         while True:
             packet = yield buffer.get()
             yield cfg.router_delay_ns  # route computation + xbar
+            if packet.src_nid in fabric.failed_nodes \
+                    or packet.dst_nid in fabric.failed_nodes:
+                # A crashed endpoint: the frame is undeliverable (node
+                # fault controller). Drop here, notify the sender's NI.
+                self.packets_dropped += 1
+                fabric.packets_dropped += 1
+                src_ni = fabric.nis.get(packet.src_nid)
+                if src_ni is not None \
+                        and packet.src_nid not in fabric.failed_nodes:
+                    src_ni.notify_failure(packet)
+                credits.release()
+                continue
             if packet.dst_nid == self.node_id:
                 # Ejection port: hand to the local NI (credit-controlled).
                 ni = fabric.nis[self.node_id]
@@ -124,6 +136,7 @@ class RoutedFabric:
         self.routers: Dict[int, Router] = {}
         self.nis: Dict[int, NetworkInterface] = {}
         self.packets_dropped = 0
+        self.failed_nodes: Set[int] = set()
         self.fault_injector: Optional[FaultInjector] = None
         for node_id in topology.graph.nodes:
             self.routers[node_id] = Router(sim, self, node_id)
@@ -160,6 +173,18 @@ class RoutedFabric:
         injector.fabric = self
         self.fault_injector = injector
         return injector
+
+    # -- failure injection (node fault controller) ---------------------------
+
+    def fail_node(self, node_id: int) -> None:
+        """Take a node out of the fabric: frames to or from it are
+        dropped at the first router they traverse. Its router keeps
+        forwarding *through* traffic (the topology stays connected)."""
+        self.failed_nodes.add(node_id)
+
+    def restore_node(self, node_id: int) -> None:
+        """Bring a failed node back into the fabric."""
+        self.failed_nodes.discard(node_id)
 
     def stats(self) -> Dict[str, int]:
         """Forwarding/drop counters for telemetry."""

@@ -70,6 +70,13 @@ class RMCDriver:
         self.on_node_recovery: Optional[Callable[[int], None]] = None
         self._hb_last_pong: Dict[int, float] = {}
         self._hb_running = False
+        # Generation token: each enable starts a new loop generation so a
+        # disable immediately followed by a re-enable (node restart) can
+        # never leave two heartbeat loops running.
+        self._hb_generation = 0
+        #: Detector transition counters (availability telemetry).
+        self.failure_transitions = 0
+        self.recovery_transitions = 0
 
     # -- access control -----------------------------------------------------
 
@@ -172,32 +179,51 @@ class RMCDriver:
         if lease_ns is None:
             lease_ns = 3 * interval_ns
         self._hb_running = True
+        self._hb_generation += 1
         self.node.rmc.ping_sink = self._on_pong
         sim = self.node.sim
         now = sim.now
         for peer in peers:
             self._hb_last_pong.setdefault(peer, now)
-        sim.process(self._heartbeat_loop(list(peers), interval_ns, lease_ns),
+        sim.process(self._heartbeat_loop(list(peers), interval_ns, lease_ns,
+                                         self._hb_generation),
                     name=f"driver{self.node.node_id}.heartbeat")
 
     def disable_failure_detector(self) -> None:
         self._hb_running = False
 
+    def reset_failure_detector(self) -> None:
+        """Forget all detector state (node restart).
+
+        Without this, re-enabling after downtime would compare fresh
+        leases against pre-crash pong timestamps and instantly suspect
+        every peer.
+        """
+        self._hb_running = False
+        self._hb_last_pong.clear()
+        self.suspects.clear()
+
     def is_suspect(self, peer: int) -> bool:
         return peer in self.suspects
 
-    def _heartbeat_loop(self, peers, interval_ns: float, lease_ns: float):
+    def _heartbeat_loop(self, peers, interval_ns: float, lease_ns: float,
+                        generation: int):
         sim = self.node.sim
         ni = self.node.ni
-        while self._hb_running:
+        while self._hb_running and self._hb_generation == generation:
             for peer in peers:
                 ni.inject(RequestPacket(
                     dst_nid=peer, src_nid=self.node.node_id,
                     op=Opcode.RPING, ctx_id=0, offset=0,
                     tid=PING_TID, length=1))
-                if sim.now - self._hb_last_pong[peer] > lease_ns \
-                        and peer not in self.suspects:
+                last = self._hb_last_pong.get(peer)
+                if last is None:
+                    # Detector state was reset underneath us: restart the
+                    # peer's lease from now.
+                    self._hb_last_pong[peer] = last = sim.now
+                if sim.now - last > lease_ns and peer not in self.suspects:
                     self.suspects.add(peer)
+                    self.failure_transitions += 1
                     self.failures.append(FabricFailure(
                         time_ns=sim.now, dst_nid=peer,
                         description=f"node {peer} heartbeat lease expired"))
@@ -209,6 +235,7 @@ class RMCDriver:
         self._hb_last_pong[peer] = self.node.sim.now
         if peer in self.suspects:
             self.suspects.discard(peer)
+            self.recovery_transitions += 1
             if self.on_node_recovery is not None:
                 self.on_node_recovery(peer)
 

@@ -3,6 +3,7 @@
 from .packets import (
     HEADER_BYTES,
     MTU_BYTES,
+    PING_TID,
     TRAILER_BYTES,
     Opcode,
     ReplyPacket,
@@ -19,6 +20,7 @@ __all__ = [
     "MTU_BYTES",
     "TRAILER_BYTES",
     "Opcode",
+    "PING_TID",
     "ReplyPacket",
     "ReplyStatus",
     "RequestPacket",

@@ -23,6 +23,7 @@ from ..vm.address import CACHE_LINE_SIZE
 
 __all__ = [
     "Opcode",
+    "PING_TID",
     "ReplyStatus",
     "VirtualLane",
     "HEADER_BYTES",
@@ -37,16 +38,26 @@ __all__ = [
 HEADER_BYTES = 16
 
 #: Link-layer trailer: per-(src,dst) sequence number (u32), attempt
-#: counter (u8), and CRC-16 over the whole packet. Like an Ethernet
-#: FCS, the trailer is link-level framing: it is carried by
-#: :func:`repro.protocol.wire.encode` but **not** counted in the modeled
-#: protocol size (:func:`packet_size`), so enabling integrity checking
-#: adds no cost to the simulated data path.
-TRAILER_BYTES = 7
+#: counter (u8), sender incarnation epoch (u16), and CRC-16 over the
+#: whole packet. Like an Ethernet FCS, the trailer is link-level
+#: framing: it is carried by :func:`repro.protocol.wire.encode` but
+#: **not** counted in the modeled protocol size (:func:`packet_size`),
+#: so enabling integrity checking adds no cost to the simulated data
+#: path. The epoch lets receivers *fence* traffic from a node's earlier
+#: incarnation after a crash/restart (membership layer, §5.1).
+TRAILER_BYTES = 9
 
 #: Link-layer MTU: "large enough to support a fixed-size header and an
 #: optional cache-line-sized payload" (paper §6).
 MTU_BYTES = HEADER_BYTES + CACHE_LINE_SIZE
+
+#: Reserved tid carried by RPING probes and their pongs. Liveness
+#: traffic is served from the RRPP itself (no context lookup) and never
+#: tracked in the ITT; receivers use the reserved value to route pongs
+#: to the driver's failure detector — and the NI uses it to exempt
+#: probes from incarnation fencing (a fenced node's pongs are the only
+#: evidence that it is reachable again).
+PING_TID = 0xFFFF
 
 
 class Opcode(enum.Enum):
@@ -111,6 +122,7 @@ class RequestPacket:
     compare: Optional[int] = None            # RCOMP_SWAP compare value
     seq: int = 0       # per-(src,dst) link sequence number (NI-stamped)
     attempt: int = 0   # 0 = first transmission; >0 = RGP retransmission
+    epoch: int = 0     # sender incarnation epoch (NI-stamped; 0 = unfenced)
 
     def __post_init__(self):
         if not 0 < self.length <= CACHE_LINE_SIZE:
@@ -148,6 +160,7 @@ class ReplyPacket:
     payload: Optional[bytes] = None   # RREAD data / atomic old value encoding
     old_value: Optional[int] = None   # atomics: value before the operation
     seq: int = 0       # per-(src,dst) link sequence number (NI-stamped)
+    epoch: int = 0     # sender incarnation epoch (NI-stamped; 0 = unfenced)
 
     @property
     def vl(self) -> VirtualLane:

@@ -21,17 +21,20 @@ Atomic operands don't fit the header; they travel in the payload area
 (operand u64 | compare u64), which is accounted in the wire size.
 
 Link-layer trailer (:data:`~repro.protocol.packets.TRAILER_BYTES`,
-7 bytes, appended after the body)::
+9 bytes, appended after the body)::
 
     bytes 0-3    seq (u32)       per-(src,dst) link sequence number
     byte  4      attempt (u8)    retransmission attempt (0 = first send)
-    bytes 5-6    CRC-16/CCITT    over header + body + seq + attempt
+    bytes 5-6    epoch (u16)     sender incarnation epoch (0 = unfenced)
+    bytes 7-8    CRC-16/CCITT    over header + body + seq + attempt + epoch
 
 The trailer is the reliability layer's framing — receivers use the CRC
-to reject corrupted packets (:class:`ChecksumError`) and the sequence
-number to reject link-level duplicates. Like an Ethernet FCS it is not
-part of the protocol-visible packet, so the modeled packet size
-(:func:`~repro.protocol.packets.packet_size`) excludes it.
+to reject corrupted packets (:class:`ChecksumError`), the sequence
+number to reject link-level duplicates, and the epoch to *fence* stale
+traffic from a crashed-and-restarted node's earlier incarnation. Like
+an Ethernet FCS it is not part of the protocol-visible packet, so the
+modeled packet size (:func:`~repro.protocol.packets.packet_size`)
+excludes it.
 """
 
 from __future__ import annotations
@@ -111,13 +114,15 @@ def _pack_header(kind: int, code: int, dst: int, src: int, tid: int,
     return header
 
 
-def _seal(frame: bytes, seq: int, attempt: int) -> bytes:
-    """Append the link-layer trailer (seq + attempt + CRC-16)."""
+def _seal(frame: bytes, seq: int, attempt: int, epoch: int) -> bytes:
+    """Append the link-layer trailer (seq + attempt + epoch + CRC-16)."""
     if not 0 <= seq <= _MAX_U32:
         raise ValueError("seq exceeds wire width (u32)")
     if not 0 <= attempt <= 0xFF:
         raise ValueError("attempt exceeds wire width (u8)")
-    sealed = frame + struct.pack("<IB", seq, attempt)
+    if not 0 <= epoch <= _MAX_U16:
+        raise ValueError("epoch exceeds wire width (u16)")
+    sealed = frame + struct.pack("<IBH", seq, attempt, epoch)
     return sealed + struct.pack("<H", crc16(sealed))
 
 
@@ -133,7 +138,7 @@ def encode(packet: Union[RequestPacket, ReplyPacket]) -> bytes:
         elif packet.op is Opcode.RCOMP_SWAP:
             body = struct.pack("<QQ", packet.operand & (2 ** 64 - 1),
                                packet.compare & (2 ** 64 - 1))
-        return _seal(header + body, packet.seq, packet.attempt)
+        return _seal(header + body, packet.seq, packet.attempt, packet.epoch)
     if isinstance(packet, ReplyPacket):
         flags = _FLAG_OLD_VALUE if packet.old_value is not None else 0
         length = len(packet.payload) if packet.payload else 1
@@ -143,7 +148,7 @@ def encode(packet: Union[RequestPacket, ReplyPacket]) -> bytes:
         body = packet.payload or b""
         if packet.old_value is not None:
             body += struct.pack("<Q", packet.old_value & (2 ** 64 - 1))
-        return _seal(header + body, packet.seq, 0)
+        return _seal(header + body, packet.seq, 0, packet.epoch)
     raise TypeError(f"cannot encode {type(packet).__name__}")
 
 
@@ -160,7 +165,7 @@ def decode(wire: bytes) -> Union[RequestPacket, ReplyPacket]:
         raise ChecksumError(
             f"CRC mismatch: stored {stored_crc:#06x}, "
             f"computed {crc16(wire[:-2]):#06x}")
-    seq, attempt = struct.unpack("<IB", wire[-TRAILER_BYTES:-2])
+    seq, attempt, epoch = struct.unpack("<IBH", wire[-TRAILER_BYTES:-2])
     kind, code, dst, src, tid, ctx_or_flags, length_m1 = struct.unpack(
         "<BBHHHBB", wire[:10])
     offset = int.from_bytes(wire[10:16], "little")
@@ -186,7 +191,7 @@ def decode(wire: bytes) -> Union[RequestPacket, ReplyPacket]:
                              ctx_id=ctx_or_flags, offset=offset, tid=tid,
                              length=length, payload=payload,
                              operand=operand, compare=compare,
-                             seq=seq, attempt=attempt)
+                             seq=seq, attempt=attempt, epoch=epoch)
 
     if kind == _KIND_REPLY:
         status = _STATUSES_REV.get(code)
@@ -202,7 +207,7 @@ def decode(wire: bytes) -> Union[RequestPacket, ReplyPacket]:
         payload = payload if payload else None
         return ReplyPacket(dst_nid=dst, src_nid=src, tid=tid,
                            offset=offset, status=status, payload=payload,
-                           old_value=old_value, seq=seq)
+                           old_value=old_value, seq=seq, epoch=epoch)
 
     raise ValueError(f"unknown packet kind {kind}")
 

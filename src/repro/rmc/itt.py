@@ -182,6 +182,10 @@ class InflightTransactionTable:
                 f"{entry.total_lines} lines complete")
         self._free_tids.append(tid)
 
+    def active_entries(self):
+        """Snapshot of every in-flight entry (crash error-completion)."""
+        return list(self._entries.values())
+
     def abort_all(self) -> int:
         """Drop every in-flight transaction (RMC reset path, §5.1)."""
         count = len(self._entries)

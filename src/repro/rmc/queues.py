@@ -229,6 +229,11 @@ class QueuePair:
     asid: int
     wq: WorkQueue
     cq: CompletionQueue
+    #: Set when the owning RMC crashes: the libos fails API calls on
+    #: this QP immediately instead of letting callers spin on rings the
+    #: dead RMC will never service again. A rebooted RMC issues fresh
+    #: QPs; a halted one stays halted forever.
+    halted: bool = False
 
     @property
     def size(self) -> int:

@@ -34,6 +34,7 @@ from ..fabric.ni import NetworkInterface
 from ..memory.hierarchy import AgentPort
 from ..protocol import (
     Opcode,
+    PING_TID,
     ReplyPacket,
     ReplyStatus,
     RequestPacket,
@@ -50,11 +51,10 @@ from .queues import CQEntry, QueuePair, WQEntry
 __all__ = ["RMCConfig", "RMC", "PING_TID"]
 
 _U64_MASK = (1 << 64) - 1
-
-#: Reserved tid carried by RPING probes and their pongs. ITT tids are
-#: 0..itt_entries-1 (at most 64 by default), so the probe traffic can
-#: never collide with a tracked transaction.
-PING_TID = 0xFFFF
+# PING_TID (re-exported here for compatibility) lives in the protocol
+# layer now: the NI needs it too, to exempt probes from epoch fencing.
+# ITT tids are 0..itt_entries-1 (at most 64 by default), so the probe
+# traffic can never collide with a tracked transaction.
 
 
 @dataclass(frozen=True)
@@ -148,6 +148,16 @@ class RMC:
         # qp_id -> (qp, owning context entry): the RGP's polling schedule.
         self._qps: Dict[int, Tuple[QueuePair, ContextEntry]] = {}
         self._running = True
+        #: Node-crash flag (fault controller): while halted the pipelines
+        #: drain and drop traffic instead of serving it. The loops keep
+        #: running — killing and respawning them would race parked
+        #: ``receive()`` coroutines into duplicate pipelines on restart.
+        self.halted = False
+        #: Gray-failure flag: the RMC serves data traffic but stops
+        #: answering RPING probes, so the membership layer sees a dead
+        #: node while stale data replies keep flowing (the classic
+        #: split-brain scenario that epoch fencing exists to stop).
+        self.mute_pings = False
         # Simulation-efficiency device standing in for continuous WQ
         # polling: posts and tid retirements wake the RGP sweep.
         self._rgp_wake = WakeSignal(sim)
@@ -186,6 +196,84 @@ class RMC:
         self.counters.incr("resets")
         return aborted
 
+    # -- node crash / restart (fault controller, membership layer) -----------
+
+    def halt(self, reason: str = "node_crash") -> int:
+        """Crash this RMC: stop all pipelines and error-complete every
+        in-flight transaction.
+
+        The crashed node's application coroutines cannot be killed by the
+        simulator, so each in-flight WQ request is functionally completed
+        with a ``reason`` error CQ entry — blocked sessions then raise
+        :class:`~repro.runtime.qp_api.RemoteOpFailed` and can observe
+        their own death instead of spinning forever. Returns the number
+        of transactions error-completed.
+        """
+        if self.halted:
+            return 0
+        self.halted = True
+        # Fail the libos API fast: sessions on these QPs would otherwise
+        # spin forever polling rings the dead pipelines never service.
+        for qp, _ in self._qps.values():
+            qp.halted = True
+        self.counters.incr("halts")
+        failed = 0
+        for entry in self.itt.active_entries():
+            if self.itt.force_fail(entry.tid, reason) is None:
+                continue
+            entry.qp.cq.push(CQEntry(wq_index=entry.wq_index,
+                                     error=entry.error))
+            self.itt.retire(entry.tid)
+            failed += 1
+        if failed:
+            self.counters.incr("crash_error_completions", failed)
+        return failed
+
+    def abort_peer(self, dst_nid: int, reason: str = "peer_evicted") -> int:
+        """Requester-side fence: force-fail every in-flight transaction
+        targeting ``dst_nid``.
+
+        Called by the membership layer when it evicts a peer. Without
+        this, a retransmitting request can outlive the peer's entire
+        crash-restart window and then *succeed* against the reborn
+        node's wiped memory — returning zeros with a healthy completion
+        status. (Stale replies from the old incarnation are separately
+        epoch-fenced at the NI, so the freed tids cannot be corrupted.)
+        Returns the number of transactions error-completed.
+        """
+        failed = 0
+        for entry in self.itt.active_entries():
+            wq_entry = entry.wq_entry
+            if wq_entry is None or wq_entry.dst_nid != dst_nid:
+                continue
+            if self.itt.force_fail(entry.tid, reason) is None:
+                continue
+            entry.qp.cq.push(CQEntry(wq_index=entry.wq_index,
+                                     error=entry.error))
+            self.itt.retire(entry.tid)
+            failed += 1
+        if failed:
+            self.counters.incr("peer_abort_completions", failed)
+        return failed
+
+    def resume(self) -> None:
+        """Boot a halted RMC back into service with amnesia.
+
+        Everything volatile is gone: in-flight state, caches, the atomic
+        replay cache, and — critically — all QP registrations (the
+        pre-crash rings live in wiped memory; surviving registrations
+        would let the RGP execute stale WQ entries). Applications on the
+        reborn node must open fresh QPs.
+        """
+        self.reset()
+        for _, entry in self._qps.values():
+            entry.qps.clear()
+        self._qps.clear()
+        self.halted = False
+        self.mute_pings = False
+        self.counters.incr("restarts")
+        self._rgp_wake.trigger()
+
     # -- Request Generation Pipeline (RGP) ----------------------------------
 
     def _rgp_loop(self):
@@ -199,6 +287,10 @@ class RMC:
         sim = self.sim
         cycle = self.config.pipeline_cycle_ns
         while self._running:
+            if self.halted:
+                # Crashed: generate nothing until resume() wakes us.
+                yield self._rgp_wake.wait()
+                continue
             found_work = False
             for qp, entry in list(self._qps.values()):
                 # Timed poll of the next WQ slot (a coherent L1 access).
@@ -253,6 +345,8 @@ class RMC:
         per_line = cycle + self.config.unroll_overhead_ns
         for chunk_offset, chunk_len in chunks:
             yield per_line
+            if self.halted:
+                return   # crashed mid-unroll
             sim.process(
                 self._emit_chunk(ctx, wq_entry, itt_entry.tid,
                                  chunk_offset, chunk_len),
@@ -261,6 +355,8 @@ class RMC:
     def _emit_chunk(self, ctx: ContextEntry, wq_entry: WQEntry, tid: int,
                     chunk_offset: int, chunk_len: int, attempt: int = 0):
         """Build and inject one line-granularity request packet."""
+        if self.halted:
+            return   # crashed before this line left the node
         payload = None
         if wq_entry.op in (Opcode.RWRITE, Opcode.RNOTIFY):
             # "For remote writes ... the RMC accesses the local node's
@@ -339,6 +435,11 @@ class RMC:
         sim = self.sim
         while self._running:
             packet = yield from self.ni.receive(VirtualLane.REQUEST)
+            if self.halted:
+                # A crashed node drains frames (returning link credits so
+                # the fabric never wedges) but serves nothing.
+                self.counters.incr("halted_drops")
+                continue
             if self.config.rrpp_overhead_ns:
                 # RMCemu: one kernel thread serves requests serially
                 # (decode + software cost, coalesced into one event).
@@ -359,6 +460,11 @@ class RMC:
             # Liveness probe: answered from the pipeline itself, before
             # any context state is touched, so a pong only attests that
             # the link and the remote RMC are alive.
+            if self.mute_pings:
+                # Gray failure: alive on the data path, dead to the
+                # control plane (fault controller's gray mode).
+                self.counters.incr("pings_muted")
+                return
             self.counters.incr("pings_served")
             yield from self._reply(req)
             return
@@ -465,6 +571,8 @@ class RMC:
                payload: Optional[bytes] = None,
                old_value: Optional[int] = None):
         """Generate the single reply for a request (§6)."""
+        if self.halted:
+            return   # crashed between service and reply generation
         yield self.config.pipeline_cycle_ns
         reply = ReplyPacket(dst_nid=req.src_nid, src_nid=self.node_id,
                             tid=req.tid, offset=req.offset, status=status,
@@ -479,6 +587,9 @@ class RMC:
         sim = self.sim
         while self._running:
             packet = yield from self.ni.receive(VirtualLane.REPLY)
+            if self.halted:
+                self.counters.incr("halted_drops")
+                continue
             if self.config.rcp_overhead_ns:
                 # RMCemu: RGP and RCP share one emulation vCPU; replies
                 # are completed serially in software (decode + software

@@ -1,6 +1,6 @@
 """Software support: access library, messaging, synchronization (§5)."""
 
-from .barrier import Barrier
+from .barrier import Barrier, NodeEvicted, RankFailed
 from .capi import (
     rmc_compare_and_swap,
     rmc_drain_cq,
@@ -21,7 +21,9 @@ __all__ = [
     "Messenger",
     "MessagingConfig",
     "MessagingTimeout",
+    "NodeEvicted",
     "PeerFailure",
+    "RankFailed",
     "RemoteOpError",
     "RemoteOpFailed",
     "RMCSession",

@@ -9,21 +9,55 @@ barrier."
 Arrival lines carry a monotonically increasing *generation* number so
 the same barrier object can be reused across supersteps (the BSP loop of
 the PageRank study, §7.5) without a reset phase.
+
+Failure awareness: a plain barrier deadlocks the moment one participant
+dies — every survivor polls forever for an arrival that will never come.
+This barrier therefore integrates with the membership layer: when a
+participant is evicted (:meth:`Barrier.note_eviction`, wired to the
+membership service's eviction callback), waiters raise a typed
+:class:`RankFailed` exactly once per dead rank and thereafter *exclude*
+it from both the broadcast and the poll. A node that learns of its own
+eviction raises :class:`NodeEvicted` instead. Error completions toward a
+participant (the RMC's retransmission budget ran out — the peer is
+unreachable) are treated the same way, so the barrier degrades to a
+typed error even without a membership service wired.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence, Set
 
 from ..vm.address import CACHE_LINE_SIZE
 from .layout import CommLayout, MessagingConfig
 from .qp_api import RMCSession
 
-__all__ = ["Barrier"]
+__all__ = ["Barrier", "RankFailed", "NodeEvicted"]
+
+
+class RankFailed(RuntimeError):
+    """A barrier participant died (evicted by membership, or its writes
+    error-completed). The rank is excluded from subsequent waits; the
+    application decides whether to recover (checkpoint restart) or
+    abort."""
+
+    def __init__(self, rank: int):
+        super().__init__(f"barrier participant {rank} failed")
+        self.rank = rank
+
+
+class NodeEvicted(RuntimeError):
+    """*This* node was evicted from the cluster (its lease expired —
+    e.g. it was crashed, gray-partitioned, or declared dead). Raised by
+    collectives on the evicted node itself so its coroutines stop
+    participating instead of acting on a fenced incarnation."""
+
+    def __init__(self, node_id: int):
+        super().__init__(f"node {node_id} was evicted from the cluster")
+        self.node_id = node_id
 
 
 class Barrier:
-    """A reusable all-node barrier over one-sided writes."""
+    """A reusable, failure-aware all-node barrier over one-sided writes."""
 
     def __init__(self, session: RMCSession, node_id: int,
                  participants: Sequence[int],
@@ -39,26 +73,99 @@ class Barrier:
         self._generation = 0
         self._scratch = session.alloc_buffer(CACHE_LINE_SIZE)
         self.barriers_completed = 0
+        #: Ranks permanently excluded from this barrier (already
+        #: surfaced to the application via :class:`RankFailed`).
+        self.excluded: Set[int] = set()
+        #: Evicted ranks not yet surfaced: the next wait (or poll
+        #: iteration) raises one :class:`RankFailed` per entry.
+        self._pending_failures: List[int] = []
+        #: Set when the membership layer evicts *this* node.
+        self.self_evicted = False
+
+    # -- membership integration ---------------------------------------------
+
+    def note_eviction(self, rank: int) -> None:
+        """Membership callback: ``rank`` was evicted from the cluster."""
+        if rank == self.node_id:
+            self.self_evicted = True
+            return
+        if rank in self.participants and rank not in self.excluded \
+                and rank not in self._pending_failures:
+            self._pending_failures.append(rank)
+
+    def exclude(self, rank: int) -> None:
+        """Recovery: mark ``rank`` dead *without* raising — the caller
+        already learned of the failure through another channel (its own
+        :class:`RankFailed`, a failed shuffle read, the recovery plan)
+        and is acknowledging it. Idempotent."""
+        if rank == self.node_id or rank not in self.participants:
+            return
+        if rank in self._pending_failures:
+            self._pending_failures.remove(rank)
+        self.excluded.add(rank)
+
+    @property
+    def generation(self) -> int:
+        """The current barrier generation (for recovery resync)."""
+        return self._generation
+
+    def resync_generation(self, generation: int) -> None:
+        """Recovery: jump to ``generation`` so survivors whose barrier
+        counts diverged during a crash re-align before re-entering the
+        collective. Arrival lines are monotonic, so jumping forward can
+        never confuse a stale line for a fresh arrival."""
+        if generation < self._generation:
+            raise ValueError("barrier generations only move forward")
+        self._generation = generation
+
+    @property
+    def live_participants(self) -> List[int]:
+        return [p for p in self.participants if p not in self.excluded]
+
+    def _raise_pending(self) -> None:
+        if self.self_evicted:
+            raise NodeEvicted(self.node_id)
+        if self._pending_failures:
+            rank = self._pending_failures.pop(0)
+            self.excluded.add(rank)
+            raise RankFailed(rank)
+
+    def _absorb_session_failures(self) -> None:
+        """Error completions toward a live participant mean the RMC gave
+        up on it (budget exhausted): treat it as failed."""
+        for peer in self.session.failed_peers:
+            if peer in self.participants and peer != self.node_id \
+                    and peer not in self.excluded \
+                    and peer not in self._pending_failures:
+                self._pending_failures.append(peer)
+
+    # -- the collective ------------------------------------------------------
 
     def wait(self):
         """Timed coroutine: arrive at the barrier and block until every
-        participant has arrived at this generation."""
+        live participant has arrived at this generation.
+
+        Raises :class:`RankFailed` (one per newly dead rank) or
+        :class:`NodeEvicted` instead of deadlocking."""
+        self._raise_pending()
         self._generation += 1
         generation = self._generation
         payload = generation.to_bytes(8, "little")
         yield from self.session.buffer_write(self._scratch, payload)
 
-        # Broadcast arrival to every peer (pipelined one-sided writes).
+        # Broadcast arrival to every live peer (pipelined one-sided writes).
         my_line = self.layout.barrier_offset(self.node_id)
         for peer in self.participants:
-            if peer == self.node_id:
+            if peer == self.node_id or peer in self.excluded:
                 continue
             yield from self.session.wait_for_slot()
             yield from self.session.write_async(peer, my_line,
                                                 self._scratch, 8)
         yield from self.session.drain_cq()
+        self._absorb_session_failures()
+        self._raise_pending()
 
-        # Poll locally until all peers' arrival lines reach generation.
+        # Poll locally until all live peers' arrival lines reach generation.
         core = self.session.core
         space = self.session.space
         for peer in self.participants:
@@ -66,7 +173,8 @@ class Barrier:
                 continue
             vaddr = self.session.ctx.segment.vaddr_of(
                 self.layout.barrier_offset(peer))
-            while True:
+            while peer not in self.excluded:
+                self._raise_pending()
                 yield core.compute(core.config.poll_overhead_ns)
                 yield from core.touch(space, vaddr)
                 seen = int.from_bytes(self.session.buffer_peek(vaddr, 8),

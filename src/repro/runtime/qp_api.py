@@ -269,6 +269,8 @@ class RMCSession:
 
     def _post(self, entry: WQEntry, callback: Optional[Callable]):
         """Charge the software issue path and place the WQ entry."""
+        if self.qp.halted:
+            raise RemoteOpFailed(-1, "rmc_halted")
         if not self.qp.wq.can_post():
             raise RuntimeError(
                 "WQ full: call wait_for_slot() before posting")
@@ -283,7 +285,14 @@ class RMCSession:
         return index
 
     def _poll_cq_once(self, callback: Optional[Callable] = None):
-        """One CQ polling loop iteration (software + coherent load)."""
+        """One CQ polling loop iteration (software + coherent load).
+
+        On a halted (crashed) RMC the poll raises ``rmc_halted`` instead
+        of spinning: the pipelines will never complete anything again, so
+        a waiting coroutine would otherwise burn simulated cycles forever
+        and the simulation would never terminate."""
+        if self.qp.halted:
+            raise RemoteOpFailed(-1, "rmc_halted")
         yield self.core.compute(self.core.config.poll_overhead_ns)
         slot_vaddr = self.qp.cq.slot_vaddr(self.qp.cq.read_index)
         yield from self.core.touch(self.space, slot_vaddr)

@@ -39,6 +39,9 @@ class NodeSnapshot:
     ni_duplicates_dropped: int = 0
     fabric_node_stats: Dict[str, int] = field(default_factory=dict)
     suspected_nodes: int = 0
+    #: Frames dropped because their sender's incarnation was fenced by
+    #: the membership service (stale epoch — a dead node still talking).
+    ni_epoch_fenced: int = 0
 
 
 @dataclass
@@ -48,6 +51,9 @@ class ClusterSnapshot:
     time_ns: float
     nodes: List[NodeSnapshot]
     fabric_stats: Dict[str, int]
+    #: Membership-service stats (epoch, evictions, rejoins, MTTR) when
+    #: the cluster has one enabled; empty dict otherwise.
+    membership_stats: Dict[str, float] = field(default_factory=dict)
 
     def node(self, node_id: int) -> NodeSnapshot:
         """One node's snapshot by id."""
@@ -84,9 +90,14 @@ def snapshot(cluster) -> ClusterSnapshot:
             ni_duplicates_dropped=node.ni.duplicates_dropped,
             fabric_node_stats=node_stats,
             suspected_nodes=len(node.driver.suspects),
+            ni_epoch_fenced=getattr(node.ni, "epoch_fenced", 0),
         ))
+    membership = getattr(cluster, "membership", None)
     return ClusterSnapshot(time_ns=cluster.sim.now, nodes=nodes,
-                           fabric_stats=cluster.fabric.stats())
+                           fabric_stats=cluster.fabric.stats(),
+                           membership_stats=(membership.stats()
+                                             if membership is not None
+                                             else {}))
 
 
 def format_report(snap: ClusterSnapshot) -> str:
@@ -95,6 +106,14 @@ def format_report(snap: ClusterSnapshot) -> str:
         f"cluster telemetry @ t={snap.time_ns / 1000:.1f} us",
         f"fabric: {snap.fabric_stats}",
     ]
+    if snap.membership_stats:
+        ms = snap.membership_stats
+        lines.append(
+            f"membership: epoch={ms.get('epoch', 0)} "
+            f"live={ms.get('live_members', 0)} "
+            f"evictions={ms.get('evictions', 0)} "
+            f"rejoins={ms.get('rejoins', 0)} "
+            f"mttr={ms.get('mttr_ns', 0.0) / 1000:.1f} us")
     for node in snap.nodes:
         lines.append(f"node {node.node_id}:")
         lines.append(
@@ -126,6 +145,7 @@ def format_report(snap: ClusterSnapshot) -> str:
             "crc_dropped": node.ni_checksum_dropped,
             "dup_frames_dropped": node.ni_duplicates_dropped,
             "link_drops": node.fabric_node_stats.get("packets_dropped", 0),
+            "epoch_fenced": node.ni_epoch_fenced,
         }
         if any(reliability.values()):
             lines.append(f"  reliability: {reliability}")

@@ -1,0 +1,57 @@
+"""Shared pytest plumbing for the chaos/fault-injection suites.
+
+Chaos tests are seeded, so every run is reproducible — but only if the
+seed that failed is easy to recover and re-pin. This conftest adds:
+
+* ``--chaos-seed=N``: overrides the seed of every test that draws one
+  through the :func:`chaos_seed` fixture, so a failure found by the
+  nightly seed matrix (or any ad-hoc sweep) can be replayed locally
+  with a single flag;
+* a report hook that, when such a test fails, prints the exact
+  ``--chaos-seed`` invocation needed to reproduce it.
+
+Tests that don't opt into the fixture keep their hard-coded seeds and
+are unaffected.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--chaos-seed", type=int, default=None, metavar="N",
+        help="override the fault-injection seed of every test using the "
+             "chaos_seed fixture (default: each test's built-in seed)")
+
+
+@pytest.fixture
+def chaos_seed(request):
+    """Returns ``pick(default)``: the test's built-in seed, unless the
+    run was launched with ``--chaos-seed=N``, in which case N wins.
+
+    The chosen value is remembered on the test item so the failure
+    report can tell the user how to reproduce.
+    """
+    override = request.config.getoption("--chaos-seed")
+    used = {}
+    request.node._chaos_seed_used = used
+
+    def pick(default):
+        seed = override if override is not None else default
+        used["seed"] = seed
+        return seed
+
+    return pick
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    used = getattr(item, "_chaos_seed_used", None)
+    if (report.when == "call" and report.failed
+            and used is not None and "seed" in used):
+        report.sections.append((
+            "chaos seed",
+            f"reproduce with: pytest {item.nodeid} "
+            f"--chaos-seed={used['seed']}"))

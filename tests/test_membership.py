@@ -1,0 +1,153 @@
+"""Cluster membership: leases, epochs, incarnation fencing (§5.1).
+
+The membership service turns the driver-level RPING heartbeat into a
+single-domain control plane: lease expiry evicts a node (bumping the
+cluster epoch and fencing the dead incarnation on every surviving NI),
+resumed pongs or an explicit restart rejoin it under a fresh
+incarnation. These tests pin down the transition discipline — exactly
+one callback per state change, no matter how many detectors fire — and
+the NI-level fence that keeps a dead node's stragglers out of CQs.
+"""
+
+import pytest
+
+from repro import telemetry
+from repro.cluster import Cluster, ClusterConfig
+from repro.protocol import ReplyPacket
+
+CTX = 1
+
+INTERVAL = 2_000.0
+LEASE = 6_000.0
+
+
+def build(num_nodes=3, on_evict=None, on_rejoin=None):
+    cluster = Cluster(config=ClusterConfig(num_nodes=num_nodes))
+    membership = cluster.enable_membership(interval_ns=INTERVAL,
+                                           lease_ns=LEASE,
+                                           on_evict=on_evict,
+                                           on_rejoin=on_rejoin)
+    controller = cluster.fault_controller(seed=0)
+    return cluster, membership, controller
+
+
+def keep_alive(cluster, until):
+    """Heartbeat sleeps are daemon events — they never keep the
+    simulation alive on their own. Membership tests have no application
+    running, so pin the clock forward with a non-daemon ticker."""
+    def ticker(sim):
+        while sim.now < until:
+            yield sim.timeout(INTERVAL)
+    cluster.sim.process(ticker(cluster.sim), name="keepalive")
+
+
+class TestEvictionAndRejoin:
+    def test_crash_evicts_within_lease_and_bumps_epoch(self):
+        cluster, membership, controller = build()
+        epoch_before = membership.epoch
+        controller.schedule_crash(1, at_ns=5_000.0)
+        keep_alive(cluster, 5_000.0 + 3 * LEASE)
+        cluster.run(until=5_000.0 + 3 * LEASE)
+        assert not membership.is_live(1)
+        assert membership.live_members() == [0, 2]
+        assert membership.epoch == epoch_before + 1
+        assert membership.evictions == 1
+        # The fence is armed on every survivor: frames from the dead
+        # incarnation can no longer be delivered.
+        fenced = membership.members[1].fenced_below
+        assert fenced == membership.incarnation_of(1) + 1
+        for nid in (0, 2):
+            ni = cluster.nodes[nid].ni
+            stale = ReplyPacket(dst_nid=nid, src_nid=1, tid=0, offset=0,
+                                epoch=fenced - 1)
+            ni.deliver(stale)
+            assert ni.epoch_fenced >= 1
+
+    def test_restart_rejoins_with_fresh_incarnation(self):
+        cluster, membership, controller = build()
+        first_inc = membership.incarnation_of(1)
+        controller.schedule_crash(1, at_ns=5_000.0, restart_after_ns=30_000.0)
+        keep_alive(cluster, 100_000.0)
+        cluster.run(until=100_000.0)
+        assert membership.is_live(1)
+        assert membership.rejoins == 1
+        assert membership.incarnation_of(1) == first_inc + 1
+        assert membership.mttr_ns > 0
+        # Reflected in cluster telemetry.
+        snap = telemetry.snapshot(cluster)
+        assert snap.membership_stats["evictions"] == 1
+        assert snap.membership_stats["rejoins"] == 1
+        assert snap.membership_stats["live_members"] == 3
+
+    def test_repeated_flaps_fire_exactly_one_callback_per_transition(self):
+        """A gray node flapping up and down must produce exactly one
+        eviction and one rejoin per transition — even though *every*
+        survivor's detector reports the same lease expiry / recovery,
+        and keeps reporting it while the state persists."""
+        evicted, rejoined = [], []
+        cluster, membership, controller = build(
+            on_evict=lambda nid, epoch: evicted.append((nid, epoch)),
+            on_rejoin=lambda nid, epoch: rejoined.append((nid, epoch)))
+        flaps = 3
+
+        def script(sim):
+            for _ in range(flaps):
+                controller.gray_fail(1)
+                yield sim.timeout(4 * LEASE)    # well past expiry
+                controller.gray_restore(1)
+                yield sim.timeout(4 * LEASE)    # well past recovery
+
+        cluster.sim.process(script(cluster.sim))
+        cluster.run(until=flaps * 8 * LEASE + 10_000.0)
+        assert [nid for nid, _ in evicted] == [1] * flaps
+        assert [nid for nid, _ in rejoined] == [1] * flaps
+        # Each transition bumped the epoch exactly once; the callback
+        # epochs are strictly increasing with no duplicates.
+        epochs = [e for _, e in evicted] + [e for _, e in rejoined]
+        assert len(set(epochs)) == len(epochs)
+        assert membership.is_live(1)
+        # Every rejoin re-incarnated the node past its fence.
+        assert membership.incarnation_of(1) == 1 + flaps
+
+
+class TestIncarnationFence:
+    def _ni(self):
+        cluster = Cluster(config=ClusterConfig(num_nodes=2))
+        return cluster.nodes[0].ni
+
+    def test_stale_incarnation_frames_dropped_newer_pass(self):
+        ni = self._ni()
+        ni.fence_peer(1, 2)
+        stale = ReplyPacket(dst_nid=0, src_nid=1, tid=0, offset=0, epoch=1)
+        ni.deliver(stale)
+        assert ni.epoch_fenced == 1
+        assert ni.packets_received == 0
+        fresh = ReplyPacket(dst_nid=0, src_nid=1, tid=0, offset=0, epoch=2)
+        ni.deliver(fresh)
+        assert ni.packets_received == 1
+
+    def test_newer_epoch_resets_dedup_window(self):
+        """A reborn node restarts its link sequence numbers at zero; the
+        receiver must not mistake its first frames for duplicates of the
+        previous incarnation's."""
+        ni = self._ni()
+        first = ReplyPacket(dst_nid=0, src_nid=1, tid=0, offset=0,
+                            epoch=1, seq=0)
+        ni.deliver(first)
+        dup = ReplyPacket(dst_nid=0, src_nid=1, tid=0, offset=0,
+                          epoch=1, seq=0)
+        ni.deliver(dup)
+        assert ni.duplicates_dropped == 1
+        reborn = ReplyPacket(dst_nid=0, src_nid=1, tid=0, offset=0,
+                             epoch=2, seq=0)
+        ni.deliver(reborn)
+        assert ni.duplicates_dropped == 1      # not a duplicate
+        assert ni.packets_received == 2
+
+    def test_fence_is_monotonic(self):
+        ni = self._ni()
+        ni.fence_peer(1, 3)
+        ni.fence_peer(1, 2)    # lower fence must not unfence
+        pkt = ReplyPacket(dst_nid=0, src_nid=1, tid=0, offset=0, epoch=2)
+        ni.deliver(pkt)
+        assert ni.epoch_fenced == 1

@@ -96,8 +96,9 @@ class TestReplyRoundTrip:
 
 class TestWireFormat:
     def test_header_is_16_bytes(self):
-        # On the wire: 16-byte protocol header + 7-byte link trailer
-        # (seq + attempt + CRC-16, the Ethernet-FCS-like framing).
+        # On the wire: 16-byte protocol header + 9-byte link trailer
+        # (seq + attempt + incarnation epoch + CRC-16, the
+        # Ethernet-FCS-like framing).
         packet = RequestPacket(dst_nid=1, src_nid=0, op=Opcode.RREAD,
                                ctx_id=1, offset=0, tid=0)
         assert len(encode(packet)) == HEADER_BYTES + TRAILER_BYTES
@@ -138,25 +139,30 @@ class TestWireFormat:
 
 
 class TestIntegrity:
-    """The link-layer trailer: CRC-16 + sequence/attempt round-trips."""
+    """The link-layer trailer: CRC-16 + seq/attempt/epoch round-trips."""
 
     @given(seq=st.integers(min_value=0, max_value=0xFFFFFFFF),
-           attempt=st.integers(min_value=0, max_value=0xFF))
+           attempt=st.integers(min_value=0, max_value=0xFF),
+           epoch=st.integers(min_value=0, max_value=0xFFFF))
     @settings(max_examples=100)
-    def test_seq_and_attempt_roundtrip(self, seq, attempt):
+    def test_seq_attempt_epoch_roundtrip(self, seq, attempt, epoch):
         packet = RequestPacket(dst_nid=1, src_nid=0, op=Opcode.RREAD,
                                ctx_id=1, offset=64, tid=7,
-                               seq=seq, attempt=attempt)
+                               seq=seq, attempt=attempt, epoch=epoch)
         decoded = decode(encode(packet))
         assert decoded.seq == seq
         assert decoded.attempt == attempt
+        assert decoded.epoch == epoch
 
-    @given(seq=st.integers(min_value=0, max_value=0xFFFFFFFF))
+    @given(seq=st.integers(min_value=0, max_value=0xFFFFFFFF),
+           epoch=st.integers(min_value=0, max_value=0xFFFF))
     @settings(max_examples=50)
-    def test_reply_seq_roundtrip(self, seq):
+    def test_reply_seq_and_epoch_roundtrip(self, seq, epoch):
         packet = ReplyPacket(dst_nid=0, src_nid=1, tid=3, offset=128,
-                             payload=b"x" * 16, seq=seq)
-        assert decode(encode(packet)).seq == seq
+                             payload=b"x" * 16, seq=seq, epoch=epoch)
+        decoded = decode(encode(packet))
+        assert decoded.seq == seq
+        assert decoded.epoch == epoch
 
     def test_every_single_bit_flip_is_detected(self):
         # CRC-16 has Hamming distance >= 2: no single-bit corruption of
