@@ -19,6 +19,22 @@ _SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
+import pytest  # noqa: E402
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--checkpoint-mode", action="store", default="all",
+        help="Restrict checkpoint-mode ablations to one mode "
+             "(e.g. replica, xor(3), rs(3,2)); 'all' sweeps every "
+             "mode. The nightly CI matrix fans out over this axis.")
+
+
+@pytest.fixture
+def checkpoint_mode(request):
+    """The --checkpoint-mode option ('all' = sweep every mode)."""
+    return request.config.getoption("--checkpoint-mode")
+
 
 def print_table(title: str, headers, rows) -> None:
     """Render one experiment's output in the units the paper uses."""

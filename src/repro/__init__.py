@@ -50,6 +50,13 @@ from .cluster import (
     NodeFaultController,
 )
 from .node import Node, NodeConfig
+from .resilience import (
+    CheckpointUnrecoverable,
+    OneSidedWriteLog,
+    RSCode,
+    StripedCheckpointStore,
+    XORCode,
+)
 from .runtime import (
     Barrier,
     Messenger,
@@ -68,6 +75,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Barrier",
+    "CheckpointUnrecoverable",
     "Cluster",
     "ClusterConfig",
     "GlobalContext",
@@ -79,11 +87,15 @@ __all__ = [
     "NodeConfig",
     "NodeEvicted",
     "NodeFaultController",
+    "OneSidedWriteLog",
     "PeerFailure",
     "RankFailed",
     "RemoteOpError",
     "RemoteOpFailed",
     "RMCSession",
+    "RSCode",
     "Simulator",
+    "StripedCheckpointStore",
+    "XORCode",
     "__version__",
 ]

@@ -18,6 +18,7 @@ from .graph import (
 )
 from .kvstore import (
     AvailabilityStats,
+    CodedKVServer,
     FailoverKVClient,
     KVClient,
     KVServer,
@@ -45,6 +46,7 @@ __all__ = [
     "MinLabelProgram",
     "PageRankProgram",
     "AvailabilityStats",
+    "CodedKVServer",
     "FailoverKVClient",
     "KVClient",
     "ReplicatedKVServer",

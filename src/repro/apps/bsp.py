@@ -33,6 +33,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Protocol, Sequence, Set
 
 from ..cluster.cluster import Cluster, ClusterConfig
+from ..resilience.checkpoint import HEADER_BYTES, StripedCheckpointStore
+from ..resilience.coding import parse_checkpoint_mode
 from ..runtime.barrier import Barrier, NodeEvicted, RankFailed
 from ..runtime.qp_api import RemoteOpFailed, RMCSession
 from .graph import Graph, partition_random
@@ -279,37 +281,60 @@ class BSPEngine:
 
 
 class FaultTolerantBSPEngine(BSPEngine):
-    """BSP with checkpoint-to-peer-memory and crash-restart recovery.
+    """BSP with in-memory checkpointing and crash-restart recovery.
 
-    Every ``checkpoint_every`` supersteps each rank snapshots its full
-    record array twice: a local copy (its own restore source) and a
-    one-sided bulk write into its ring successor's memory (the restore
-    source for *its* partition if the rank dies). Checkpoints are
-    double-slotted with the header written after the data, so a crash
-    mid-checkpoint always leaves one complete older snapshot behind.
+    Three checkpoint modes share one API (``checkpoint_mode``):
+
+    * ``"replica"`` (default): every ``checkpoint_every`` supersteps
+      each rank snapshots its full record array twice — a local copy
+      (its own restore source) and a one-sided bulk write into its ring
+      successor's memory (the restore source for *its* partition if the
+      rank dies). Storage cost: 2x the partition.
+    * ``"xor"`` / ``"xor(k)"``: the snapshot is split into ``k`` data
+      shards plus one XOR parity shard scattered to ``k + 1`` distinct
+      healthy peers (single-loss tolerant, ``(k+1)/k`` storage).
+    * ``"rs(k,m)"``: GF(256) Reed-Solomon — ``k`` data + ``m`` parity
+      shards to ``k + m`` distinct peers; any ``m`` simultaneous losses
+      are survivable at ``(k+m)/k`` storage.
+
+    Coded modes keep **no** local snapshot — the scattered stripe *is*
+    the checkpoint (diskless checkpointing a la Besta & Hoefler's RMA
+    fault-tolerance recipe), written through the same one-sided
+    :class:`~repro.resilience.checkpoint.StripedCheckpointStore` path
+    as every other byte in the system. All modes are double-slotted
+    with headers written after the data, so a crash mid-checkpoint
+    always leaves one complete older snapshot behind.
 
     When a node is crashed, the membership layer evicts it within the
     lease and every survivor observes a typed failure — ``RankFailed``
     from the barrier, or an error-completed shuffle read. Survivors then
     run a recovery round: they quiesce, rendezvous, compute the restore
-    point ``R`` (the minimum durable checkpoint header across all
-    participants — always present in someone's double slots, because the
-    barrier bounds progress skew to one superstep), restore their own
-    partitions from their local snapshots, and the dead rank's ring
-    successor *adopts* its partition out of the checkpoint it already
-    holds. Shuffle reads for the dead partition are redirected to the
-    adopter, the dead rank is excluded from every barrier, and execution
-    resumes at superstep ``R``. Re-execution is deterministic, so the
-    final values are bit-for-bit identical to a fault-free run.
+    point ``R`` (the minimum durable checkpoint across all participants
+    — always reachable, because the barrier bounds progress skew to one
+    superstep), restore their own partitions (replica: local snapshot;
+    coded: rebuild from any ``k`` surviving shards), and each dead
+    rank's partition is *adopted* by a live rank (replica: the ring
+    successor that already holds the copy; coded: a distinct live rank
+    per dead rank, which reconstructs the stripe). In coded modes the
+    survivors then **re-encode and re-scatter** their stripes across
+    the remaining healthy peers — the dead node held shards of other
+    ranks' stripes, and the re-scatter restores the coding invariant
+    before execution resumes. Shuffle reads for dead partitions are
+    redirected to the adopters, dead ranks are excluded from every
+    barrier, and execution resumes at superstep ``R``. Re-execution is
+    deterministic, so the final values are bit-for-bit identical to a
+    fault-free run — in every mode, at every crash point.
 
     Modeled shortcuts (documented limits):
 
-    * Local snapshot copies and restores are functional (untimed) —
-      checkpoint cost is dominated by the modeled remote bulk write.
-    * Single-failure tolerance: adopted partitions are not
-      re-checkpointed, a second failure hitting the dead rank's ring
-      successor is rejected with ``RuntimeError``, and the recovery
-      rendezvous state is valid for one incident per run.
+    * Snapshot captures and restores are functional (untimed) —
+      checkpoint cost is dominated by the modeled remote writes.
+    * One failure *incident* per run (an incident may contain several
+      simultaneous crashes — coded modes survive up to ``m`` of them,
+      replica exactly one that is not ring-adjacent to its checkpoint
+      holder). A later second incident is rejected with
+      ``RuntimeError``. In replica mode adopted partitions are not
+      re-checkpointed; coded modes re-stripe them every checkpoint.
     * A restarted node rejoins the *cluster* (new incarnation/epoch) but
       not the computation; its partition stays with the adopter.
     * Recovery forces one proceed decision, so a crash landing exactly
@@ -320,6 +345,7 @@ class FaultTolerantBSPEngine(BSPEngine):
     def __init__(self, graph: Graph, num_nodes: int,
                  cluster_config: Optional[ClusterConfig] = None,
                  seed: int = 7, checkpoint_every: int = 1,
+                 checkpoint_mode: str = "replica",
                  hb_interval_ns: float = 5_000.0,
                  lease_ns: Optional[float] = None, fault_seed: int = 0):
         if num_nodes < 2:
@@ -327,6 +353,10 @@ class FaultTolerantBSPEngine(BSPEngine):
         if checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
         self.checkpoint_every = checkpoint_every
+        #: ("replica" | "xor" | "rs", ErasureCode-or-None); parsed
+        #: before super().__init__ because _segment_bytes needs it.
+        self.checkpoint_mode, self.ckpt_code = parse_checkpoint_mode(
+            checkpoint_mode, num_peers=num_nodes - 1)
         super().__init__(graph, num_nodes, cluster_config=cluster_config,
                          seed=seed)
         self.failed_ranks: Set[int] = set()
@@ -334,18 +364,43 @@ class FaultTolerantBSPEngine(BSPEngine):
             interval_ns=hb_interval_ns, lease_ns=lease_ns,
             on_evict=self._note_eviction)
         self.controller = self.cluster.fault_controller(seed=fault_seed)
+        #: Striped coded checkpoint store (None in replica mode).
+        self.ckpt_store: Optional[StripedCheckpointStore] = None
+        if self.ckpt_code is not None:
+            self.ckpt_store = StripedCheckpointStore(
+                self.cluster, _CTX, self.ckpt_code,
+                num_sources=num_nodes, shard_base=self.shard_base,
+                shard_stride=self.shard_stride,
+                hdr_base=self.shard_hdr_base,
+                membership=self.membership, controller=self.controller,
+                excluded=self.failed_ranks)
 
     def _segment_bytes(self, max_part: int) -> int:
-        """Records + 2 local ckpt slots + 2 peer ckpt slots (+headers)
-        + the adoption region, all below the barrier/messaging lines."""
+        """Records + checkpoint regions + the adoption region, all
+        below the barrier/messaging lines. Replica mode reserves two
+        local and two peer snapshot slots (plus headers); coded modes
+        reserve, per source rank, two double-buffered shard slots plus
+        header lines — identical offsets on every host, so shard
+        placement is pure choice of destination node."""
         stride = max_part * RECORD_BYTES
         self.part_stride = stride
-        self.local_ckpt_base = stride                # my own snapshots
-        self.local_hdr_base = 3 * stride             # 2 x 64B headers
-        self.peer_ckpt_base = 3 * stride + 128       # ring predecessor's
-        self.peer_hdr_base = 5 * stride + 128        # 2 x 64B headers
-        self.adopt_base = 5 * stride + 256           # adopted partition
-        return 6 * stride + 256 + (1 << 20)
+        if self.ckpt_code is None:
+            self.local_ckpt_base = stride            # my own snapshots
+            self.local_hdr_base = 3 * stride         # 2 x 64B headers
+            self.peer_ckpt_base = 3 * stride + 128   # ring predecessor's
+            self.peer_hdr_base = 5 * stride + 128    # 2 x 64B headers
+            self.adopt_base = 5 * stride + 256       # adopted partition
+            return 6 * stride + 256 + (1 << 20)
+        shard_stride = -(-self.ckpt_code.shard_length(stride) // 64) * 64
+        self.shard_stride = shard_stride
+        self.shard_base = stride
+        self.shard_hdr_base = stride + 2 * self.num_nodes * shard_stride
+        self.adopt_base = (self.shard_hdr_base
+                           + 2 * self.num_nodes * HEADER_BYTES)
+        # Extra headroom beyond the replica layout's 1 MiB: the coded
+        # scatter path allocates per-session shard staging buffers.
+        return (self.adopt_base + stride + (1 << 20)
+                + 2 * self.num_nodes * shard_stride)
 
     def _note_eviction(self, node_id: int, epoch: int) -> None:
         """Membership eviction callback: once a rank is evicted it is
@@ -393,6 +448,34 @@ class FaultTolerantBSPEngine(BSPEngine):
                 f"peer {succ} is dead too (single-failure tolerance)")
         return succ
 
+    def _assign_adopters(self, dead: List[int]) -> Dict[int, int]:
+        """Coded modes: each dead rank is adopted by a *distinct* live
+        rank, scanning the ring forward from its successor (so the
+        single-failure assignment matches replica mode's)."""
+        adopters: Dict[int, int] = {}
+        used: Set[int] = set()
+        for d in dead:
+            for hop in range(1, self.num_nodes):
+                candidate = (d + hop) % self.num_nodes
+                if candidate in self.failed_ranks or candidate in used:
+                    continue
+                adopters[d] = candidate
+                used.add(candidate)
+                break
+            else:
+                raise RuntimeError(
+                    f"no live adopter available for dead rank {d}")
+        return adopters
+
+    def _replica_peer_ok(self, succ: int) -> bool:
+        """Membership-consulted placement for replica mode: never ship
+        the checkpoint to a gray-degraded or non-live successor (an
+        *evicted* successor is already in ``failed_ranks``; coded modes
+        run the same consultation inside the store's ``place()``)."""
+        if self.controller is not None and self.controller.is_gray(succ):
+            return False
+        return self.membership.is_live(succ)
+
     # -- the fault-tolerant run ----------------------------------------------
 
     def run(self, program: VertexProgram, max_supersteps: int,
@@ -433,10 +516,28 @@ class FaultTolerantBSPEngine(BSPEngine):
                 raise RemoteOpFailed(entry.wq_index, entry.error)
 
         def checkpoint(node_id, session, seg_base, hdr_buf, progress):
+            slot = (progress // every) % 2
+            if self.ckpt_store is not None:
+                # Coded mode: no local snapshot — the scattered stripe
+                # IS the checkpoint. Adopted partitions are striped too
+                # (source = the adopted rank), so the coding invariant
+                # covers every partition after a recovery.
+                for rank in range(num_nodes):
+                    home, base = partition_home[rank]
+                    if home != node_id:
+                        continue
+                    nbytes = len(partition.members[rank]) * RECORD_BYTES
+                    if nbytes == 0:
+                        continue
+                    data = session.buffer_peek(seg_base + base, nbytes)
+                    wrote = yield from self.ckpt_store.write_stripe(
+                        session, rank, data, progress, slot)
+                    if wrote:
+                        checkpoints[0] += 1
+                return
             nbytes = len(partition.members[node_id]) * RECORD_BYTES
             if nbytes == 0:
                 return
-            slot = (progress // every) % 2
             data = session.buffer_peek(seg_base, nbytes)
             # Local snapshot first: every survivor restores from its own
             # copy, whichever node died.
@@ -448,8 +549,9 @@ class FaultTolerantBSPEngine(BSPEngine):
                                  progress.to_bytes(8, "little"))
             checkpoints[0] += 1
             succ = (node_id + 1) % num_nodes
-            if succ in failed:
-                return   # checkpoint peer is gone: keep local copies only
+            if succ in failed or not self._replica_peer_ok(succ):
+                return   # checkpoint peer is gone or degraded: keep
+                #          local copies only until recovery sorts it out
             # Remote snapshot: bulk one-sided write, then the header —
             # the slot is valid only once its header lands.
             yield from session.wait_for_slot()
@@ -461,6 +563,10 @@ class FaultTolerantBSPEngine(BSPEngine):
             session.buffer_poke(hdr_buf, progress.to_bytes(8, "little"))
             yield from session.write_sync(
                 succ, self.peer_hdr_base + slot * 64, hdr_buf, 8)
+            # Same fabric-bytes accounting the coded store keeps, so
+            # the modes are comparable in telemetry and ablations.
+            cluster.resilience_counters(node_id) \
+                .checkpoint_bytes_written += nbytes
 
         def restore_rank(rank, src_nid, src_ckpt, src_hdr,
                          dst_nid, dst_base, restore_pt):
@@ -473,6 +579,18 @@ class FaultTolerantBSPEngine(BSPEngine):
             slot = self._slot_with_header(src_nid, src_hdr, restore_pt)
             data = cluster.peek_segment(
                 src_nid, _CTX, src_ckpt + slot * self.part_stride, nbytes)
+            cluster.poke_segment(dst_nid, _CTX, dst_base, data)
+
+        def restore_coded(rank, dst_nid, dst_base, restore_pt):
+            """Rebuild ``rank``'s partition at ``restore_pt`` from any k
+            surviving shards of its stripe (restore_pt 0: re-init)."""
+            if restore_pt == 0:
+                self._init_records(program, rank, dst_nid, dst_base)
+                return
+            nbytes = len(partition.members[rank]) * RECORD_BYTES
+            if nbytes == 0:
+                return
+            data = self.ckpt_store.reconstruct(rank, restore_pt, nbytes)
             cluster.poke_segment(dst_nid, _CTX, dst_base, data)
 
         def recover(node_id, session, barrier, step):
@@ -493,36 +611,62 @@ class FaultTolerantBSPEngine(BSPEngine):
             # bookkeeping only: no restore, no re-execution, and no
             # further barrier (the returned rank would never answer one
             # — its arrival line is frozen at the final generation).
+            # Only a rank that is actually *up* counts: a crashed worker
+            # exits `active` before its eviction lands, and must not
+            # masquerade as finished.
             finished = [r for r in range(num_nodes)
                         if r != node_id and r not in failed
-                        and r not in active]
+                        and r not in active
+                        and not self.controller.is_down(r)]
             if finished:
                 for d in sorted(failed):
                     barrier.exclude(d)
                 return None
             if not failed:
                 return step
+            if recovery["plan"] is not None \
+                    and set(failed) - set(recovery["plan"]["dead"]):
+                raise RuntimeError(
+                    "second failure incident after recovery: the "
+                    "rendezvous state is valid for one incident per run")
             recovery["arrived"][node_id] = barrier.generation
             while recovery["plan"] is None:
                 live = [r for r in range(num_nodes)
                         if r not in failed and r in active]
                 arrived = recovery["arrived"]
+                # Plan only once every rank is accounted for — at the
+                # rendezvous or evicted. A simultaneous multi-crash must
+                # wait for ALL evictions: a crashed worker may leave
+                # `active` before its lease expires, and planning around
+                # it too early would treat it as a survivor.
                 if node_id == min(live) \
-                        and all(r in arrived for r in live):
+                        and all(r in arrived or r in failed
+                                for r in range(num_nodes)):
                     dead = sorted(failed)
-                    # Restore point: minimum durable header anywhere.
-                    # Progress skew is barrier-bounded, so every 2-slot
-                    # region still holds a snapshot with this header.
-                    durables = [self._durable_header(r,
-                                                     self.local_hdr_base)
-                                for r in live]
-                    durables += [self._durable_header(
-                        self._adopter_of(d), self.peer_hdr_base)
-                        for d in dead]
+                    if self.ckpt_store is not None:
+                        # Restore point: minimum durable stripe epoch
+                        # over every partition. Skew is barrier-bounded
+                        # to one checkpoint, so the double-buffered
+                        # slots still hold shards at this epoch.
+                        adopters = self._assign_adopters(dead)
+                        durables = [self.ckpt_store.durable_epoch(r)
+                                    for r in live + dead]
+                    else:
+                        # Restore point: minimum durable header
+                        # anywhere. Progress skew is barrier-bounded,
+                        # so every 2-slot region still holds a snapshot
+                        # with this header.
+                        adopters = {d: self._adopter_of(d) for d in dead}
+                        durables = [self._durable_header(
+                            r, self.local_hdr_base) for r in live]
+                        durables += [self._durable_header(
+                            adopters[d], self.peer_hdr_base)
+                            for d in dead]
                     recovery["plan"] = {
                         "restore": min(durables),
                         "generation": max(arrived[r] for r in live),
                         "dead": dead,
+                        "adopters": adopters,
                     }
                     recoveries[0] += 1
                     break
@@ -534,20 +678,47 @@ class FaultTolerantBSPEngine(BSPEngine):
             if plan["generation"] > barrier.generation:
                 barrier.resync_generation(plan["generation"])
             session.consume_errors()
-            restore_rank(node_id, node_id, self.local_ckpt_base,
-                         self.local_hdr_base, node_id, 0, restore_pt)
+            if self.ckpt_store is not None:
+                restore_coded(node_id, node_id, 0, restore_pt)
+            else:
+                restore_rank(node_id, node_id, self.local_ckpt_base,
+                             self.local_hdr_base, node_id, 0, restore_pt)
             for d in plan["dead"]:
-                if self._adopter_of(d) != node_id \
+                if plan["adopters"][d] != node_id \
                         or partition_home[d][0] == node_id:
                     continue
                 if any(h == node_id for r, (h, _) in partition_home.items()
                        if r != node_id and r != d):
                     raise RuntimeError("adoption region already in use: "
-                                       "single-failure tolerance")
-                restore_rank(d, node_id, self.peer_ckpt_base,
-                             self.peer_hdr_base, node_id,
-                             self.adopt_base, restore_pt)
+                                       "one adoption per surviving rank")
+                if self.ckpt_store is not None:
+                    restore_coded(d, node_id, self.adopt_base, restore_pt)
+                else:
+                    restore_rank(d, node_id, self.peer_ckpt_base,
+                                 self.peer_hdr_base, node_id,
+                                 self.adopt_base, restore_pt)
                 partition_home[d] = (node_id, self.adopt_base)
+            if self.ckpt_store is not None and restore_pt > 0:
+                # Re-scatter: the dead node held shards of surviving
+                # ranks' stripes. Each survivor re-encodes its restored
+                # (bit-exact) state and scatters fresh shards across the
+                # remaining healthy peers, restoring the coding
+                # invariant before execution resumes. Shard bytes are
+                # deterministic functions of the data, so reads mixing
+                # old and new placements stay consistent.
+                slot = (restore_pt // every) % 2
+                seg_base = session.ctx.segment.base_vaddr
+                for rank in range(num_nodes):
+                    home, base = partition_home[rank]
+                    if home != node_id:
+                        continue
+                    nbytes = len(partition.members[rank]) * RECORD_BYTES
+                    if nbytes == 0:
+                        continue
+                    data = session.buffer_peek(seg_base + base, nbytes)
+                    yield from self.ckpt_store.write_stripe(
+                        session, rank, data, restore_pt, slot,
+                        rebuilt=True)
             changed[node_id] = True
             proceed[0] = True
             return restore_pt
@@ -671,23 +842,41 @@ class FaultTolerantBSPEngine(BSPEngine):
         values = [0.0] * graph.num_vertices
         for rank in range(num_nodes):
             home, base = partition_home[rank]
+            raw_partition = None
             if rank in failed and home == rank:
                 # Died without being adopted (i.e. after its last
-                # superstep): its freshest surviving state is the remote
-                # checkpoint held by its ring successor.
-                succ = self._adopter_of(rank)
-                durable = self._durable_header(succ, self.peer_hdr_base)
-                if durable < steps_run[0]:
-                    raise RuntimeError(
-                        f"rank {rank} died un-adopted with a stale "
-                        f"checkpoint ({durable} < {steps_run[0]})")
-                slot = self._slot_with_header(succ, self.peer_hdr_base,
-                                              durable)
-                home = succ
-                base = self.peer_ckpt_base + slot * self.part_stride
+                # superstep): its freshest surviving state is its last
+                # durable checkpoint — the remote copy at its ring
+                # successor (replica) or its reconstructed stripe
+                # (coded; raises CheckpointUnrecoverable when more than
+                # m shards died with it).
+                if self.ckpt_store is not None:
+                    durable = self.ckpt_store.durable_epoch(rank)
+                    if durable < steps_run[0]:
+                        raise RuntimeError(
+                            f"rank {rank} died un-adopted with a stale "
+                            f"checkpoint ({durable} < {steps_run[0]})")
+                    nbytes = len(partition.members[rank]) * RECORD_BYTES
+                    raw_partition = self.ckpt_store.reconstruct(
+                        rank, durable, nbytes)
+                else:
+                    succ = self._adopter_of(rank)
+                    durable = self._durable_header(succ,
+                                                   self.peer_hdr_base)
+                    if durable < steps_run[0]:
+                        raise RuntimeError(
+                            f"rank {rank} died un-adopted with a stale "
+                            f"checkpoint ({durable} < {steps_run[0]})")
+                    slot = self._slot_with_header(
+                        succ, self.peer_hdr_base, durable)
+                    home = succ
+                    base = self.peer_ckpt_base + slot * self.part_stride
             for vertex in partition.members[rank]:
-                raw = cluster.peek_segment(
-                    home, _CTX, base + self._record_offset(vertex), 24)
+                rel = self._record_offset(vertex)
+                if raw_partition is not None:
+                    raw = raw_partition[rel:rel + 24]
+                else:
+                    raw = cluster.peek_segment(home, _CTX, base + rel, 24)
                 values[vertex] = _unpack(raw)[final_epoch]
         converged = steps_run[0] < max_supersteps
         return BSPResult(values=values, supersteps_run=steps_run[0],

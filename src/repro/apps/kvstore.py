@@ -38,13 +38,14 @@ import struct
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
+from ..resilience.coding import ErasureCode
 from ..runtime.qp_api import RemoteOpFailed, RMCSession
 from ..sim import LatencyStat
 from ..vm.address import CACHE_LINE_SIZE
 
 __all__ = ["KVServer", "KVClient", "KVStats", "ReplicatedKVServer",
-           "FailoverKVClient", "AvailabilityStats", "BUCKET_BYTES",
-           "MAX_VALUE_BYTES"]
+           "CodedKVServer", "FailoverKVClient", "AvailabilityStats",
+           "BUCKET_BYTES", "MAX_VALUE_BYTES"]
 
 BUCKET_BYTES = CACHE_LINE_SIZE
 MAX_VALUE_BYTES = BUCKET_BYTES - 10
@@ -221,6 +222,9 @@ class AvailabilityStats:
     #: Replicas skipped without a timeout because membership had already
     #: evicted them (the control plane saving the client a lease wait).
     evicted_skips: int = 0
+    #: GETs served by decoding coded backup shards after every full
+    #: replica was unreachable (coded-backup mode only).
+    degraded_reads: int = 0
 
     @property
     def availability(self) -> float:
@@ -232,6 +236,7 @@ class AvailabilityStats:
                 "failovers": self.failovers,
                 "replica_errors": self.replica_errors,
                 "evicted_skips": self.evicted_skips,
+                "degraded_reads": self.degraded_reads,
                 "availability": self.availability}
 
 
@@ -271,6 +276,54 @@ class ReplicatedKVServer(KVServer):
         return slot
 
 
+class CodedKVServer(KVServer):
+    """Primary whose backup path ships *coded shards*, not full copies.
+
+    Each acknowledged PUT encodes the packed 64-byte bucket line into
+    ``k + m`` shards (see :mod:`repro.resilience.coding`) and one-sided-
+    writes shard ``j`` to backup ``j`` **at the same table offset** —
+    identical geometry, so a degraded reader knows exactly which bytes
+    of which backups reconstruct any bucket. Backup storage per bucket
+    drops from ``K x 64B`` (full replication) to
+    ``(k + m) x ceil(64/k)B``, and any ``m`` backup losses are
+    survivable; losing the *primary* costs ``k`` reads per probe instead
+    of one (the degraded read of
+    :meth:`FailoverKVClient.get`).
+    """
+
+    def __init__(self, session: RMCSession, backups: Sequence[int],
+                 code: ErasureCode, num_buckets: int = 4096,
+                 table_offset: int = 0):
+        if len(backups) != code.num_shards:
+            raise ValueError(
+                f"{code.name} needs exactly {code.num_shards} backups "
+                f"(one per shard), got {len(backups)}")
+        super().__init__(session, num_buckets=num_buckets,
+                         table_offset=table_offset)
+        self.backups = list(backups)
+        self.code = code
+        self.shard_len = code.shard_length(BUCKET_BYTES)
+        self.puts_acked = 0
+        self.replica_writes = 0
+        self._scratch = session.alloc_buffer(BUCKET_BYTES)
+
+    def put_coded(self, key: int, value: bytes):
+        """Timed coroutine: local insert, then one shard to each backup.
+        The ack point is after the last shard write — an acknowledged
+        PUT survives the primary plus any ``m`` backups."""
+        slot = yield from self.put_timed(key, value)
+        offset = self.table_offset + slot * BUCKET_BYTES
+        shards = self.code.encode(_pack_bucket(key, value))
+        for shard, backup in zip(shards, self.backups):
+            self.session.buffer_poke(self._scratch, shard)
+            yield from self.session.write_sync(backup, offset,
+                                               self._scratch,
+                                               len(shard))
+            self.replica_writes += 1
+        self.puts_acked += 1
+        return slot
+
+
 class FailoverKVClient(KVClient):
     """GET client that walks an ordered replica list on failures.
 
@@ -284,11 +337,20 @@ class FailoverKVClient(KVClient):
     Staleness bound: backups only ever lag the primary by the single PUT
     currently inside :meth:`ReplicatedKVServer.put_replicated`; any
     *acknowledged* PUT is readable from every replica.
+
+    Coded-backup mode (:class:`CodedKVServer`): pass the server's
+    ``code`` and its ordered ``shard_nids`` (backup ``j`` holds shard
+    ``j``). When every full replica is unreachable the client falls back
+    to *degraded reads*: each probe gathers any ``k`` healthy shards of
+    the bucket line and decodes it — ``k`` one-sided reads instead of
+    one, but the GET still completes.
     """
 
     def __init__(self, session: RMCSession, replica_nids: Sequence[int],
                  num_buckets: int, table_offset: int = 0,
-                 max_probes: int = 16, membership=None):
+                 max_probes: int = 16, membership=None,
+                 code: Optional[ErasureCode] = None,
+                 shard_nids: Sequence[int] = (), counters=None):
         if not replica_nids:
             raise ValueError("need at least one replica")
         super().__init__(session, replica_nids[0], num_buckets,
@@ -297,6 +359,17 @@ class FailoverKVClient(KVClient):
         self.membership = membership
         self.current = 0
         self.availability = AvailabilityStats()
+        self.code = code
+        self.shard_nids = list(shard_nids)
+        #: Optional ResilienceCounters of the client's node (telemetry).
+        self.counters = counters
+        if code is not None:
+            if len(self.shard_nids) != code.num_shards:
+                raise ValueError(
+                    f"{code.name} needs {code.num_shards} shard holders,"
+                    f" got {len(self.shard_nids)}")
+            self._shard_bounce = session.alloc_buffer(
+                code.shard_length(BUCKET_BYTES) * code.num_shards)
 
     @property
     def active_replica(self) -> int:
@@ -330,7 +403,85 @@ class FailoverKVClient(KVClient):
                 continue
             self.availability.gets_ok += 1
             return value
+        if self.code is not None:
+            try:
+                value = yield from self._get_degraded(key)
+            except RemoteOpFailed as exc:
+                last_error = exc
+            else:
+                self.availability.gets_ok += 1
+                self.availability.degraded_reads += 1
+                if self.counters is not None:
+                    self.counters.degraded_reads += 1
+                return value
         self.availability.gets_failed += 1
         if last_error is not None:
             raise last_error
         raise RemoteOpFailed(-1, "no live replica to serve the GET")
+
+    # -- coded-backup degraded path ------------------------------------------
+
+    def _healthy_shard_holders(self):
+        """Shard holders worth probing: membership-evicted ones are
+        skipped outright (same control-plane shortcut as full
+        replicas)."""
+        holders = []
+        for index, nid in enumerate(self.shard_nids):
+            if self.membership is not None \
+                    and not self.membership.is_live(nid):
+                self.availability.evicted_skips += 1
+                continue
+            holders.append((index, nid))
+        return holders
+
+    def _read_bucket_degraded(self, offset: int) -> bytes:
+        """Timed coroutine: gather any k shards of one bucket line and
+        decode it. Raises :class:`RemoteOpFailed` when fewer than k
+        holders answer (more than m losses: the line is gone)."""
+        code = self.code
+        shard_len = code.shard_length(BUCKET_BYTES)
+        shards = {}
+        last_error: Optional[RemoteOpFailed] = None
+        for index, nid in self._healthy_shard_holders():
+            if len(shards) >= code.k:
+                break
+            lbuf = self._shard_bounce + index * shard_len
+            try:
+                yield from self.session.read_sync(nid, offset, lbuf,
+                                                  shard_len)
+            except RemoteOpFailed as exc:
+                last_error = exc
+                self.availability.replica_errors += 1
+                self.session.consume_errors()
+                continue
+            shards[index] = self.session.buffer_peek(lbuf, shard_len)
+        if len(shards) < code.k:
+            if last_error is not None:
+                raise last_error
+            raise RemoteOpFailed(
+                -1, f"degraded read found {len(shards)} shards, "
+                    f"needs {code.k}")
+        return code.decode(shards, BUCKET_BYTES)
+
+    def _get_degraded(self, key: int):
+        """Timed coroutine: the GET probe chain, each bucket line
+        reconstructed from coded backup shards."""
+        sim = self.session.core.sim
+        start = sim.now
+        index = _bucket_index(key, self.num_buckets)
+        result = None
+        for probe in range(self.max_probes):
+            slot = (index + probe) % self.num_buckets
+            offset = self.table_offset + slot * BUCKET_BYTES
+            raw = yield from self._read_bucket_degraded(offset)
+            self.stats.probes += 1
+            found_key, value = _unpack_bucket(raw)
+            if found_key == key:
+                result = value
+                self.stats.hits += 1
+                break
+            if found_key == 0:
+                break  # empty bucket terminates the probe chain
+        self.stats.gets += 1
+        self.stats.get_latency.record(sim.now - start)
+        return result

@@ -83,6 +83,9 @@ class Cluster:
         #: Set by :meth:`enable_membership` / :meth:`fault_controller`.
         self.membership = None
         self.faults = None
+        #: node_id -> ResilienceCounters, created on demand by
+        #: :meth:`resilience_counters` (telemetry reads this).
+        self.resilience: Dict[int, object] = {}
 
     def __len__(self) -> int:
         return len(self.nodes)
@@ -124,6 +127,17 @@ class Cluster:
             self.faults = NodeFaultController(self, self.membership,
                                               seed=seed)
         return self.faults
+
+    def resilience_counters(self, node_id: int):
+        """The node's :class:`~repro.resilience.counters
+        .ResilienceCounters`, created on first use. The resilience
+        subsystem (striped checkpoints, op logs, coded KV) increments
+        them; telemetry snapshots fold them into the per-node report."""
+        from ..resilience.counters import ResilienceCounters
+
+        if node_id not in self.resilience:
+            self.resilience[node_id] = ResilienceCounters()
+        return self.resilience[node_id]
 
     def on_evict(self, callback) -> None:
         """Register ``fn(node_id, epoch)`` fired on every eviction."""

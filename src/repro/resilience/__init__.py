@@ -1,0 +1,41 @@
+"""Holistic RMA fault tolerance: coded checkpoints + op logging.
+
+The production-grade resilience recipe for one-sided programming models
+(Besta & Hoefler, "Fault Tolerance for RMA Programming Models"):
+
+* :mod:`~repro.resilience.coding` — XOR parity and GF(256)
+  Reed-Solomon shard codes (pure python, property-tested);
+* :mod:`~repro.resilience.checkpoint` — the striped checkpoint store:
+  scatter ``k + m`` shards to distinct healthy peers over one-sided
+  writes, track durability per (epoch, stripe), rebuild from any k;
+* :mod:`~repro.resilience.oplog` — transparent issuer-side logging of
+  one-sided writes for uncoordinated single-node recovery;
+* :mod:`~repro.resilience.counters` — per-node resilience telemetry.
+
+`FaultTolerantBSPEngine` (``repro.apps.bsp``) selects these behind its
+checkpoint API (``checkpoint_mode="replica" | "xor" | "rs(k,m)"``), and
+`CodedKVServer` / degraded reads (``repro.apps.kvstore``) apply the
+same codes to the replicated KV's backup path.
+"""
+
+from .coding import ErasureCode, RSCode, XORCode, parse_checkpoint_mode
+from .checkpoint import (
+    CheckpointUnrecoverable,
+    HEADER_BYTES,
+    StripedCheckpointStore,
+)
+from .counters import ResilienceCounters
+from .oplog import LoggedWrite, OneSidedWriteLog
+
+__all__ = [
+    "CheckpointUnrecoverable",
+    "ErasureCode",
+    "HEADER_BYTES",
+    "LoggedWrite",
+    "OneSidedWriteLog",
+    "ResilienceCounters",
+    "RSCode",
+    "StripedCheckpointStore",
+    "XORCode",
+    "parse_checkpoint_mode",
+]

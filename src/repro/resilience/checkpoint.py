@@ -1,0 +1,243 @@
+"""Striped in-memory checkpoints: scatter coded shards to peers.
+
+The store turns one rank's partition snapshot into ``k + m`` coded
+shards (see :mod:`repro.resilience.coding`) and scatters them to
+``k + m`` *distinct* peers with one-sided writes through the existing
+:class:`~repro.runtime.qp_api.RMCSession` — the same data path every
+other byte in the system takes. Durability is per ``(epoch, stripe)``
+and crash-consistent by construction:
+
+* shard payloads are bulk ``write_async`` operations, drained before
+  any header is written;
+* each holder then gets a 16-byte header ``(epoch, shard_index + 1)``
+  with a synchronous write — a stripe is durable at an epoch only where
+  its header says so, so a writer crashing mid-scatter leaves the
+  previous double-buffered slot intact and the half-written one
+  unclaimed;
+* recovery *scans headers on live nodes only*: it never trusts writer-
+  side bookkeeping (the writer may be the node that died) and rebuilds
+  the stripe from **any k** surviving shards.
+
+Placement consults the membership service and the fault controller, so
+shards never land on evicted, crashed, or gray-degraded nodes. When
+fewer than ``k + m`` healthy peers remain the stripe is written with as
+many parity shards as fit (graceful degradation); below ``k`` peers the
+checkpoint is skipped entirely and the caller decides what that means.
+
+Losing more than ``m`` shards of a stripe is the unrecoverable case,
+surfaced as the typed :class:`CheckpointUnrecoverable` carrying the
+epoch and the missing shard indices — diagnostics first, because this
+is the error an operator pages on.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Optional, Set, Tuple
+
+from .coding import ErasureCode
+from .counters import ResilienceCounters
+
+__all__ = ["CheckpointUnrecoverable", "StripedCheckpointStore",
+           "HEADER_BYTES"]
+
+#: Reserved per (source, slot) header line; 16 bytes are used.
+HEADER_BYTES = 64
+
+_HEADER = struct.Struct("<QQ")
+
+
+class CheckpointUnrecoverable(RuntimeError):
+    """More shards of a checkpoint stripe are gone than the code can
+    repair (> m losses): the epoch cannot be reconstructed. Carries the
+    diagnostics recovery tooling needs: whose stripe, which epoch, and
+    exactly which shard indices are missing."""
+
+    def __init__(self, source: int, epoch: int,
+                 missing_shards: List[int], needed: int, have: int):
+        super().__init__(
+            f"checkpoint stripe of rank {source} at epoch {epoch} is "
+            f"unrecoverable: shards {missing_shards} are lost "
+            f"({have} survive, {needed} needed)")
+        self.source = source
+        self.epoch = epoch
+        self.missing_shards = list(missing_shards)
+        self.needed = needed
+        self.have = have
+
+
+class StripedCheckpointStore:
+    """Scatter, track, and rebuild coded checkpoint stripes.
+
+    The store is a *cluster-shared* object (the modeled out-of-band
+    control plane owns the geometry); each rank drives its own timed
+    writes through its own session. Geometry: every node reserves, per
+    source rank, two double-buffered shard slots of ``shard_stride``
+    bytes at ``shard_base`` plus two header lines at ``hdr_base`` —
+    identical offsets on every host, so placement is pure choice of
+    destination node.
+    """
+
+    def __init__(self, cluster, ctx_id: int, code: ErasureCode,
+                 num_sources: int, shard_base: int, shard_stride: int,
+                 hdr_base: int, membership=None, controller=None,
+                 excluded: Optional[Set[int]] = None):
+        self.cluster = cluster
+        self.ctx_id = ctx_id
+        self.code = code
+        self.num_sources = num_sources
+        self.shard_base = shard_base
+        self.shard_stride = shard_stride
+        self.hdr_base = hdr_base
+        self.membership = membership
+        self.controller = controller
+        #: Externally-owned set of permanently failed ranks (the BSP
+        #: engine's ``failed_ranks``); treated as dead hosts even if
+        #: the node later restarts and rejoins the cluster.
+        self.excluded = excluded if excluded is not None else set()
+        self.stripes_written = 0
+        self._scratch: Dict[int, Tuple[List[int], int]] = {}
+
+    # -- geometry ------------------------------------------------------------
+
+    def shard_offset(self, source: int, slot: int) -> int:
+        return self.shard_base + (source * 2 + slot) * self.shard_stride
+
+    def header_offset(self, source: int, slot: int) -> int:
+        return self.hdr_base + (source * 2 + slot) * HEADER_BYTES
+
+    # -- placement (consults membership + fault controller) ------------------
+
+    def host_healthy(self, host: int) -> bool:
+        """Is ``host`` a sane place to put (or read) a shard right now?"""
+        if host in self.excluded:
+            return False
+        if self.controller is not None and (
+                self.controller.is_down(host)
+                or self.controller.is_gray(host)):
+            return False
+        if self.membership is not None \
+                and not self.membership.is_live(host):
+            return False
+        return True
+
+    def eligible_hosts(self, source: int) -> List[int]:
+        return [h for h in range(len(self.cluster.nodes))
+                if h != source and self.host_healthy(h)]
+
+    def place(self, source: int) -> List[int]:
+        """Choose hosts for the stripe's shards: up to ``k + m``
+        distinct healthy peers, rotated by source rank so parity load
+        spreads. Fewer than ``k + m`` healthy peers degrades ``m``;
+        fewer than ``k`` returns ``[]`` (stripe cannot be stored)."""
+        candidates = self.eligible_hosts(source)
+        if len(candidates) < self.code.k:
+            return []
+        count = min(self.code.num_shards, len(candidates))
+        start = source % len(candidates)
+        return [candidates[(start + i) % len(candidates)]
+                for i in range(count)]
+
+    # -- the timed scatter path ----------------------------------------------
+
+    def _buffers(self, session) -> Tuple[List[int], int]:
+        key = id(session)
+        if key not in self._scratch:
+            shard_bufs = [session.alloc_buffer(self.shard_stride)
+                          for _ in range(self.code.num_shards)]
+            hdr_buf = session.alloc_buffer(HEADER_BYTES)
+            self._scratch[key] = (shard_bufs, hdr_buf)
+        return self._scratch[key]
+
+    def write_stripe(self, session, source: int, data: bytes,
+                     progress: int, slot: int, rebuilt: bool = False):
+        """Timed coroutine: encode ``data`` and scatter the shards.
+
+        Bulk shard writes are posted asynchronously (overlapped across
+        holders), drained, and only then are the per-holder headers
+        written — the durability point. Raises
+        :class:`~repro.runtime.qp_api.RemoteOpFailed` if a holder died
+        mid-scatter. Returns the number of shards written (0 if too few
+        healthy peers remain to store the stripe at all).
+        """
+        from ..runtime.qp_api import RemoteOpFailed
+
+        holders = self.place(source)
+        if not holders:
+            return 0
+        shards = self.code.encode(data)
+        shard_bufs, hdr_buf = self._buffers(session)
+        data_off = self.shard_offset(source, slot)
+        for index, host in enumerate(holders):
+            session.buffer_poke(shard_bufs[index], shards[index])
+            yield from session.wait_for_slot()
+            yield from session.write_async(host, data_off,
+                                           shard_bufs[index],
+                                           len(shards[index]))
+        yield from session.drain_cq()
+        if session.errors:
+            entry = session.errors[0]
+            raise RemoteOpFailed(entry.wq_index, entry.error)
+        hdr_off = self.header_offset(source, slot)
+        for index, host in enumerate(holders):
+            session.buffer_poke(
+                hdr_buf, _HEADER.pack(progress, index + 1))
+            yield from session.write_sync(host, hdr_off, hdr_buf,
+                                          _HEADER.size)
+        self.stripes_written += 1
+        counters = self._counters(source)
+        counters.checkpoint_bytes_written += sum(len(s) for s in
+                                                 shards[:len(holders)])
+        if rebuilt:
+            counters.shards_rebuilt += len(holders)
+        return len(holders)
+
+    def _counters(self, node_id: int) -> ResilienceCounters:
+        return self.cluster.resilience_counters(node_id)
+
+    # -- functional recovery scans (control-plane reads) ---------------------
+
+    def scan(self, source: int) -> Dict[int, Dict[int, Tuple[int, int]]]:
+        """Headers on *healthy* nodes: ``{epoch: {shard_index: (host,
+        slot)}}``. Never consults writer-side state."""
+        found: Dict[int, Dict[int, Tuple[int, int]]] = {}
+        for host in range(len(self.cluster.nodes)):
+            if host == source or not self.host_healthy(host):
+                continue
+            for slot in (0, 1):
+                raw = self.cluster.peek_segment(
+                    host, self.ctx_id, self.header_offset(source, slot),
+                    _HEADER.size)
+                progress, index_p1 = _HEADER.unpack(raw)
+                if progress == 0 or index_p1 == 0:
+                    continue
+                found.setdefault(progress, {}) \
+                     .setdefault(index_p1 - 1, (host, slot))
+        return found
+
+    def durable_epoch(self, source: int) -> int:
+        """Highest epoch with >= k distinct surviving shards (0: none)."""
+        best = 0
+        for progress, shards in self.scan(source).items():
+            if len(shards) >= self.code.k and progress > best:
+                best = progress
+        return best
+
+    def reconstruct(self, source: int, epoch: int, nbytes: int) -> bytes:
+        """Rebuild ``source``'s ``nbytes`` snapshot at ``epoch`` from any
+        k surviving shards. Raises :class:`CheckpointUnrecoverable` when
+        more than m shards are gone."""
+        located = self.scan(source).get(epoch, {})
+        if len(located) < self.code.k:
+            missing = sorted(set(range(self.code.num_shards))
+                             - set(located))
+            raise CheckpointUnrecoverable(
+                source, epoch, missing,
+                needed=self.code.k, have=len(located))
+        shard_len = self.code.shard_length(nbytes)
+        shards = {}
+        for index, (host, slot) in sorted(located.items())[:self.code.k]:
+            shards[index] = self.cluster.peek_segment(
+                host, self.ctx_id, self.shard_offset(source, slot),
+                shard_len)
+        return self.code.decode(shards, nbytes)

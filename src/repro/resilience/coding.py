@@ -1,0 +1,302 @@
+"""Erasure-coding core: XOR parity and GF(256) Reed-Solomon.
+
+Besta & Hoefler's "Fault Tolerance for RMA Programming Models"
+(PAPERS.md) replaces full checkpoint replicas with *coded* in-memory
+checkpoints: a partition snapshot is split into ``k`` data shards, ``m``
+parity shards are computed over them, and the ``k + m`` shards are
+scattered to distinct peers. Any ``k`` surviving shards reconstruct the
+original bytes, so up to ``m`` simultaneous losses are survivable at a
+storage cost of ``(k + m) / k`` instead of the ``2x`` a full replica
+pays (local snapshot + remote copy).
+
+This module is the pure-python coding layer — no simulation, no I/O:
+
+* :class:`XORCode` — the classic diskless-checkpointing parity (m = 1):
+  one XOR shard over ``k`` data shards, single-loss tolerant;
+* :class:`RSCode` — a small systematic Reed-Solomon over GF(256) built
+  from a normalized Vandermonde matrix (any ``k`` of the ``k + m``
+  shards are an invertible system), multi-loss tolerant;
+* :func:`parse_checkpoint_mode` — the ``replica | xor | xor(k) |
+  rs(k,m)`` mode strings the checkpoint API accepts.
+
+Both codes are *systematic*: shards ``0..k-1`` are the original bytes
+split contiguously (zero-padded to equal length), so the fast path —
+nothing lost — is plain concatenation.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["ErasureCode", "XORCode", "RSCode", "parse_checkpoint_mode"]
+
+
+# -- GF(256) arithmetic (AES polynomial x^8 + x^4 + x^3 + x^2 + 1) -----------
+
+_GF_POLY = 0x11D
+_GF_EXP = [0] * 512
+_GF_LOG = [0] * 256
+
+
+def _build_tables() -> None:
+    value = 1
+    for power in range(255):
+        _GF_EXP[power] = value
+        _GF_LOG[value] = power
+        value <<= 1
+        if value & 0x100:
+            value ^= _GF_POLY
+    for power in range(255, 512):
+        _GF_EXP[power] = _GF_EXP[power - 255]
+
+
+_build_tables()
+
+
+def _gf_mul(a: int, b: int) -> int:
+    if a == 0 or b == 0:
+        return 0
+    return _GF_EXP[_GF_LOG[a] + _GF_LOG[b]]
+
+
+def _gf_inv(a: int) -> int:
+    if a == 0:
+        raise ZeroDivisionError("GF(256) inverse of 0")
+    return _GF_EXP[255 - _GF_LOG[a]]
+
+
+def _matrix_invert(matrix: List[List[int]]) -> List[List[int]]:
+    """Gauss-Jordan inversion over GF(256)."""
+    size = len(matrix)
+    work = [row[:] + [1 if i == j else 0 for j in range(size)]
+            for i, row in enumerate(matrix)]
+    for col in range(size):
+        pivot = next((r for r in range(col, size) if work[r][col] != 0),
+                     None)
+        if pivot is None:
+            raise ValueError("singular matrix over GF(256)")
+        work[col], work[pivot] = work[pivot], work[col]
+        inv = _gf_inv(work[col][col])
+        work[col] = [_gf_mul(value, inv) for value in work[col]]
+        for row in range(size):
+            if row == col or work[row][col] == 0:
+                continue
+            factor = work[row][col]
+            work[row] = [value ^ _gf_mul(factor, pivot_value)
+                         for value, pivot_value
+                         in zip(work[row], work[col])]
+    return [row[size:] for row in work]
+
+
+# -- shard splitting ----------------------------------------------------------
+
+def _split(data: bytes, k: int, shard_len: int) -> List[bytes]:
+    """Split ``data`` into ``k`` contiguous shards, zero-padded."""
+    padded = data + bytes(k * shard_len - len(data))
+    return [padded[i * shard_len:(i + 1) * shard_len] for i in range(k)]
+
+
+class ErasureCode:
+    """Common surface of the shard codes.
+
+    ``encode(data)`` returns ``k + m`` equal-length shards (systematic:
+    the first ``k`` are the split data). ``decode(shards, length)``
+    takes *any* ``k`` shards keyed by shard index and returns the first
+    ``length`` original bytes. Shard length for a payload is
+    ``shard_length(length)`` — fixed by ``k`` alone, so peers can size
+    their hosting regions without seeing the data.
+    """
+
+    k: int
+    m: int
+    name: str
+
+    @property
+    def num_shards(self) -> int:
+        return self.k + self.m
+
+    @property
+    def storage_overhead(self) -> float:
+        """Checkpoint bytes stored per data byte: ``(k + m) / k``."""
+        return (self.k + self.m) / self.k
+
+    def shard_length(self, data_len: int) -> int:
+        return max((data_len + self.k - 1) // self.k, 1)
+
+    def encode(self, data: bytes) -> List[bytes]:
+        raise NotImplementedError
+
+    def decode(self, shards: Dict[int, bytes], length: int) -> bytes:
+        raise NotImplementedError
+
+    def _check_decode_args(self, shards: Dict[int, bytes]) -> None:
+        if len(shards) < self.k:
+            raise ValueError(
+                f"{self.name}: need {self.k} shards, got {len(shards)}")
+        lengths = {len(shard) for shard in shards.values()}
+        if len(lengths) > 1:
+            raise ValueError(f"{self.name}: unequal shard lengths")
+        for index in shards:
+            if not 0 <= index < self.num_shards:
+                raise ValueError(f"{self.name}: shard index {index} "
+                                 f"out of range")
+
+
+class XORCode(ErasureCode):
+    """K data shards + one XOR parity shard (single-loss tolerant)."""
+
+    def __init__(self, k: int):
+        if k < 1:
+            raise ValueError("XOR code needs k >= 1")
+        self.k = k
+        self.m = 1
+        self.name = f"xor({k})"
+
+    def encode(self, data: bytes) -> List[bytes]:
+        shard_len = self.shard_length(len(data))
+        shards = _split(data, self.k, shard_len)
+        parity = bytearray(shard_len)
+        for shard in shards:
+            for i, byte in enumerate(shard):
+                parity[i] ^= byte
+        return shards + [bytes(parity)]
+
+    def decode(self, shards: Dict[int, bytes], length: int) -> bytes:
+        self._check_decode_args(shards)
+        missing = [i for i in range(self.k) if i not in shards]
+        if not missing:
+            return b"".join(shards[i] for i in range(self.k))[:length]
+        if len(missing) > 1 or self.k not in shards:
+            raise ValueError(f"{self.name}: cannot rebuild shards "
+                             f"{missing} from one parity")
+        rebuilt = bytearray(shards[self.k])
+        for index in range(self.k):
+            if index == missing[0]:
+                continue
+            for i, byte in enumerate(shards[index]):
+                rebuilt[i] ^= byte
+        parts = [shards[i] if i in shards else bytes(rebuilt)
+                 for i in range(self.k)]
+        return b"".join(parts)[:length]
+
+
+class RSCode(ErasureCode):
+    """Systematic Reed-Solomon over GF(256): k data + m parity shards.
+
+    The encoding matrix is a ``(k + m) x k`` Vandermonde matrix
+    normalized so its top ``k x k`` block is the identity; any ``k``
+    rows of such a matrix are linearly independent, so any ``k``
+    surviving shards (data or parity, in any mix) reconstruct the data.
+    """
+
+    def __init__(self, k: int, m: int):
+        if k < 1 or m < 1:
+            raise ValueError("RS code needs k >= 1 and m >= 1")
+        if k + m > 256:
+            raise ValueError("RS over GF(256) caps k + m at 256")
+        self.k = k
+        self.m = m
+        self.name = f"rs({k},{m})"
+        vandermonde = [[_pow_gf(row, col) for col in range(k)]
+                       for row in range(k + m)]
+        top_inverse = _matrix_invert([row[:] for row in vandermonde[:k]])
+        self._matrix = [_row_times_matrix(row, top_inverse)
+                        for row in vandermonde]
+
+    def encode(self, data: bytes) -> List[bytes]:
+        shard_len = self.shard_length(len(data))
+        data_shards = _split(data, self.k, shard_len)
+        shards = list(data_shards)
+        for row in self._matrix[self.k:]:
+            parity = bytearray(shard_len)
+            for coefficient, shard in zip(row, data_shards):
+                if coefficient == 0:
+                    continue
+                log_c = _GF_LOG[coefficient]
+                for i, byte in enumerate(shard):
+                    if byte:
+                        parity[i] ^= _GF_EXP[log_c + _GF_LOG[byte]]
+            shards.append(bytes(parity))
+        return shards
+
+    def decode(self, shards: Dict[int, bytes], length: int) -> bytes:
+        self._check_decode_args(shards)
+        if all(i in shards for i in range(self.k)):
+            return b"".join(shards[i] for i in range(self.k))[:length]
+        chosen = sorted(shards)[:self.k]
+        sub = _matrix_invert([self._matrix[i][:] for i in chosen])
+        shard_len = len(shards[chosen[0]])
+        data_shards = []
+        for out_row in range(self.k):
+            rebuilt = bytearray(shard_len)
+            for coefficient, index in zip(sub[out_row], chosen):
+                if coefficient == 0:
+                    continue
+                log_c = _GF_LOG[coefficient]
+                shard = shards[index]
+                for i, byte in enumerate(shard):
+                    if byte:
+                        rebuilt[i] ^= _GF_EXP[log_c + _GF_LOG[byte]]
+            data_shards.append(bytes(rebuilt))
+        return b"".join(data_shards)[:length]
+
+
+def _pow_gf(base: int, exponent: int) -> int:
+    if exponent == 0:
+        return 1
+    if base == 0:
+        return 0
+    return _GF_EXP[(_GF_LOG[base] * exponent) % 255]
+
+
+def _row_times_matrix(row: Sequence[int],
+                      matrix: List[List[int]]) -> List[int]:
+    size = len(matrix)
+    out = []
+    for col in range(size):
+        acc = 0
+        for i, coefficient in enumerate(row):
+            acc ^= _gf_mul(coefficient, matrix[i][col])
+        out.append(acc)
+    return out
+
+
+_MODE_RE = re.compile(
+    r"^(replica|xor(?:\((\d+)\))?|rs\((\d+),\s*(\d+)\))$")
+
+
+def parse_checkpoint_mode(spec: str, num_peers: Optional[int] = None
+                          ) -> Tuple[str, Optional[ErasureCode]]:
+    """Parse a checkpoint-mode string into ``(mode, code)``.
+
+    Accepted: ``"replica"`` (code is None), ``"xor"`` / ``"xor(k)"``
+    (default k = num_peers - 1 so one parity fits the peer set), and
+    ``"rs(k,m)"``. When ``num_peers`` (the number of *other* nodes) is
+    given, the shard count is validated against it: every shard must
+    land on a distinct peer.
+    """
+    match = _MODE_RE.match(spec.strip())
+    if match is None:
+        raise ValueError(
+            f"unknown checkpoint mode {spec!r} "
+            f"(expected replica | xor | xor(k) | rs(k,m))")
+    if match.group(1) == "replica":
+        return "replica", None
+    if match.group(1).startswith("xor"):
+        if match.group(2) is not None:
+            k = int(match.group(2))
+        elif num_peers is not None:
+            k = max(num_peers - 1, 1)
+        else:
+            raise ValueError("xor without (k) needs num_peers to size it")
+        code: ErasureCode = XORCode(k)
+        mode = "xor"
+    else:
+        code = RSCode(int(match.group(3)), int(match.group(4)))
+        mode = "rs"
+    if num_peers is not None and code.num_shards > num_peers:
+        raise ValueError(
+            f"{code.name} scatters {code.num_shards} shards but only "
+            f"{num_peers} peers exist to hold them")
+    return mode, code

@@ -1,0 +1,43 @@
+"""Per-node resilience telemetry counters.
+
+One :class:`ResilienceCounters` per node, registered with the cluster
+(``cluster.resilience_counters(node_id)``) so :mod:`repro.telemetry`
+can fold them into its per-node snapshot. The resilience subsystem —
+striped checkpoint store, op log, coded KV — increments them; nothing
+here is simulated state, it is pure observability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["ResilienceCounters"]
+
+
+@dataclass
+class ResilienceCounters:
+    """What fault tolerance cost this node, in countable units."""
+
+    #: Checkpoint payload bytes this node pushed onto the fabric
+    #: (replica copies or coded shards, headers excluded).
+    checkpoint_bytes_written: int = 0
+    #: Shards this node re-encoded and re-scattered after a holder was
+    #: lost (the re-encode-on-shard-loss invariant restoration).
+    shards_rebuilt: int = 0
+    #: Logged one-sided writes this node replayed into a restarted peer.
+    log_replays: int = 0
+    #: KV GETs this node served by reconstructing a bucket from coded
+    #: backup shards because the primary was unreachable.
+    degraded_reads: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "checkpoint_bytes_written": self.checkpoint_bytes_written,
+            "shards_rebuilt": self.shards_rebuilt,
+            "log_replays": self.log_replays,
+            "degraded_reads": self.degraded_reads,
+        }
+
+    def any(self) -> bool:
+        return any(self.as_dict().values())

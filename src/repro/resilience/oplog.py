@@ -1,0 +1,111 @@
+"""Transparent one-sided write logging for uncoordinated recovery.
+
+Besta & Hoefler's RMA fault-tolerance design pairs coded checkpoints
+with *access-side logs*: every one-sided put a node issues is recorded
+at the issuer, and when the **target** of those puts crashes and
+restarts, each peer simply replays its own log since the target's last
+durable checkpoint. The failed node alone rolls back; nobody else loses
+a cycle of progress — *uncoordinated* recovery, in contrast to the BSP
+engine's coordinated rollback where every rank rewinds together.
+
+The log attaches transparently to an :class:`RMCSession`
+(``session.attach_write_log(log)``): ``write_sync`` / ``write_async``
+record destination, offset, and a snapshot of the payload at post time
+— application code does not change. Log growth is bounded by
+checkpoint cadence: when a target's checkpoint becomes durable, peers
+:meth:`truncate` their logs for it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+__all__ = ["LoggedWrite", "OneSidedWriteLog"]
+
+
+@dataclass(frozen=True)
+class LoggedWrite:
+    """One recorded one-sided write, replayable verbatim."""
+
+    seq: int
+    time_ns: float
+    dst_nid: int
+    offset: int
+    data: bytes
+
+
+class OneSidedWriteLog:
+    """Issuer-side log of outbound one-sided writes, per destination."""
+
+    def __init__(self, counters=None):
+        self._logs: Dict[int, List[LoggedWrite]] = {}
+        self._seq = 0
+        self.records_logged = 0
+        self.records_replayed = 0
+        self.records_truncated = 0
+        #: Optional :class:`~repro.resilience.counters.ResilienceCounters`
+        #: of the replaying node (telemetry).
+        self.counters = counters
+
+    def record(self, dst_nid: int, offset: int, data: bytes,
+               time_ns: float) -> LoggedWrite:
+        """Append one write (called by the session's write path)."""
+        entry = LoggedWrite(seq=self._seq, time_ns=time_ns,
+                            dst_nid=dst_nid, offset=offset,
+                            data=bytes(data))
+        self._seq += 1
+        self.records_logged += 1
+        self._logs.setdefault(dst_nid, []).append(entry)
+        return entry
+
+    def pending(self, dst_nid: int) -> List[LoggedWrite]:
+        """Writes toward ``dst_nid`` since its last truncation."""
+        return list(self._logs.get(dst_nid, []))
+
+    def pending_bytes(self, dst_nid: int) -> int:
+        return sum(len(e.data) for e in self._logs.get(dst_nid, []))
+
+    def truncate(self, dst_nid: int,
+                 upto_seq: Optional[int] = None) -> int:
+        """Drop log entries for ``dst_nid`` (its checkpoint is durable).
+
+        With ``upto_seq`` only entries with ``seq <= upto_seq`` go —
+        writes issued *after* the checkpoint cut stay replayable.
+        Returns the number of entries dropped.
+        """
+        entries = self._logs.get(dst_nid, [])
+        if upto_seq is None:
+            kept: List[LoggedWrite] = []
+        else:
+            kept = [e for e in entries if e.seq > upto_seq]
+        dropped = len(entries) - len(kept)
+        self._logs[dst_nid] = kept
+        self.records_truncated += dropped
+        return dropped
+
+    def replay(self, session, dst_nid: int):
+        """Timed coroutine: re-issue every pending write toward
+        ``dst_nid`` in original order (after its restart). The replayed
+        writes go through the normal timed one-sided path — and are
+        *not* re-logged, so replay does not feed the log it drains.
+        Returns the number of writes replayed."""
+        entries = self._logs.get(dst_nid, [])
+        if not entries:
+            return 0
+        scratch = session.alloc_buffer(max(len(e.data) for e in entries))
+        replayed = 0
+        log_attached = getattr(session, "write_log", None)
+        session.write_log = None      # no self-feeding during replay
+        try:
+            for entry in entries:
+                session.buffer_poke(scratch, entry.data)
+                yield from session.write_sync(dst_nid, entry.offset,
+                                              scratch, len(entry.data))
+                replayed += 1
+        finally:
+            session.write_log = log_attached
+        self.records_replayed += replayed
+        if self.counters is not None:
+            self.counters.log_replays += replayed
+        return replayed

@@ -83,6 +83,10 @@ class RMCSession:
         self.failed_peers: Set[int] = set()
         self.ops_issued = 0
         self.ops_completed = 0
+        #: Optional transparent one-sided write log (resilience): when
+        #: attached, every remote write records (dst, offset, payload)
+        #: at post time so a restarted peer can be caught up by replay.
+        self.write_log = None
 
     # -- buffers ------------------------------------------------------------
 
@@ -120,6 +124,20 @@ class RMCSession:
             out += self.core.port.read_bytes(paddr, span)
         return bytes(out)
 
+    def attach_write_log(self, log) -> None:
+        """Attach a :class:`~repro.resilience.oplog.OneSidedWriteLog`:
+        from now on every remote write issued through this session is
+        transparently recorded (uncoordinated-recovery support).
+        Pass ``None`` to detach."""
+        self.write_log = log
+
+    def _log_write(self, dst_nid: int, offset: int, local_vaddr: int,
+                   length: int) -> None:
+        if self.write_log is not None:
+            self.write_log.record(dst_nid, offset,
+                                  self.buffer_peek(local_vaddr, length),
+                                  self.core.sim.now)
+
     # -- asynchronous API (Fig. 4) -------------------------------------------
 
     def wait_for_slot(self, callback: Optional[Callable] = None):
@@ -147,6 +165,7 @@ class RMCSession:
     def write_async(self, dst_nid: int, offset: int, local_vaddr: int,
                     length: int, callback: Optional[Callable] = None):
         """Timed coroutine: post a non-blocking remote write."""
+        self._log_write(dst_nid, offset, local_vaddr, length)
         return (yield from self._post(
             WQEntry(op=Opcode.RWRITE, dst_nid=dst_nid, offset=offset,
                     local_vaddr=local_vaddr, length=length), callback))
@@ -178,6 +197,7 @@ class RMCSession:
     def write_sync(self, dst_nid: int, offset: int, local_vaddr: int,
                    length: int):
         """Timed coroutine: remote write; returns when acknowledged."""
+        self._log_write(dst_nid, offset, local_vaddr, length)
         index = yield from self._post(
             WQEntry(op=Opcode.RWRITE, dst_nid=dst_nid, offset=offset,
                     local_vaddr=local_vaddr, length=length), _SYNC_WAITER)

@@ -42,6 +42,9 @@ class NodeSnapshot:
     #: Frames dropped because their sender's incarnation was fenced by
     #: the membership service (stale epoch — a dead node still talking).
     ni_epoch_fenced: int = 0
+    #: Resilience counters (coded checkpoints / op log / degraded
+    #: reads); empty dict when the node never touched the subsystem.
+    resilience: Dict[str, int] = field(default_factory=dict)
 
 
 @dataclass
@@ -62,6 +65,11 @@ class ClusterSnapshot:
     def total(self, attribute: str) -> int:
         """Sum a NodeSnapshot numeric field across nodes."""
         return sum(getattr(n, attribute) for n in self.nodes)
+
+
+def _resilience_dict(cluster, node_id: int) -> Dict[str, int]:
+    counters = getattr(cluster, "resilience", {}).get(node_id)
+    return counters.as_dict() if counters is not None else {}
 
 
 def snapshot(cluster) -> ClusterSnapshot:
@@ -91,6 +99,7 @@ def snapshot(cluster) -> ClusterSnapshot:
             fabric_node_stats=node_stats,
             suspected_nodes=len(node.driver.suspects),
             ni_epoch_fenced=getattr(node.ni, "epoch_fenced", 0),
+            resilience=_resilience_dict(cluster, node.node_id),
         ))
     membership = getattr(cluster, "membership", None)
     return ClusterSnapshot(time_ns=cluster.sim.now, nodes=nodes,
@@ -149,6 +158,8 @@ def format_report(snap: ClusterSnapshot) -> str:
         }
         if any(reliability.values()):
             lines.append(f"  reliability: {reliability}")
+        if any(node.resilience.values()):
+            lines.append(f"  resilience: {node.resilience}")
         if node.driver_failures:
             lines.append(f"  fabric failures seen: {node.driver_failures}")
         if node.suspected_nodes:

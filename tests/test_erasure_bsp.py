@@ -1,0 +1,149 @@
+"""Erasure-coded BSP checkpointing, end to end.
+
+Acceptance tests for the coded checkpoint modes of
+:class:`FaultTolerantBSPEngine`: fault-free runs and every crash
+recovery must be *bit-for-bit* identical to the plain engine in every
+mode, the dead node's shards must be re-encoded and re-scattered by the
+survivors, and a simultaneous double failure that replica mode cannot
+survive (a rank and its checkpoint holder dying together) must be fully
+recovered by ``rs(k,2)``.
+"""
+
+import pytest
+
+from repro.apps import BSPEngine, FaultTolerantBSPEngine, PageRankProgram
+from repro.apps.graph import zipf_graph
+from repro.telemetry import snapshot
+
+
+def _graph():
+    return zipf_graph(60, avg_degree=4, seed=3)
+
+
+def _baseline(graph, nodes):
+    base = BSPEngine(graph, nodes, seed=7)
+    return base.run(PageRankProgram(), max_supersteps=4,
+                    stop_on_convergence=False)
+
+
+def _engine(graph, nodes, mode, every=1):
+    return FaultTolerantBSPEngine(graph, nodes, seed=7,
+                                  checkpoint_every=every,
+                                  checkpoint_mode=mode)
+
+
+class TestCodedFaultFree:
+    def test_coded_modes_bit_exact_and_fully_checkpointed(self):
+        graph = _graph()
+        expect = _baseline(graph, 4)
+        for mode in ("xor", "xor(2)", "rs(2,1)"):
+            eng = _engine(graph, 4, mode)
+            got = eng.run(PageRankProgram(), max_supersteps=4,
+                          stop_on_convergence=False)
+            assert got.values == expect.values      # bit-for-bit
+            assert got.recoveries == 0
+            assert got.checkpoints == 4 * 4         # every rank, step
+            assert eng.ckpt_store.stripes_written == 4 * 4
+
+    def test_coded_storage_overhead_beats_replication(self):
+        graph = _graph()
+        for mode, overhead in (("xor(3)", 4 / 3), ("rs(3,2)", 5 / 3)):
+            eng = _engine(graph, 6, mode)
+            assert eng.ckpt_code.storage_overhead == pytest.approx(
+                overhead)
+            assert eng.ckpt_code.storage_overhead < 2.0  # replica cost
+
+    def test_shard_count_validated_against_peers(self):
+        with pytest.raises(ValueError):
+            _engine(_graph(), 4, "rs(3,2)")         # 5 shards, 3 peers
+
+
+class TestCodedCrashRecovery:
+    def test_single_crash_bit_exact_in_every_mode(self):
+        graph = _graph()
+        expect = _baseline(graph, 4)
+        for mode in ("replica", "xor(2)", "rs(2,1)"):
+            eng = _engine(graph, 4, mode)
+            eng.controller.schedule_crash(1, at_ns=7_000.0,
+                                          restart_after_ns=20_000.0)
+            got = eng.run(PageRankProgram(), max_supersteps=4,
+                          stop_on_convergence=False)
+            assert got.values == expect.values, mode
+            assert got.recoveries == 1, mode
+            assert eng.membership.evictions == 1
+
+    def test_recovery_rescatters_lost_shards(self):
+        """After a crash the survivors re-encode and re-scatter their
+        stripes (the dead node held shards of them): the rebuilt-shard
+        telemetry must show it, and every surviving rank's stripe must
+        be durable again afterwards."""
+        graph = _graph()
+        eng = _engine(graph, 4, "rs(2,1)")
+        eng.controller.schedule_crash(1, at_ns=7_000.0,
+                                      restart_after_ns=20_000.0)
+        eng.run(PageRankProgram(), max_supersteps=4,
+                stop_on_convergence=False)
+        snap = snapshot(eng.cluster)
+        rebuilt = sum(n.resilience.get("shards_rebuilt", 0)
+                      for n in snap.nodes)
+        written = sum(n.resilience.get("checkpoint_bytes_written", 0)
+                      for n in snap.nodes)
+        assert rebuilt > 0
+        assert written > 0
+        # Every partition's stripe is durable at the final superstep —
+        # including the dead rank's, re-striped by its adopter.
+        for rank in range(4):
+            assert eng.ckpt_store.durable_epoch(rank) == 4
+
+    def test_double_failure_replica_dies_rs_recovers(self):
+        """The acceptance case: rank 1 and its ring successor (= its
+        replica-checkpoint holder) crash simultaneously. Replica mode
+        has lost rank 1's only checkpoint copy and must refuse;
+        rs(k,2) reconstructs both partitions from surviving shards and
+        finishes bit-for-bit."""
+        graph = _graph()
+        expect = _baseline(graph, 5)
+
+        eng = _engine(graph, 5, "rs(2,2)")
+        eng.controller.schedule_crash(1, at_ns=7_000.0,
+                                      restart_after_ns=60_000.0)
+        eng.controller.schedule_crash(2, at_ns=7_000.0,
+                                      restart_after_ns=60_000.0)
+        got = eng.run(PageRankProgram(), max_supersteps=4,
+                      stop_on_convergence=False)
+        assert got.values == expect.values          # bit-for-bit
+        assert got.recoveries == 1                  # one incident
+        assert eng.membership.evictions == 2
+
+        eng = _engine(graph, 5, "replica")
+        eng.controller.schedule_crash(1, at_ns=7_000.0,
+                                      restart_after_ns=60_000.0)
+        eng.controller.schedule_crash(2, at_ns=7_000.0,
+                                      restart_after_ns=60_000.0)
+        with pytest.raises(RuntimeError, match="ring-adjacent"):
+            eng.run(PageRankProgram(), max_supersteps=4,
+                    stop_on_convergence=False)
+
+    def test_sparser_coded_checkpoints_still_bit_exact(self):
+        graph = _graph()
+        expect = _baseline(graph, 4)
+        eng = _engine(graph, 4, "rs(2,1)", every=2)
+        eng.controller.schedule_crash(0, at_ns=7_000.0,
+                                      restart_after_ns=60_000.0)
+        got = eng.run(PageRankProgram(), max_supersteps=4,
+                      stop_on_convergence=False)
+        assert got.values == expect.values
+        assert got.recoveries == 1
+        assert got.checkpoints < 4 * 4              # actually sparser
+
+
+class TestReplicaPlacementConsultsMembership:
+    def test_gray_successor_is_not_a_checkpoint_target(self):
+        """Regression for the checkpoint-peer-choice satellite in
+        replica mode: a gray-degraded successor (alive on the data
+        path, dead to the control plane) must not receive checkpoint
+        copies."""
+        eng = _engine(_graph(), 4, "replica")
+        assert eng._replica_peer_ok(1)
+        eng.controller.gray_fail(1)
+        assert not eng._replica_peer_ok(1)

@@ -1,0 +1,386 @@
+"""The resilience subsystem: coding, striped checkpoints, op logs.
+
+Property tests (hypothesis) pin the erasure-coding core: encode/decode
+round-trips under every survivable loss pattern, for both the XOR
+parity code and GF(256) Reed-Solomon, plus the adversarial corners
+(all-zero payloads, 1-byte payloads, k=1). The striped checkpoint store
+is exercised over the real one-sided data path — scatter, durability
+scans, reconstruction, membership-consulted placement — and the
+one-sided write log is driven through a full crash/restart/replay
+cycle (uncoordinated recovery).
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import CheckpointUnrecoverable
+from repro.apps.kvstore import CodedKVServer, FailoverKVClient
+from repro.cluster import Cluster, ClusterConfig
+from repro.resilience import (
+    OneSidedWriteLog,
+    RSCode,
+    StripedCheckpointStore,
+    XORCode,
+)
+from repro.resilience.coding import parse_checkpoint_mode
+from repro.runtime import RMCSession
+from repro.telemetry import format_report, snapshot
+from repro.vm import PAGE_SIZE
+
+CTX = 1
+INTERVAL = 2_000.0
+LEASE = 6_000.0
+
+
+# -- coding round trips (property-tested) ------------------------------------
+
+def _drop_patterns(code):
+    """Every survivable loss pattern: up to m shard indices removed."""
+    indices = range(code.num_shards)
+    patterns = [()]
+    for count in range(1, code.m + 1):
+        patterns.extend(itertools.combinations(indices, count))
+    return patterns
+
+
+def _assert_round_trip(code, data):
+    shards = code.encode(data)
+    assert len(shards) == code.num_shards
+    assert len({len(s) for s in shards}) == 1          # equal length
+    assert len(shards[0]) == code.shard_length(len(data))
+    for dropped in _drop_patterns(code):
+        survivors = {i: s for i, s in enumerate(shards)
+                     if i not in dropped}
+        assert code.decode(survivors, len(data)) == data, \
+            f"{code.name}: round trip failed dropping {dropped}"
+
+
+@settings(max_examples=60, derandomize=True, deadline=None)
+@given(data=st.binary(min_size=0, max_size=512),
+       k=st.integers(min_value=1, max_value=6))
+def test_xor_round_trip_all_single_losses(data, k):
+    _assert_round_trip(XORCode(k), data)
+
+
+@settings(max_examples=60, derandomize=True, deadline=None)
+@given(data=st.binary(min_size=0, max_size=512),
+       k=st.integers(min_value=1, max_value=5),
+       m=st.integers(min_value=1, max_value=3))
+def test_rs_round_trip_all_loss_patterns(data, k, m):
+    _assert_round_trip(RSCode(k, m), data)
+
+
+class TestCodingAdversarialCases:
+    def test_all_zero_payload(self):
+        for code in (XORCode(3), RSCode(3, 2)):
+            _assert_round_trip(code, bytes(300))
+
+    def test_one_byte_payload(self):
+        for code in (XORCode(4), RSCode(2, 2)):
+            _assert_round_trip(code, b"\xa5")
+
+    def test_k_equals_one_is_mirroring(self):
+        code = XORCode(1)
+        data = b"hello world"
+        shards = code.encode(data)
+        # With k=1 the parity IS the data: both shards identical.
+        assert shards[0] == shards[1]
+        _assert_round_trip(code, data)
+        _assert_round_trip(RSCode(1, 3), data)
+
+    def test_length_not_divisible_by_k(self):
+        _assert_round_trip(RSCode(3, 2), b"x" * 100)   # 100 % 3 != 0
+
+    def test_xor_cannot_repair_double_loss(self):
+        code = XORCode(3)
+        shards = code.encode(b"y" * 96)
+        survivors = {2: shards[2], 3: shards[3]}
+        with pytest.raises(ValueError):
+            code.decode(survivors, 96)
+
+    def test_rs_refuses_too_few_shards(self):
+        code = RSCode(3, 2)
+        shards = code.encode(b"z" * 99)
+        with pytest.raises(ValueError):
+            code.decode({0: shards[0], 1: shards[1]}, 99)
+
+    def test_parity_actually_used(self):
+        """Decoding from parity-heavy survivor sets must not just
+        concatenate data shards."""
+        code = RSCode(2, 2)
+        data = bytes(range(100))
+        shards = code.encode(data)
+        assert code.decode({2: shards[2], 3: shards[3]}, 100) == data
+
+
+class TestParseCheckpointMode:
+    def test_modes(self):
+        assert parse_checkpoint_mode("replica") == ("replica", None)
+        mode, code = parse_checkpoint_mode("xor(3)")
+        assert (mode, code.k, code.m) == ("xor", 3, 1)
+        mode, code = parse_checkpoint_mode("rs(3, 2)")
+        assert (mode, code.k, code.m) == ("rs", 3, 2)
+
+    def test_xor_defaults_to_peer_count(self):
+        _, code = parse_checkpoint_mode("xor", num_peers=5)
+        assert (code.k, code.num_shards) == (4, 5)
+
+    def test_rejects_garbage_and_oversubscription(self):
+        with pytest.raises(ValueError):
+            parse_checkpoint_mode("raid6")
+        with pytest.raises(ValueError):
+            parse_checkpoint_mode("rs(3,2)", num_peers=4)  # 5 shards
+
+
+# -- the striped checkpoint store over the real data path --------------------
+
+def _build_cluster(num_nodes, segment=64 * PAGE_SIZE):
+    cluster = Cluster(config=ClusterConfig(num_nodes=num_nodes))
+    membership = cluster.enable_membership(interval_ns=INTERVAL,
+                                           lease_ns=LEASE)
+    controller = cluster.fault_controller(seed=0)
+    gctx = cluster.create_global_context(CTX, segment)
+    sessions = {n: RMCSession(cluster.nodes[n].core, gctx.qp(n),
+                              gctx.entry(n)) for n in range(num_nodes)}
+    return cluster, membership, controller, sessions
+
+
+def _make_store(cluster, code, membership=None, controller=None,
+                num_sources=None):
+    n = num_sources if num_sources is not None else len(cluster.nodes)
+    return StripedCheckpointStore(
+        cluster, CTX, code, num_sources=n,
+        shard_base=4096, shard_stride=512, hdr_base=64 * 1024,
+        membership=membership, controller=controller)
+
+
+class TestStripedCheckpointStore:
+    def test_scatter_durability_and_reconstruct(self):
+        cluster, ms, ctrl, sessions = _build_cluster(5)
+        code = RSCode(2, 2)
+        store = _make_store(cluster, code, membership=ms, controller=ctrl)
+        data = bytes((7 * i) % 256 for i in range(900))
+        done = {}
+
+        def writer(sim):
+            wrote = yield from store.write_stripe(sessions[0], 0, data,
+                                                  progress=1, slot=0)
+            done["wrote"] = wrote
+
+        cluster.sim.process(writer(cluster.sim))
+        cluster.run(until=5_000_000)
+        assert done["wrote"] == code.num_shards
+        assert store.durable_epoch(0) == 1
+        assert store.reconstruct(0, 1, len(data)) == data
+        # Shards landed on distinct peers, never on the source.
+        located = store.scan(0)[1]
+        hosts = [h for h, _slot in located.values()]
+        assert len(set(hosts)) == code.num_shards
+        assert 0 not in hosts
+
+    def test_reconstruct_survives_m_losses_then_raises_beyond(self):
+        cluster, ms, ctrl, sessions = _build_cluster(6)
+        code = RSCode(3, 2)
+        store = _make_store(cluster, code, membership=ms, controller=ctrl)
+        data = bytes(range(256)) * 3
+
+        def writer(sim):
+            yield from store.write_stripe(sessions[0], 0, data,
+                                          progress=2, slot=0)
+
+        cluster.sim.process(writer(cluster.sim))
+        cluster.run(until=5_000_000)
+        holders = sorted({h for h, _ in store.scan(0)[2].values()})
+        # m losses: still reconstructable.
+        ctrl.crash(holders[0])
+        ctrl.crash(holders[1])
+        assert store.reconstruct(0, 2, len(data)) == data
+        # m + 1 losses: typed unrecoverable with full diagnostics.
+        ctrl.crash(holders[2])
+        with pytest.raises(CheckpointUnrecoverable) as info:
+            store.reconstruct(0, 2, len(data))
+        err = info.value
+        assert err.source == 0
+        assert err.epoch == 2
+        assert err.needed == code.k
+        assert err.have == 2
+        assert len(err.missing_shards) == 3
+        assert "epoch 2" in str(err) and "unrecoverable" in str(err)
+        assert store.durable_epoch(0) == 0
+
+    def test_placement_consults_membership_and_controller(self):
+        """Regression for the checkpoint-peer-choice satellite: shards
+        must never be placed on crashed, gray-degraded, or evicted
+        nodes."""
+        cluster, ms, ctrl, sessions = _build_cluster(6)
+        code = XORCode(2)
+        store = _make_store(cluster, code, membership=ms, controller=ctrl)
+
+        def scenario(sim):
+            yield sim.timeout(INTERVAL)     # let everyone join first
+            ctrl.crash(2)                   # down (and soon evicted)
+            ctrl.gray_fail(3)               # up on data path, degraded
+            yield sim.timeout(10 * LEASE)   # let the lease expire
+
+        cluster.sim.process(scenario(cluster.sim))
+        cluster.run(until=20 * LEASE)
+        assert not ms.is_live(2)
+        placed = store.place(0)
+        assert placed, "healthy peers remain, stripe must be placeable"
+        assert 2 not in placed and 3 not in placed
+        assert 0 not in placed              # never self
+        assert len(set(placed)) == len(placed)
+        # Graceful m degradation: with only k healthy peers left the
+        # store still writes k shards; below k it refuses outright.
+        ctrl.crash(4)
+        assert len(store.place(0)) == 2     # 1 and 5 remain
+        ctrl.crash(5)
+        assert store.place(0) == []
+
+    def test_double_buffered_slots_keep_previous_epoch(self):
+        cluster, ms, ctrl, sessions = _build_cluster(4)
+        code = XORCode(2)
+        store = _make_store(cluster, code, membership=ms, controller=ctrl)
+        first = b"\x01" * 500
+        second = b"\x02" * 500
+
+        def writer(sim):
+            yield from store.write_stripe(sessions[0], 0, first,
+                                          progress=1, slot=0)
+            yield from store.write_stripe(sessions[0], 0, second,
+                                          progress=2, slot=1)
+
+        cluster.sim.process(writer(cluster.sim))
+        cluster.run(until=5_000_000)
+        assert store.durable_epoch(0) == 2
+        assert store.reconstruct(0, 1, 500) == first
+        assert store.reconstruct(0, 2, 500) == second
+
+
+# -- one-sided write log: uncoordinated recovery end to end -------------------
+
+class TestOneSidedWriteLog:
+    def test_crash_restart_replay_restores_remote_state(self):
+        cluster, ms, ctrl, sessions = _build_cluster(3)
+        log = OneSidedWriteLog(counters=cluster.resilience_counters(0))
+        session = sessions[0]
+        session.attach_write_log(log)
+        buf = session.alloc_buffer(256)
+        outcome = {}
+
+        def scenario(sim):
+            for i in range(4):
+                session.buffer_poke(buf, bytes([i + 1]) * 64)
+                yield from session.write_sync(1, i * 64, buf, 64)
+            assert log.records_logged == 4
+            assert log.pending_bytes(1) == 256
+            ctrl.crash(1)
+            ctrl.restart(1)                 # wipes memory
+            yield sim.timeout(1_000)
+            assert cluster.peek_segment(1, CTX, 0, 256) == bytes(256)
+            replayed = yield from log.replay(session, 1)
+            outcome["replayed"] = replayed
+            outcome["bytes"] = cluster.peek_segment(1, CTX, 0, 256)
+
+        cluster.sim.process(scenario(cluster.sim))
+        cluster.run(until=10_000_000)
+        expect = b"".join(bytes([i + 1]) * 64 for i in range(4))
+        assert outcome["replayed"] == 4
+        assert outcome["bytes"] == expect
+        # Replay itself was not re-logged (no self-feeding) ...
+        assert log.records_logged == 4
+        assert log.pending_bytes(1) == 256  # still replayable again
+        # ... and truncation empties the log at checkpoint durability.
+        assert log.truncate(1) == 4
+        assert log.pending(1) == []
+        assert cluster.resilience_counters(0).log_replays == 4
+
+    def test_truncate_upto_seq_keeps_later_writes(self):
+        log = OneSidedWriteLog()
+        for i in range(5):
+            log.record(1, i * 64, b"x" * 8, time_ns=float(i))
+        assert log.truncate(1, upto_seq=2) == 3
+        assert [e.seq for e in log.pending(1)] == [3, 4]
+
+
+# -- coded KV backups + degraded reads ----------------------------------------
+
+class TestCodedKVDegradedReads:
+    KEYS = {k: bytes([k]) * 8 for k in range(1, 13)}
+
+    def test_primary_loss_served_by_decoding_shards(self):
+        cluster, ms, ctrl, sessions = _build_cluster(5)
+        code = RSCode(2, 1)
+        server = CodedKVServer(sessions[1], backups=[2, 3, 4], code=code,
+                               num_buckets=64)
+        client = FailoverKVClient(
+            sessions[0], [1], num_buckets=64, membership=ms, code=code,
+            shard_nids=[2, 3, 4],
+            counters=cluster.resilience_counters(0))
+        outcome = {}
+
+        def scenario(sim):
+            for k, v in self.KEYS.items():
+                yield from server.put_coded(k, v)
+            ctrl.crash(1)                   # primary gone
+            yield sim.timeout(3 * LEASE)
+            served = {}
+            for k in self.KEYS:
+                served[k] = yield from client.get(k)
+            outcome["after_primary"] = served
+            ctrl.crash(3)                   # one backup gone too (m=1)
+            yield sim.timeout(3 * LEASE)
+            served = {}
+            for k in self.KEYS:
+                served[k] = yield from client.get(k)
+            outcome["after_backup"] = served
+            outcome["missing"] = yield from client.get(999)
+
+        cluster.sim.process(scenario(cluster.sim))
+        cluster.run(until=10_000_000)
+        assert outcome["after_primary"] == self.KEYS   # no lost acked PUT
+        assert outcome["after_backup"] == self.KEYS    # m losses survived
+        assert outcome["missing"] is None
+        stats = client.availability
+        assert stats.degraded_reads == 25
+        assert stats.gets_failed == 0
+        assert stats.availability == 1.0
+        assert server.puts_acked == len(self.KEYS)
+        assert server.replica_writes == len(self.KEYS) * code.num_shards
+        assert cluster.resilience_counters(0).degraded_reads == 25
+
+    def test_backup_count_must_match_shard_count(self):
+        cluster, ms, ctrl, sessions = _build_cluster(3)
+        with pytest.raises(ValueError):
+            CodedKVServer(sessions[1], backups=[2], code=RSCode(2, 1),
+                          num_buckets=64)
+
+
+# -- telemetry ----------------------------------------------------------------
+
+class TestResilienceTelemetry:
+    def test_counters_surface_in_snapshot_and_report(self):
+        cluster = Cluster(config=ClusterConfig(num_nodes=2))
+        counters = cluster.resilience_counters(0)
+        counters.checkpoint_bytes_written += 4096
+        counters.shards_rebuilt += 3
+        counters.log_replays += 2
+        counters.degraded_reads += 1
+        snap = snapshot(cluster)
+        assert snap.node(0).resilience == {
+            "checkpoint_bytes_written": 4096,
+            "shards_rebuilt": 3,
+            "log_replays": 2,
+            "degraded_reads": 1,
+        }
+        assert snap.node(1).resilience == {}           # untouched node
+        report = format_report(snap)
+        assert "resilience" in report
+        assert "shards_rebuilt" in report
+
+    def test_quiet_nodes_stay_silent_in_report(self):
+        cluster = Cluster(config=ClusterConfig(num_nodes=2))
+        report = format_report(snapshot(cluster))
+        assert "resilience" not in report
