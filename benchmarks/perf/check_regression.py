@@ -10,6 +10,12 @@ Usage::
 
     python benchmarks/perf/check_regression.py \
         --bench BENCH_kernel.json --baseline benchmarks/perf/baseline.json
+
+Exit codes (so CI can tell "slow" from "not configured"):
+
+* ``0`` — within the allowed regression factor.
+* ``1`` — geomean slowdown exceeds ``--max-regression``.
+* ``2`` — baseline or bench file missing/unusable (no comparison ran).
 """
 
 from __future__ import annotations
@@ -22,6 +28,10 @@ if __package__ in (None, ""):
 else:
     from ._common import geomean
 
+EXIT_OK = 0
+EXIT_REGRESSION = 1
+EXIT_NO_BASELINE = 2
+
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
@@ -32,10 +42,18 @@ def main(argv=None) -> int:
                         help="fail if baseline/current exceeds this factor")
     args = parser.parse_args(argv)
 
-    with open(args.bench) as fh:
-        current = json.load(fh)["results"]
-    with open(args.baseline) as fh:
-        base = json.load(fh)["results"]
+    try:
+        with open(args.bench) as fh:
+            current = json.load(fh)["results"]
+    except (FileNotFoundError, json.JSONDecodeError, KeyError) as exc:
+        print(f"cannot read bench file {args.bench}: {exc}")
+        return EXIT_NO_BASELINE
+    try:
+        with open(args.baseline) as fh:
+            base = json.load(fh)["results"]
+    except (FileNotFoundError, json.JSONDecodeError, KeyError) as exc:
+        print(f"cannot read baseline {args.baseline}: {exc}")
+        return EXIT_NO_BASELINE
 
     ratios = {}
     for name, rate in base.items():
@@ -43,7 +61,7 @@ def main(argv=None) -> int:
             ratios[name] = current[name]["events_per_sec"] / rate
     if not ratios:
         print("no overlapping benchmarks between bench and baseline")
-        return 1
+        return EXIT_NO_BASELINE
 
     overall = geomean(ratios.values())
     for name, ratio in sorted(ratios.items()):
@@ -54,9 +72,9 @@ def main(argv=None) -> int:
     if overall < 1.0 / args.max_regression:
         print(f"FAIL: kernel is more than {args.max_regression:.1f}x "
               "slower than the committed baseline")
-        return 1
+        return EXIT_REGRESSION
     print("OK")
-    return 0
+    return EXIT_OK
 
 
 if __name__ == "__main__":

@@ -38,7 +38,10 @@ from ..runtime.barrier import Barrier
 from ..runtime.layout import MessagingConfig
 from ..runtime.messaging import Messenger
 from ..runtime.qp_api import RMCSession
+from ..sim import PartitionPlan, run_partitioned
+from ..telemetry import merge_snapshots, snapshot
 from .graph import Graph, partition_random
+from .pagerank import _paired_config, _resolve_plan
 
 __all__ = ["bfs_reference", "run_bfs_fine", "run_bfs_push", "BFSResult"]
 
@@ -62,6 +65,9 @@ class BFSResult:
     levels: int
     remote_reads: int = 0
     messages: int = 0
+    #: End-of-run cluster telemetry; merged across workers for
+    #: partitioned runs.
+    telemetry: Optional[object] = None
 
     @property
     def reached(self) -> int:
@@ -96,7 +102,9 @@ class _BFSSetup:
     """Cluster with the CSR partition of the graph loaded into segments."""
 
     def __init__(self, graph: Graph, num_nodes: int,
-                 cluster_config: Optional[ClusterConfig], seed: int):
+                 cluster_config: Optional[ClusterConfig], seed: int,
+                 partition_plan: Optional[PartitionPlan] = None,
+                 rank: int = 0):
         self.graph = graph
         self.out = _out_neighbors(graph)
         self.partition = partition_random(graph, num_nodes, seed=seed)
@@ -108,17 +116,21 @@ class _BFSSetup:
         segment = (self.index_bytes + max_edges * _EDGE_BYTES
                    + (2 << 20))
         self.cluster = Cluster(config=cluster_config
-                               or ClusterConfig(num_nodes=num_nodes))
+                               or ClusterConfig(num_nodes=num_nodes),
+                               partition=partition_plan, rank=rank)
+        self.owned = (partition_plan.nodes_of(rank)
+                      if partition_plan is not None
+                      else list(range(num_nodes)))
         self.gctx = self.cluster.create_global_context(_CTX, segment)
         self.sessions = {
             n: RMCSession(self.cluster.nodes[n].core, self.gctx.qp(n),
                           self.gctx.entry(n))
-            for n in range(num_nodes)
+            for n in self.owned
         }
-        self._load_partitions(num_nodes)
+        self._load_partitions()
 
-    def _load_partitions(self, num_nodes: int) -> None:
-        for n in range(num_nodes):
+    def _load_partitions(self) -> None:
+        for n in self.owned:
             members = self.partition.members[n]
             index_blob = bytearray()
             edge_blob = bytearray()
@@ -237,87 +249,167 @@ def run_bfs_fine(graph: Graph, num_nodes: int, source: int = 0,
                      remote_reads=remote_reads[0])
 
 
+#: Frontier-exchange sentinel: "no discoveries for you this level".
+_EMPTY_SENTINEL = b"\xff" * 4
+
+
+def _push_worker(setup: _BFSSetup, node_id: int, num_nodes: int,
+                 source: int, dist: Dict[int, int],
+                 messages: List[int]):
+    """One node's BFS: expand owned frontier, push discoveries to their
+    owners, then exchange pending counts to agree on termination.
+
+    All state is node-local (``dist`` holds only owned vertices), so the
+    same generator runs unchanged on a partitioned cluster where each
+    worker process simulates a subset of the nodes.
+    """
+    partition = setup.partition
+    session = setup.sessions[node_id]
+    core = session.core
+    messenger = setup.messengers[node_id]
+    peers = [p for p in range(num_nodes) if p != node_id]
+    pending: List[int] = []
+    if partition.owner[source] == node_id:
+        dist[source] = 0
+        pending.append(source)
+    while True:
+        current, pending = pending, []
+        outbound: Dict[int, List[tuple]] = {p: [] for p in peers}
+        for u in current:
+            yield core.compute(_VERTEX_NS)
+            for w in setup.out[u]:
+                yield core.compute(_EDGE_NS)
+                owner = partition.owner[w]
+                if owner == node_id:
+                    if w not in dist:
+                        dist[w] = dist[u] + 1
+                        pending.append(w)
+                else:
+                    outbound[owner].append((w, dist[u] + 1))
+        # Batched frontier exchange: one message per peer per level
+        # (an empty sentinel keeps send/recv counts matched).
+        for p in peers:
+            blob = b"".join(struct.pack("<II", w, d)
+                            for w, d in outbound[p]) or _EMPTY_SENTINEL
+            yield from messenger.send(p, blob)
+            messages[0] += 1
+        for p in peers:
+            blob = yield from messenger.recv(p)
+            if blob == _EMPTY_SENTINEL:
+                continue
+            for i in range(0, len(blob), 8):
+                w, d = struct.unpack_from("<II", blob, i)
+                if w not in dist:
+                    dist[w] = d
+                    pending.append(w)
+        # Termination round: every node broadcasts how many vertices it
+        # discovered this level; all stop when the global sum is zero.
+        total = len(pending)
+        for p in peers:
+            yield from messenger.send(p, struct.pack("<I", len(pending)))
+            messages[0] += 1
+        for p in peers:
+            blob = yield from messenger.recv(p)
+            total += struct.unpack("<I", blob)[0]
+        if total == 0:
+            return
+
+
+def _merge_push_results(graph: Graph, parts: List[Dict]) -> List[int]:
+    distances = [-1] * graph.num_vertices
+    for part in parts:
+        for v, d in part["dist"].items():
+            distances[v] = d
+    return distances
+
+
 def run_bfs_push(graph: Graph, num_nodes: int, source: int = 0,
                  cluster_config: Optional[ClusterConfig] = None,
-                 seed: int = 7) -> BFSResult:
+                 seed: int = 7,
+                 workers: Optional[int] = None,
+                 partition: Optional[PartitionPlan] = None,
+                 transport: str = "process") -> BFSResult:
     """Message-passing BFS: frontier exchange via the §5.3 library.
 
     Each node expands only vertices it owns; discoveries of remote
     vertices are batched into one message per peer per level (u32 ids),
     sent with the messaging library, and merged before the next level.
+    A second message round per level exchanges pending-frontier counts
+    so every node takes the same termination decision locally — no
+    cross-node shared state, which also lets the run execute on the
+    conservative parallel engine (``workers > 1`` or an explicit
+    ``partition`` plan) with bit-identical results.
     """
+    plan = _resolve_plan(num_nodes, workers, partition)
+    if plan is not None:
+        config = _paired_config(cluster_config, num_nodes)
+
+        def build(rank: int, build_plan: PartitionPlan):
+            setup = _BFSSetup(graph, num_nodes, config, seed,
+                              partition_plan=build_plan, rank=rank)
+            setup.messengers = {
+                n: Messenger(setup.sessions[n], n, num_nodes,
+                             MessagingConfig(staging_bytes=128 * 1024))
+                for n in setup.owned
+            }
+            sim = setup.cluster.sim
+            dists = {n: {} for n in setup.owned}
+            messages = [0]
+            procs = [sim.process(_push_worker(setup, n, num_nodes, source,
+                                              dists[n], messages),
+                                 name=f"bfs.push{n}")
+                     for n in setup.owned]
+
+            def finalize():
+                for proc in procs:
+                    if not proc.triggered:
+                        raise RuntimeError(
+                            f"{proc.name} did not finish (deadlock?)")
+                    if not proc.ok:
+                        raise proc.value
+                merged_dist = {}
+                for d in dists.values():
+                    merged_dist.update(d)
+                return {"dist": merged_dist, "messages": messages[0],
+                        "snapshot": snapshot(setup.cluster)}
+
+            return sim, setup.cluster.fabric, finalize
+
+        run = run_partitioned(build, plan, transport=transport)
+        parts = [run.results[r] for r in sorted(run.results)]
+        distances = _merge_push_results(graph, parts)
+        merged = merge_snapshots([p["snapshot"] for p in parts],
+                                 engine_stats=run.engine_stats())
+        return BFSResult(variant="bfs-push", parallelism=num_nodes,
+                         distances=distances, elapsed_ns=run.final_time,
+                         levels=max((d for d in distances if d >= 0),
+                                    default=0),
+                         messages=sum(p["messages"] for p in parts),
+                         telemetry=merged)
+
     setup = _BFSSetup(graph, num_nodes, cluster_config, seed)
+    setup.messengers = {
+        n: Messenger(setup.sessions[n], n, num_nodes,
+                     MessagingConfig(staging_bytes=128 * 1024))
+        for n in range(num_nodes)
+    }
     sim = setup.cluster.sim
-    partition = setup.partition
-    messengers = {n: Messenger(setup.sessions[n], n, num_nodes,
-                               MessagingConfig(staging_bytes=128 * 1024))
-                  for n in range(num_nodes)}
-    barriers = {n: Barrier(setup.sessions[n], n, list(range(num_nodes)))
-                for n in range(num_nodes)}
-
-    distances = [-1] * graph.num_vertices
-    distances[source] = 0
+    dists = {n: {} for n in range(num_nodes)}
     messages = [0]
-    current: Dict[int, List[int]] = {n: [] for n in range(num_nodes)}
-    pending: Dict[int, List[int]] = {n: [] for n in range(num_nodes)}
-    pending[partition.owner[source]].append(source)
-
-    def worker(node_id: int):
-        session = setup.sessions[node_id]
-        core = session.core
-        messenger = messengers[node_id]
-        peers = [p for p in range(num_nodes) if p != node_id]
-        level = 0
-        while True:
-            yield from barriers[node_id].wait()   # everyone idle
-            if node_id == 0:
-                for n in range(num_nodes):
-                    current[n] = pending[n]
-                    pending[n] = []
-            yield from barriers[node_id].wait()   # swap visible, frozen
-            if not any(current[n] for n in range(num_nodes)):
-                break
-            outbound: Dict[int, List[tuple]] = {p: [] for p in peers}
-            for u in current[node_id]:
-                yield core.compute(_VERTEX_NS)
-                for w in setup.out[u]:
-                    yield core.compute(_EDGE_NS)
-                    if distances[w] >= 0:
-                        continue
-                    owner = partition.owner[w]
-                    if owner == node_id:
-                        distances[w] = distances[u] + 1
-                        pending[node_id].append(w)
-                    else:
-                        outbound[owner].append((w, distances[u] + 1))
-            # Batched frontier exchange: one message per peer per level
-            # (an empty sentinel keeps send/recv counts matched).
-            for p in peers:
-                blob = b"".join(struct.pack("<II", w, d)
-                                for w, d in outbound[p]) or b"\xff" * 4
-                yield from messenger.send(p, blob)
-                messages[0] += 1
-            for p in peers:
-                blob = yield from messenger.recv(p)
-                if blob == b"\xff" * 4:
-                    continue
-                for i in range(0, len(blob), 8):
-                    w, d = struct.unpack_from("<II", blob, i)
-                    if distances[w] < 0:
-                        distances[w] = d
-                        pending[node_id].append(w)
-            level += 1
-        return level
-
     start_time = sim.now
-    procs = [sim.process(worker(n), name=f"bfs.push{n}")
+    procs = [sim.process(_push_worker(setup, n, num_nodes, source,
+                                      dists[n], messages),
+                         name=f"bfs.push{n}")
              for n in range(num_nodes)]
     sim.run()
     for proc in procs:
         if not proc.ok:  # pragma: no cover
             raise proc.value
+    distances = _merge_push_results(graph, [{"dist": d}
+                                            for d in dists.values()])
     return BFSResult(variant="bfs-push", parallelism=num_nodes,
                      distances=distances, elapsed_ns=sim.now - start_time,
                      levels=max((d for d in distances if d >= 0),
                                 default=0),
-                     messages=messages[0])
+                     messages=messages[0],
+                     telemetry=snapshot(setup.cluster))

@@ -24,14 +24,15 @@ the RMC and the final ranks are checked against the untimed reference.
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as _dc_replace
 from typing import Dict, List, Optional
 
 from ..baselines.shm import build_shm_node
 from ..cluster.cluster import Cluster, ClusterConfig
 from ..runtime.barrier import Barrier
 from ..runtime.qp_api import RMCSession
-from ..sim import Simulator
+from ..sim import PartitionPlan, Simulator, run_partitioned
+from ..telemetry import merge_snapshots, snapshot
 from .graph import Graph, Partition, partition_random
 
 __all__ = ["PageRankTiming", "PageRankResult", "run_shm",
@@ -73,6 +74,9 @@ class PageRankResult:
     elapsed_ns: float
     ranks: List[float]
     remote_reads: int = 0
+    #: End-of-run cluster telemetry (soNUMA variants only); for
+    #: partitioned runs this is the merged snapshot across workers.
+    telemetry: Optional[object] = None
 
     @property
     def elapsed_us(self) -> float:
@@ -183,14 +187,26 @@ def run_shm(graph: Graph, num_threads: int, supersteps: int = 1,
 # ---------------------------------------------------------------------------
 
 class _SoNUMASetup:
-    """Cluster + partition + initialized vertex records in segments."""
+    """Cluster + partition + initialized vertex records in segments.
+
+    With a ``partition_plan``/``rank`` this builds one *worker's* slice:
+    only the owned nodes are instantiated (sessions, barriers, vertex
+    records), while the graph partition itself — vertex ownership — is
+    replicated deterministically from the seed on every rank.
+    """
 
     def __init__(self, graph: Graph, num_nodes: int,
-                 cluster_config: Optional[ClusterConfig], seed: int):
+                 cluster_config: Optional[ClusterConfig], seed: int,
+                 partition_plan: Optional[PartitionPlan] = None,
+                 rank: int = 0):
         self.graph = graph
         self.partition = partition_random(graph, num_nodes, seed=seed)
         config = cluster_config or ClusterConfig(num_nodes=num_nodes)
-        self.cluster = Cluster(config=config)
+        self.cluster = Cluster(config=config, partition=partition_plan,
+                               rank=rank)
+        self.owned = (partition_plan.nodes_of(rank)
+                      if partition_plan is not None
+                      else list(range(num_nodes)))
         max_part = max(len(m) for m in self.partition.members)
         # Partition records + communication state (barrier lines live at
         # the top of the segment; see CommLayout).
@@ -199,14 +215,14 @@ class _SoNUMASetup:
         self.sessions = {
             n: RMCSession(self.cluster.nodes[n].core, self.gctx.qp(n),
                           self.gctx.entry(n))
-            for n in range(num_nodes)
+            for n in self.owned
         }
         self.barriers = {
             n: Barrier(self.sessions[n], n, list(range(num_nodes)))
-            for n in range(num_nodes)
+            for n in self.owned
         }
         initial = 1.0 / graph.num_vertices
-        for n in range(num_nodes):
+        for n in self.owned:
             for li, v in enumerate(self.partition.members[n]):
                 self.cluster.poke_segment(
                     n, _CTX, li * VERTEX_BYTES,
@@ -216,8 +232,11 @@ class _SoNUMASetup:
         return self.partition.local_index[vertex] * VERTEX_BYTES
 
     def collect_ranks(self, final_epoch: int) -> List[float]:
+        """Final ranks for *owned* vertices (0.0 elsewhere): partitioned
+        workers' lists sum element-wise into the full result."""
         ranks = [0.0] * self.graph.num_vertices
-        for n, members in enumerate(self.partition.members):
+        for n in self.owned:
+            members = self.partition.members[n]
             for li, v in enumerate(members):
                 raw = self.cluster.peek_segment(n, _CTX, li * VERTEX_BYTES,
                                                 24)
@@ -229,65 +248,155 @@ class _SoNUMASetup:
 # soNUMA(bulk)
 # ---------------------------------------------------------------------------
 
+def _bulk_worker(setup: _SoNUMASetup, node_id: int, num_nodes: int,
+                 supersteps: int, timing: PageRankTiming,
+                 remote_reads: List[int]):
+    graph = setup.graph
+    graph_part = setup.partition
+    session = setup.sessions[node_id]
+    barrier = setup.barriers[node_id]
+    core = session.core
+    space = session.space
+    seg_base = session.ctx.segment.base_vaddr
+    mine = graph_part.members[node_id]
+    peers = [p for p in range(num_nodes) if p != node_id]
+    mirrors = {
+        p: session.alloc_buffer(
+            max(len(graph_part.members[p]), 1) * VERTEX_BYTES)
+        for p in peers
+    }
+    for step in range(supersteps):
+        yield from barrier.wait()
+        # Shuffle: one multi-line read per peer, all concurrent
+        # ("limited only by the bisection bandwidth", §7.5).
+        for p in peers:
+            nbytes = len(graph_part.members[p]) * VERTEX_BYTES
+            if nbytes == 0:
+                continue
+            yield from session.wait_for_slot()
+            yield from session.read_async(p, 0, mirrors[p], nbytes)
+            remote_reads[0] += 1
+        yield from session.drain_cq()
+
+        read_at = step % 2
+        for v in mine:
+            yield core.compute(timing.vertex_compute_ns)
+            acc = (1.0 - _DAMPING) / graph.num_vertices
+            for u in graph.in_neighbors[v]:
+                owner = graph_part.owner[u]
+                if owner == node_id:
+                    vaddr = seg_base + setup.record_offset(u)
+                else:
+                    vaddr = mirrors[owner] + setup.record_offset(u)
+                data = yield from core.mem_read(space, vaddr, 24)
+                values = _unpack_vertex(data)
+                acc += _DAMPING * values[read_at] / values[2]
+                yield core.compute(timing.edge_compute_ns)
+            packed = struct.pack("<d", acc)
+            yield from core.mem_write(
+                space,
+                seg_base + setup.record_offset(v) + 8 * ((step + 1) % 2),
+                packed)
+    yield from barrier.wait()
+
+
+def _paired_config(cluster_config: Optional[ClusterConfig],
+                   num_nodes: int) -> ClusterConfig:
+    """The caller's config upgraded to paired flow control (required by
+    the partition cut; see fabric.partition)."""
+    config = cluster_config or ClusterConfig(num_nodes=num_nodes)
+    if config.fabric.flow_control != "paired":
+        config = _dc_replace(
+            config, fabric=_dc_replace(config.fabric,
+                                       flow_control="paired"))
+    return config
+
+
+def _run_partitioned_pagerank(variant: str, worker_fn, graph: Graph,
+                              num_nodes: int, supersteps: int,
+                              timing: PageRankTiming,
+                              cluster_config: Optional[ClusterConfig],
+                              seed: int, plan: PartitionPlan,
+                              transport: str) -> PageRankResult:
+    config = _paired_config(cluster_config, num_nodes)
+
+    def build(rank: int, build_plan: PartitionPlan):
+        setup = _SoNUMASetup(graph, num_nodes, config, seed,
+                             partition_plan=build_plan, rank=rank)
+        sim = setup.cluster.sim
+        remote_reads = [0]
+        procs = [
+            sim.process(worker_fn(setup, n, num_nodes, supersteps, timing,
+                                  remote_reads),
+                        name=f"pagerank.{variant}{n}")
+            for n in setup.owned
+        ]
+
+        def finalize():
+            for proc in procs:
+                if not proc.triggered:
+                    raise RuntimeError(
+                        f"{proc.name} did not finish (deadlock?)")
+                if not proc.ok:
+                    raise proc.value
+            return {"ranks": setup.collect_ranks(supersteps % 2),
+                    "remote_reads": remote_reads[0],
+                    "snapshot": snapshot(setup.cluster)}
+
+        return sim, setup.cluster.fabric, finalize
+
+    run = run_partitioned(build, plan, transport=transport)
+    parts = [run.results[r] for r in sorted(run.results)]
+    # Vertex ownership is disjoint across workers, so the per-worker
+    # rank lists (0.0 for unowned vertices) sum element-wise.
+    ranks = [0.0] * graph.num_vertices
+    for part in parts:
+        for v, value in enumerate(part["ranks"]):
+            ranks[v] += value
+    merged = merge_snapshots([p["snapshot"] for p in parts],
+                             engine_stats=run.engine_stats())
+    return PageRankResult(
+        variant=f"sonuma-{variant}", parallelism=num_nodes,
+        supersteps=supersteps, elapsed_ns=run.final_time, ranks=ranks,
+        remote_reads=sum(p["remote_reads"] for p in parts),
+        telemetry=merged)
+
+
+def _resolve_plan(num_nodes: int, workers: Optional[int],
+                  partition: Optional[PartitionPlan]
+                  ) -> Optional[PartitionPlan]:
+    if partition is not None:
+        return partition
+    if workers is not None and workers > 1:
+        return PartitionPlan.contiguous(num_nodes, workers)
+    return None
+
+
 def run_sonuma_bulk(graph: Graph, num_nodes: int, supersteps: int = 1,
                     timing: PageRankTiming = PageRankTiming(),
                     cluster_config: Optional[ClusterConfig] = None,
-                    seed: int = 7) -> PageRankResult:
-    """Pregel-style PageRank: whole-partition pulls each superstep."""
+                    seed: int = 7,
+                    workers: Optional[int] = None,
+                    partition: Optional[PartitionPlan] = None,
+                    transport: str = "process") -> PageRankResult:
+    """Pregel-style PageRank: whole-partition pulls each superstep.
+
+    ``workers > 1`` (or an explicit ``partition`` plan) runs the
+    simulation on the conservative parallel engine — bit-identical
+    results, one worker process per partition.
+    """
+    plan = _resolve_plan(num_nodes, workers, partition)
+    if plan is not None:
+        return _run_partitioned_pagerank(
+            "bulk", _bulk_worker, graph, num_nodes, supersteps, timing,
+            cluster_config, seed, plan, transport)
     setup = _SoNUMASetup(graph, num_nodes, cluster_config, seed)
-    graph_part = setup.partition
     sim = setup.cluster.sim
     remote_reads = [0]
-
-    def worker(node_id: int):
-        session = setup.sessions[node_id]
-        barrier = setup.barriers[node_id]
-        core = session.core
-        space = session.space
-        seg_base = session.ctx.segment.base_vaddr
-        mine = graph_part.members[node_id]
-        peers = [p for p in range(num_nodes) if p != node_id]
-        mirrors = {
-            p: session.alloc_buffer(
-                max(len(graph_part.members[p]), 1) * VERTEX_BYTES)
-            for p in peers
-        }
-        for step in range(supersteps):
-            yield from barrier.wait()
-            # Shuffle: one multi-line read per peer, all concurrent
-            # ("limited only by the bisection bandwidth", §7.5).
-            for p in peers:
-                nbytes = len(graph_part.members[p]) * VERTEX_BYTES
-                if nbytes == 0:
-                    continue
-                yield from session.wait_for_slot()
-                yield from session.read_async(p, 0, mirrors[p], nbytes)
-                remote_reads[0] += 1
-            yield from session.drain_cq()
-
-            read_at = step % 2
-            for v in mine:
-                yield core.compute(timing.vertex_compute_ns)
-                acc = (1.0 - _DAMPING) / graph.num_vertices
-                for u in graph.in_neighbors[v]:
-                    owner = graph_part.owner[u]
-                    if owner == node_id:
-                        vaddr = seg_base + setup.record_offset(u)
-                    else:
-                        vaddr = mirrors[owner] + setup.record_offset(u)
-                    data = yield from core.mem_read(space, vaddr, 24)
-                    values = _unpack_vertex(data)
-                    acc += _DAMPING * values[read_at] / values[2]
-                    yield core.compute(timing.edge_compute_ns)
-                packed = struct.pack("<d", acc)
-                yield from core.mem_write(
-                    space,
-                    seg_base + setup.record_offset(v) + 8 * ((step + 1) % 2),
-                    packed)
-        yield from barrier.wait()
-
     start = sim.now
-    procs = [sim.process(worker(n), name=f"pagerank.bulk{n}")
+    procs = [sim.process(_bulk_worker(setup, n, num_nodes, supersteps,
+                                      timing, remote_reads),
+                         name=f"pagerank.bulk{n}")
              for n in range(num_nodes)]
     sim.run()
     for proc in procs:
@@ -296,86 +405,105 @@ def run_sonuma_bulk(graph: Graph, num_nodes: int, supersteps: int = 1,
     return PageRankResult(variant="sonuma-bulk", parallelism=num_nodes,
                           supersteps=supersteps, elapsed_ns=sim.now - start,
                           ranks=setup.collect_ranks(supersteps % 2),
-                          remote_reads=remote_reads[0])
+                          remote_reads=remote_reads[0],
+                          telemetry=snapshot(setup.cluster))
 
 
 # ---------------------------------------------------------------------------
 # soNUMA(fine-grain)
 # ---------------------------------------------------------------------------
 
+def _fine_worker(setup: _SoNUMASetup, node_id: int, num_nodes: int,
+                 supersteps: int, timing: PageRankTiming,
+                 remote_reads: List[int]):
+    graph = setup.graph
+    graph_part = setup.partition
+    session = setup.sessions[node_id]
+    barrier = setup.barriers[node_id]
+    core = session.core
+    space = session.space
+    seg_base = session.ctx.segment.vaddr_of(0)
+    mine = graph_part.members[node_id]
+    wq_slots = session.qp.size
+    # One landing line per WQ slot: the WQ index doubles as the
+    # buffer slot (unique among outstanding ops), mirroring Fig. 4's
+    # lbuf[slot] / async_dest_addr[slot] arrays.
+    lbuf = session.alloc_buffer(wq_slots * VERTEX_BYTES)
+    acc: Dict[int, float] = {}
+    slot_vertex: Dict[int, int] = {}
+    read_epoch = [0]
+
+    def on_complete(cq_entry):
+        """pagerank_async(): accumulate from the landed buffer."""
+        slot = cq_entry.wq_index
+        raw = session.buffer_peek(lbuf + slot * VERTEX_BYTES, 24)
+        values = _unpack_vertex(raw)
+        v = slot_vertex.pop(slot)
+        acc[v] += _DAMPING * values[read_epoch[0]] / values[2]
+
+    for step in range(supersteps):
+        read_epoch[0] = step % 2
+        yield from barrier.wait()
+        for v in mine:
+            yield core.compute(timing.vertex_compute_ns)
+            acc[v] = (1.0 - _DAMPING) / graph.num_vertices
+            for u in graph.in_neighbors[v]:
+                owner = graph_part.owner[u]
+                if owner == node_id:
+                    # shared-memory path within the node
+                    data = yield from core.mem_read(
+                        space, seg_base + setup.record_offset(u), 24)
+                    values = _unpack_vertex(data)
+                    acc[v] += _DAMPING * values[read_epoch[0]] \
+                        / values[2]
+                    yield core.compute(timing.edge_compute_ns)
+                else:
+                    # flow control, then a split remote operation
+                    yield from session.wait_for_slot(on_complete)
+                    slot = session.qp.wq.next_free()
+                    slot_vertex[slot] = v
+                    yield from session.read_async(
+                        owner, setup.record_offset(u),
+                        lbuf + slot * VERTEX_BYTES, VERTEX_BYTES,
+                        callback=on_complete)
+                    remote_reads[0] += 1
+        yield from session.drain_cq(on_complete)
+        # Write back every owned vertex's new rank (timed).
+        for v in mine:
+            packed = struct.pack("<d", acc[v])
+            yield from core.mem_write(
+                space,
+                seg_base + setup.record_offset(v)
+                + 8 * ((step + 1) % 2),
+                packed)
+    yield from barrier.wait()
+
+
 def run_sonuma_fine(graph: Graph, num_nodes: int, supersteps: int = 1,
                     timing: PageRankTiming = PageRankTiming(),
                     cluster_config: Optional[ClusterConfig] = None,
-                    seed: int = 7) -> PageRankResult:
-    """The Fig. 4 implementation: one async remote read per cut edge."""
+                    seed: int = 7,
+                    workers: Optional[int] = None,
+                    partition: Optional[PartitionPlan] = None,
+                    transport: str = "process") -> PageRankResult:
+    """The Fig. 4 implementation: one async remote read per cut edge.
+
+    ``workers > 1`` (or an explicit ``partition`` plan) runs the
+    simulation on the conservative parallel engine — bit-identical
+    results, one worker process per partition.
+    """
+    plan = _resolve_plan(num_nodes, workers, partition)
+    if plan is not None:
+        return _run_partitioned_pagerank(
+            "fine", _fine_worker, graph, num_nodes, supersteps, timing,
+            cluster_config, seed, plan, transport)
     setup = _SoNUMASetup(graph, num_nodes, cluster_config, seed)
-    graph_part = setup.partition
     sim = setup.cluster.sim
     remote_reads = [0]
-
-    def worker(node_id: int):
-        session = setup.sessions[node_id]
-        barrier = setup.barriers[node_id]
-        core = session.core
-        space = session.space
-        seg_base = session.ctx.segment.vaddr_of(0)
-        mine = graph_part.members[node_id]
-        wq_slots = session.qp.size
-        # One landing line per WQ slot: the WQ index doubles as the
-        # buffer slot (unique among outstanding ops), mirroring Fig. 4's
-        # lbuf[slot] / async_dest_addr[slot] arrays.
-        lbuf = session.alloc_buffer(wq_slots * VERTEX_BYTES)
-        acc: Dict[int, float] = {}
-        slot_vertex: Dict[int, int] = {}
-        read_epoch = [0]
-
-        def on_complete(cq_entry):
-            """pagerank_async(): accumulate from the landed buffer."""
-            slot = cq_entry.wq_index
-            raw = session.buffer_peek(lbuf + slot * VERTEX_BYTES, 24)
-            values = _unpack_vertex(raw)
-            v = slot_vertex.pop(slot)
-            acc[v] += _DAMPING * values[read_epoch[0]] / values[2]
-
-        for step in range(supersteps):
-            read_epoch[0] = step % 2
-            yield from barrier.wait()
-            for v in mine:
-                yield core.compute(timing.vertex_compute_ns)
-                acc[v] = (1.0 - _DAMPING) / graph.num_vertices
-                for u in graph.in_neighbors[v]:
-                    owner = graph_part.owner[u]
-                    if owner == node_id:
-                        # shared-memory path within the node
-                        data = yield from core.mem_read(
-                            space, seg_base + setup.record_offset(u), 24)
-                        values = _unpack_vertex(data)
-                        acc[v] += _DAMPING * values[read_epoch[0]] \
-                            / values[2]
-                        yield core.compute(timing.edge_compute_ns)
-                    else:
-                        # flow control, then a split remote operation
-                        yield from session.wait_for_slot(on_complete)
-                        slot = session.qp.wq.next_free()
-                        slot_vertex[slot] = v
-                        yield from session.read_async(
-                            owner, setup.record_offset(u),
-                            lbuf + slot * VERTEX_BYTES, VERTEX_BYTES,
-                            callback=on_complete)
-                        remote_reads[0] += 1
-            yield from session.drain_cq(on_complete)
-            # Write back every owned vertex's new rank (timed).
-            for v in mine:
-                packed = struct.pack("<d", acc[v])
-                yield from core.mem_write(
-                    space,
-                    seg_base + setup.record_offset(v)
-                    + 8 * ((step + 1) % 2),
-                    packed)
-        yield from barrier.wait()
-
     start = sim.now
-    procs = [sim.process(worker(n), name=f"pagerank.fine{n}")
+    procs = [sim.process(_fine_worker(setup, n, num_nodes, supersteps,
+                                      timing, remote_reads),
+                         name=f"pagerank.fine{n}")
              for n in range(num_nodes)]
     sim.run()
     for proc in procs:
@@ -384,4 +512,5 @@ def run_sonuma_fine(graph: Graph, num_nodes: int, supersteps: int = 1,
     return PageRankResult(variant="sonuma-fine", parallelism=num_nodes,
                           supersteps=supersteps, elapsed_ns=sim.now - start,
                           ranks=setup.collect_ranks(supersteps % 2),
-                          remote_reads=remote_reads[0])
+                          remote_reads=remote_reads[0],
+                          telemetry=snapshot(setup.cluster))

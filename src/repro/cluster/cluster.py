@@ -16,14 +16,48 @@ from typing import Dict, List, Optional
 
 from ..fabric.crossbar import CrossbarFabric
 from ..fabric.ni import FabricConfig
+from ..fabric.partition import PartitionedCrossbar
 from ..fabric.router import RoutedFabric
 from ..fabric.topology import Topology
 from ..node.node import Node, NodeConfig
 from ..rmc.context import ContextEntry
 from ..rmc.queues import QueuePair
-from ..sim import Simulator
+from ..sim import PartitionError, PartitionPlan, Simulator
 
-__all__ = ["ClusterConfig", "Cluster", "GlobalContext"]
+__all__ = ["ClusterConfig", "Cluster", "GlobalContext", "NodeMap"]
+
+
+class NodeMap:
+    """Mapping of ``node_id -> Node`` that iterates like the old list.
+
+    A partitioned cluster instantiates only the nodes its rank owns;
+    indexing a node that lives on another rank raises
+    :class:`~repro.sim.PartitionError` instead of silently touching
+    state that would diverge from the serial run.
+    """
+
+    def __init__(self, nodes):
+        self._nodes: Dict[int, Node] = {n.node_id: n for n in nodes}
+
+    def __getitem__(self, node_id: int) -> Node:
+        node = self._nodes.get(node_id)
+        if node is None:
+            raise PartitionError(
+                f"node {node_id} is not simulated by this partition")
+        return node
+
+    def get(self, node_id: int, default=None):
+        return self._nodes.get(node_id, default)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._nodes
+
+    def __iter__(self):
+        return iter(sorted(self._nodes.values(),
+                           key=lambda n: n.node_id))
+
+    def __len__(self) -> int:
+        return len(self._nodes)
 
 
 @dataclass(frozen=True)
@@ -68,18 +102,41 @@ class Cluster:
     """N soNUMA nodes joined by a memory fabric."""
 
     def __init__(self, sim: Optional[Simulator] = None,
-                 config: Optional[ClusterConfig] = None):
+                 config: Optional[ClusterConfig] = None,
+                 partition: Optional[PartitionPlan] = None,
+                 rank: int = 0):
         self.sim = sim or Simulator()
         self.config = config or ClusterConfig()
-        if self.config.topology is None:
+        self.partition = partition
+        self.rank = rank
+        #: Every node id in the cluster — identical on all ranks, unlike
+        #: ``nodes`` which holds only this partition's instances.
+        self.all_node_ids: List[int] = list(range(self.config.num_nodes))
+        paired = self.config.fabric.flow_control == "paired"
+        if partition is not None or paired:
+            if self.config.topology is not None:
+                raise PartitionError(
+                    "paired flow control / partitioned runs support the "
+                    "crossbar fabric only (topology must be None)")
+            plan = partition or PartitionPlan.single(self.config.num_nodes)
+            if plan.num_nodes != self.config.num_nodes:
+                raise PartitionError(
+                    f"partition plan covers {plan.num_nodes} nodes but "
+                    f"the cluster has {self.config.num_nodes}")
+            self.fabric = PartitionedCrossbar(self.sim, self.config.fabric,
+                                              plan, rank=rank)
+            owned = plan.nodes_of(rank)
+        elif self.config.topology is None:
             self.fabric = CrossbarFabric(self.sim, self.config.fabric)
+            owned = self.all_node_ids
         else:
             self.fabric = RoutedFabric(self.sim, self.config.topology,
                                        self.config.fabric)
-        self.nodes: List[Node] = [
+            owned = self.all_node_ids
+        self.nodes = NodeMap(
             Node(self.sim, node_id, self.fabric, self.config.node)
-            for node_id in range(self.config.num_nodes)
-        ]
+            for node_id in owned
+        )
         #: Set by :meth:`enable_membership` / :meth:`fault_controller`.
         self.membership = None
         self.faults = None
@@ -89,6 +146,13 @@ class Cluster:
 
     def __len__(self) -> int:
         return len(self.nodes)
+
+    @property
+    def is_primary(self) -> bool:
+        """True on rank 0 (and always in serial runs): the rank that
+        logs cluster-wide (node-agnostic) fault-timeline events so a
+        merged parallel timeline matches the serial one."""
+        return self.partition is None or self.rank == 0
 
     # -- failure handling control plane (§5.1) -------------------------------
 
@@ -103,6 +167,10 @@ class Cluster:
         :class:`~repro.cluster.membership.MembershipService`."""
         from .membership import MembershipService
 
+        if self.partition is not None:
+            raise PartitionError(
+                "the membership service is not supported on a "
+                "partitioned cluster yet (heartbeats are cluster-global)")
         if self.membership is not None:
             raise RuntimeError("membership already enabled")
         self.membership = MembershipService(self, interval_ns=interval_ns,

@@ -75,6 +75,15 @@ class NodeFaultController:
 
     # -- queries -------------------------------------------------------------
 
+    def _all_node_ids(self) -> List[int]:
+        """Every node id in the cluster, including ones another rank
+        simulates (partitioned runs replicate fabric-level fault state
+        everywhere)."""
+        ids = getattr(self.cluster, "all_node_ids", None)
+        if ids is not None:
+            return list(ids)
+        return [n.node_id for n in self.cluster.nodes]
+
     def is_down(self, node_id: int) -> bool:
         return node_id in self.down
 
@@ -94,16 +103,24 @@ class NodeFaultController:
         operations error-completed (so its coroutines unblock)."""
         if node_id in self.down:
             return 0
-        node = self.cluster.nodes[node_id]
-        failed = node.rmc.halt(reason)
-        node.driver.disable_failure_detector()
+        # Partitioned runs replicate the controller on every rank: the
+        # fabric-level failure state is applied everywhere (all ranks
+        # must agree on reachability), node-local actions and the
+        # timeline entry happen only on the owning rank — merged rank
+        # timelines then reproduce the serial timeline exactly.
+        node = self.cluster.nodes.get(node_id)
+        failed = 0
+        if node is not None:
+            failed = node.rmc.halt(reason)
+            node.driver.disable_failure_detector()
         self.fabric.fail_node(node_id)
         self.down.add(node_id)
         self.gray.discard(node_id)
-        node.rmc.mute_pings = False
-        self.crashes += 1
-        self._log("crash", node_id,
-                  f"{failed} in-flight op(s) error-completed")
+        if node is not None:
+            node.rmc.mute_pings = False
+            self.crashes += 1
+            self._log("crash", node_id,
+                      f"{failed} in-flight op(s) error-completed")
         return failed
 
     def restart(self, node_id: int, wipe_memory: bool = True) -> None:
@@ -116,25 +133,28 @@ class NodeFaultController:
         """
         if node_id not in self.down:
             raise RuntimeError(f"node {node_id} is not down")
-        node = self.cluster.nodes[node_id]
-        if wipe_memory:
-            for ctx_id, entry in node.driver.contexts.items():
-                self.cluster.poke_segment(node_id, ctx_id, 0,
-                                          bytes(entry.segment.size))
-        node.rmc.resume()
-        node.ni.reset_link_state()
+        node = self.cluster.nodes.get(node_id)
+        if node is not None:
+            if wipe_memory:
+                for ctx_id, entry in node.driver.contexts.items():
+                    self.cluster.poke_segment(node_id, ctx_id, 0,
+                                              bytes(entry.segment.size))
+            node.rmc.resume()
+            node.ni.reset_link_state()
         incarnation = 0
         if self.membership is not None:
             incarnation = self.membership.register_restart(node_id)
         self.fabric.restore_node(node_id)
-        node.driver.reset_failure_detector()
-        if self.membership is not None:
-            self.membership.attach_detector(node)
+        if node is not None:
+            node.driver.reset_failure_detector()
+            if self.membership is not None:
+                self.membership.attach_detector(node)
         self.down.discard(node_id)
-        self.restarts += 1
-        self._log("restart", node_id,
-                  f"incarnation {incarnation}" if incarnation
-                  else "no membership attached")
+        if node is not None:
+            self.restarts += 1
+            self._log("restart", node_id,
+                      f"incarnation {incarnation}" if incarnation
+                      else "no membership attached")
 
     # -- gray failures -------------------------------------------------------
 
@@ -143,18 +163,20 @@ class NodeFaultController:
         stops answering RPING probes but keeps serving requests. Its
         lease expires, membership evicts it, and the epoch fence starts
         killing its still-flowing replies — the split-brain scenario."""
-        node = self.cluster.nodes[node_id]
-        node.rmc.mute_pings = True
+        node = self.cluster.nodes.get(node_id)
         self.gray.add(node_id)
-        self._log("gray", node_id, "RPING muted")
+        if node is not None:
+            node.rmc.mute_pings = True
+            self._log("gray", node_id, "RPING muted")
 
     def gray_restore(self, node_id: int) -> None:
         """End a gray period: probes are answered again; membership
         rejoins the node under a fresh incarnation on the next pong."""
-        node = self.cluster.nodes[node_id]
-        node.rmc.mute_pings = False
+        node = self.cluster.nodes.get(node_id)
         self.gray.discard(node_id)
-        self._log("gray_restore", node_id)
+        if node is not None:
+            node.rmc.mute_pings = False
+            self._log("gray_restore", node_id)
 
     def gray_degrade(self, node_id: int,
                      policy: Optional[FaultPolicy] = None,
@@ -172,12 +194,13 @@ class NodeFaultController:
         if policy is None:
             policy = FaultPolicy(drop_prob=drop_prob,
                                  delay_jitter_ns=delay_jitter_ns)
-        for node in self.cluster.nodes:
-            if node.node_id != node_id:
-                injector.set_link_policy(node_id, node.node_id, policy)
-        self._log("gray_degrade", node_id,
-                  f"drop={policy.drop_prob} "
-                  f"jitter={policy.delay_jitter_ns}ns")
+        for other in self._all_node_ids():
+            if other != node_id:
+                injector.set_link_policy(node_id, other, policy)
+        if getattr(self.cluster, "is_primary", True):
+            self._log("gray_degrade", node_id,
+                      f"drop={policy.drop_prob} "
+                      f"jitter={policy.delay_jitter_ns}ns")
         return policy
 
     def gray_undegrade(self, node_id: int) -> None:
@@ -186,10 +209,11 @@ class NodeFaultController:
         if injector is None:
             return
         clean = FaultPolicy()
-        for node in self.cluster.nodes:
-            if node.node_id != node_id:
-                injector.set_link_policy(node_id, node.node_id, clean)
-        self._log("gray_undegrade", node_id)
+        for other in self._all_node_ids():
+            if other != node_id:
+                injector.set_link_policy(node_id, other, clean)
+        if getattr(self.cluster, "is_primary", True):
+            self._log("gray_undegrade", node_id)
 
     # -- partitions ----------------------------------------------------------
 
@@ -202,23 +226,25 @@ class NodeFaultController:
                 f"{type(self.fabric).__name__} cannot sever links")
         side_a = set(group_a)
         side_b = (set(group_b) if group_b is not None
-                  else {n.node_id for n in self.cluster.nodes} - side_a)
+                  else set(self._all_node_ids()) - side_a)
         for a in sorted(side_a):
             for b in sorted(side_b):
                 self.fabric.sever_link(a, b)
-        self._log("partition", -1,
-                  f"{sorted(side_a)} | {sorted(side_b)}")
+        if getattr(self.cluster, "is_primary", True):
+            self._log("partition", -1,
+                      f"{sorted(side_a)} | {sorted(side_b)}")
 
     def heal_partition(self, group_a: Sequence[int],
                        group_b: Optional[Sequence[int]] = None) -> None:
         """Restore every link between the two groups."""
         side_a = set(group_a)
         side_b = (set(group_b) if group_b is not None
-                  else {n.node_id for n in self.cluster.nodes} - side_a)
+                  else set(self._all_node_ids()) - side_a)
         for a in sorted(side_a):
             for b in sorted(side_b):
                 self.fabric.restore_link(a, b)
-        self._log("heal", -1, f"{sorted(side_a)} | {sorted(side_b)}")
+        if getattr(self.cluster, "is_primary", True):
+            self._log("heal", -1, f"{sorted(side_a)} | {sorted(side_b)}")
 
     # -- scheduled (in-simulation) fault timelines ---------------------------
 
@@ -260,7 +286,7 @@ class NodeFaultController:
         controller's seeded RNG over ``[0, horizon_ns)`` and schedule
         them. Returns the drawn schedule (deterministic per seed)."""
         pool = (list(candidates) if candidates is not None
-                else [n.node_id for n in self.cluster.nodes])
+                else self._all_node_ids())
         schedule = []
         for _ in range(count):
             node_id = self.rng.choice(pool)

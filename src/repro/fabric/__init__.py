@@ -3,6 +3,7 @@
 from .crossbar import CrossbarFabric
 from .faults import FaultDecision, FaultInjector, FaultPolicy
 from .ni import FabricConfig, NetworkInterface
+from .partition import PartitionedCrossbar
 from .router import RoutedFabric, Router
 from .topology import Topology, complete, mesh2d, ring, torus2d, torus3d
 
@@ -13,6 +14,7 @@ __all__ = [
     "FaultInjector",
     "FaultPolicy",
     "NetworkInterface",
+    "PartitionedCrossbar",
     "RoutedFabric",
     "Router",
     "Topology",

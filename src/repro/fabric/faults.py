@@ -71,11 +71,19 @@ class FaultInjector:
     """
 
     def __init__(self, seed: int = 0,
-                 default_policy: Optional[FaultPolicy] = None):
+                 default_policy: Optional[FaultPolicy] = None,
+                 per_link_streams: bool = False):
         self.seed = seed
         self._rng = random.Random(seed)
         self.default_policy = default_policy or FaultPolicy()
         self._link_policies: Dict[Tuple[int, int], FaultPolicy] = {}
+        #: One RNG stream per *directed* link instead of a single shared
+        #: stream. Required by the partitioned parallel engine: decisions
+        #: for a link are drawn at its source node, so a shared stream's
+        #: consumption order would depend on cross-partition interleaving
+        #: — per-link streams make each source's draws self-contained.
+        self.per_link_streams = per_link_streams
+        self._streams: Dict[Tuple[int, int], random.Random] = {}
         self.fabric = None   # bound by install_fault_injector
         self.drops_injected = 0
         self.corruptions_injected = 0
@@ -101,7 +109,7 @@ class FaultInjector:
         policy = self.policy_for(src, dst)
         if not policy.active:
             return None
-        rng = self._rng
+        rng = self._rng_for(src, dst)
         if policy.drop_prob and rng.random() < policy.drop_prob:
             self.drops_injected += 1
             return FaultDecision(drop=True)
@@ -121,6 +129,20 @@ class FaultInjector:
                 or decision.extra_delay_ns:
             return decision
         return None
+
+    def _rng_for(self, src: int, dst: int) -> random.Random:
+        if not self.per_link_streams:
+            return self._rng
+        key = (src, dst)
+        rng = self._streams.get(key)
+        if rng is None:
+            # Deterministic per (seed, src, dst); the constants just
+            # spread nearby ids across the seed space.
+            rng = random.Random(
+                (self.seed * 0x9E3779B1 + src * 0x85EB_CA77 + dst)
+                & 0xFFFF_FFFF_FFFF)
+            self._streams[key] = rng
+        return rng
 
     def corrupted_copy(self, packet, corrupt_r: float):
         """Model an in-flight bit flip through the real wire encoding.

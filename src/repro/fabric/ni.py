@@ -44,6 +44,13 @@ class FabricConfig:
     vl_credits: int = 16                # per-VL receive buffer depth
     credit_return_ns: float = 10.0      # credit-return wire latency
     router_delay_ns: float = 11.0       # per-hop pin-to-pin (Alpha 21364)
+    #: Credit accounting scheme. ``"shared"`` (default) models one
+    #: receive-credit pool per (dst, vl) that every sender draws from —
+    #: the original crossbar behaviour. ``"paired"`` gives each directed
+    #: (src, dst, vl) link its own sender-side credit counter, which is
+    #: what the partitioned parallel engine requires (a sender must be
+    #: able to decide "may I transmit?" without looking at remote state).
+    flow_control: str = "shared"
 
     def __post_init__(self):
         if self.link_latency_ns < 0 or self.credit_return_ns < 0:
@@ -52,6 +59,8 @@ class FabricConfig:
             raise ValueError("bandwidth must be positive")
         if self.vl_credits < 1:
             raise ValueError("need at least one credit per virtual lane")
+        if self.flow_control not in ("shared", "paired"):
+            raise ValueError("flow_control must be 'shared' or 'paired'")
 
 
 class NetworkInterface:
@@ -97,6 +106,12 @@ class NetworkInterface:
         #: Optional callback invoked with an undeliverable packet when the
         #: fabric reports a failure (drives the driver's failure path).
         self.on_delivery_failure: Optional[Callable] = None
+        #: Paired flow control (see :class:`FabricConfig.flow_control`):
+        #: when set by the fabric, the receive side reports "this frame's
+        #: buffer slot is free" through the hook instead of releasing the
+        #: shared rx-credit pool — the fabric then returns the credit to
+        #: the *sender's* per-link counter (possibly in another process).
+        self.credit_return_hook: Optional[Callable] = None
 
     def inject(self, packet) -> Event:
         """Queue a packet for transmission on its virtual lane.
@@ -120,11 +135,11 @@ class NetworkInterface:
         """Called by the fabric when a packet arrives (credit was held)."""
         if self._is_fenced(packet):
             self.epoch_fenced += 1
-            self._release_credit_later(packet.vl)
+            self._credit_drained(packet)
             return
         if self._is_duplicate(packet):
             self.duplicates_dropped += 1
-            self._release_credit_later(packet.vl)
+            self._credit_drained(packet)
             return
         self.packets_received += 1
         self.rx[packet.vl].try_put(packet)
@@ -174,18 +189,18 @@ class NetworkInterface:
         self._rx_epoch.clear()
         for vl in VirtualLane:
             while True:
-                ok, _ = self.rx[vl].try_get()
+                ok, packet = self.rx[vl].try_get()
                 if not ok:
                     break
                 # Each buffered frame held a receive credit; return it so
                 # the pool is full again when the node comes back up.
-                self.rx_credits[vl].release()
+                self._credit_drained(packet, immediate=True)
 
     def reject_corrupt(self, packet) -> None:
         """Called by the fabric when a frame fails its CRC check: the
         packet is dropped at the link layer and the credit returned."""
         self.checksum_dropped += 1
-        self._release_credit_later(packet.vl)
+        self._credit_drained(packet)
 
     def _is_duplicate(self, packet) -> bool:
         src = packet.src_nid
@@ -201,6 +216,21 @@ class NetworkInterface:
         if len(order) > _DEDUP_WINDOW:
             seen.discard(order.popleft())
         return False
+
+    def _credit_drained(self, packet, immediate: bool = False) -> None:
+        """The receive-side buffer slot held by ``packet`` is free again.
+
+        Shared flow control returns the credit to this NI's pool (after
+        the return-wire latency, or immediately on a restart wipe).
+        Paired flow control hands the packet to the fabric's hook, which
+        credits the sender's per-link counter instead.
+        """
+        if self.credit_return_hook is not None:
+            self.credit_return_hook(packet)
+        elif immediate:
+            self.rx_credits[packet.vl].release()
+        else:
+            self._release_credit_later(packet.vl)
 
     def _release_credit_later(self, vl: VirtualLane) -> None:
         """Return the held receive credit after the usual return latency.
@@ -218,8 +248,7 @@ class NetworkInterface:
         after the credit-return latency.
         """
         packet = yield self.rx[vl].get()
-        self.sim.call_later(self.config.credit_return_ns,
-                            self.rx_credits[vl].release)
+        self._credit_drained(packet)
         return packet
 
     def notify_failure(self, packet) -> None:

@@ -1,0 +1,326 @@
+"""Partition-aware crossbar: the link boundary cut for the parallel engine.
+
+The parallel engine (``sim/parallel.py``) cuts the cluster at fabric
+links: each worker owns its nodes plus the *sending half* of every
+attached link. That requires two departures from the shared crossbar:
+
+* **Paired flow control** — the shared fabric's credit pool lives at the
+  receiver, so a sender would have to consult remote state before
+  transmitting. Here every directed ``(src, dst, vl)`` link carries its
+  own sender-side credit counter; the receiver reports drained buffer
+  slots through the NI's ``credit_return_hook`` and the credit travels
+  back as a message after the credit-return latency. A duplicate frame
+  (fault injection) is transmitted *uncredited*: like the shared
+  fabric's duplicate path, it does not draw from the sender's pool.
+
+* **End-of-instant delivery staging** — frames from different source
+  partitions can arrive at one timestamp. Deliveries (and credit
+  returns) are staged and executed when the simulator has exhausted
+  every other event at the current instant, ordered by a canonical key;
+  the serial engine running the same paired configuration stages and
+  orders identically, so per-node event sequences are bit-identical on
+  both sides of the cut.
+
+A single-partition plan runs the whole cluster in one process through
+the *same* code paths — that is the serial baseline the bit-exactness
+golden tests compare against.
+"""
+
+from __future__ import annotations
+
+import copy
+from functools import partial
+from typing import Dict, List, Optional, Tuple
+
+from ..protocol import VirtualLane
+from ..sim import Resource, Simulator
+from ..sim.parallel import (
+    MSG_CREDIT,
+    MSG_FRAME,
+    PartitionError,
+    PartitionPlan,
+    RemoteMessage,
+    ZeroLookaheadError,
+)
+from .crossbar import CrossbarFabric
+from .faults import FaultInjector
+from .ni import FabricConfig, NetworkInterface
+
+__all__ = ["PartitionedCrossbar"]
+
+
+class _InstantStager:
+    """Defers deliveries to the end of the current instant.
+
+    ``stage(key, fn)`` records a callback; once the simulator has no
+    other event left at ``now``, all staged callbacks run in ``key``
+    order. The key is canonical across partitions, so each partition
+    executes its subset of an instant's deliveries in the same relative
+    order the serial engine executes the full set.
+    """
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._staged: List[Tuple[Tuple, object]] = []
+        self._drain_posted = False
+
+    def stage(self, key: Tuple, fn) -> None:
+        self._staged.append((key, fn))
+        if not self._drain_posted:
+            self._drain_posted = True
+            self.sim.call_later(0.0, self._drain)
+
+    def _drain(self) -> None:
+        sim = self.sim
+        heap = sim._heap
+        if (heap and heap[0][0] <= sim.now) or sim._now_queue:
+            # Other work remains at this instant: yield to the back of
+            # the now-queue and try again.
+            sim.call_later(0.0, self._drain)
+            return
+        self._drain_posted = False
+        staged = self._staged
+        self._staged = []
+        staged.sort(key=lambda entry: entry[0])
+        for _key, fn in staged:
+            fn()
+
+
+# Canonical end-of-instant ordering: deliveries before credit returns
+# before source-side shadows, then by the frame's identity.
+_KIND_FRAME = 0
+_KIND_CREDIT = 1
+_KIND_SHADOW = 2
+
+
+def _frame_key(packet, dup: bool) -> Tuple:
+    return (packet.dst_nid, packet.src_nid, _KIND_FRAME, packet.seq,
+            1 if dup else 0)
+
+
+def _credit_key(src_nid: int, dst_nid: int, seq: int) -> Tuple:
+    # Executes on the frame *sender's* side: lead with that node id.
+    return (src_nid, dst_nid, _KIND_CREDIT, seq, 0)
+
+
+def _shadow_key(packet) -> Tuple:
+    return (packet.src_nid, packet.dst_nid, _KIND_SHADOW, packet.seq, 0)
+
+
+class PartitionedCrossbar(CrossbarFabric):
+    """Crossbar with paired flow control and a partition cut.
+
+    ``plan``/``rank`` select which nodes this instance owns. Frames and
+    credits toward other ranks are appended to :attr:`outbox` as
+    :class:`RemoteMessage`; the parallel runner drains it after each
+    window and re-injects on the destination rank.
+    """
+
+    def __init__(self, sim: Simulator, config: Optional[FabricConfig],
+                 plan: PartitionPlan, rank: int = 0):
+        config = config or FabricConfig()
+        if config.flow_control != "paired":
+            raise PartitionError(
+                "PartitionedCrossbar requires flow_control='paired' "
+                f"(got {config.flow_control!r})")
+        if config.link_latency_ns <= 0 or config.credit_return_ns <= 0:
+            raise ZeroLookaheadError(
+                "paired flow control needs positive link_latency_ns and "
+                f"credit_return_ns for lookahead (got "
+                f"{config.link_latency_ns}, {config.credit_return_ns})")
+        if not 0 <= rank < plan.num_parts:
+            raise PartitionError(f"rank {rank} outside plan "
+                                 f"(0..{plan.num_parts - 1})")
+        super().__init__(sim, config)
+        self.plan = plan
+        self.rank = rank
+        self.local_nodes = frozenset(plan.nodes_of(rank))
+        self.outbox: List[RemoteMessage] = []
+        #: Remote-origin frames accepted but not yet drained: while any
+        #: exist this rank may emit a credit after only the
+        #: credit-return latency, so its lookahead shrinks accordingly.
+        self.credit_obligations = 0
+        self._stager = _InstantStager(sim)
+        self._pair_credits: Dict[Tuple[int, int, VirtualLane],
+                                 Resource] = {}
+
+    # -- parallel-runner interface ---------------------------------------
+
+    def lookahead(self) -> Tuple[float, float]:
+        """(frame, credit) minimum emission latencies for this rank."""
+        return self.config.link_latency_ns, self.config.credit_return_ns
+
+    def has_credit_obligations(self) -> bool:
+        return self.credit_obligations > 0
+
+    def drain_outbox(self) -> List[RemoteMessage]:
+        out = self.outbox
+        self.outbox = []
+        return out
+
+    def inject_messages(self, messages) -> None:
+        """Replay inbound cross-partition messages (pre-sorted by the
+        runner on (arrival, key)) into this rank's event queue."""
+        now = self.sim.now
+        for msg in messages:
+            delay = msg.arrival - now
+            if delay < 0:
+                raise PartitionError(
+                    f"message arrival {msg.arrival} before now {now}: "
+                    "window protocol violated")
+            if msg.kind == MSG_FRAME:
+                packet, decision = msg.payload
+                # Uncredited duplicates never ack, so they carry no
+                # credit obligation (and no lookahead impact).
+                if not getattr(packet, "_uncredited", False):
+                    self.credit_obligations += 1
+                self.sim.call_later(delay, partial(
+                    self._stage_frame, msg.key, packet, decision, True))
+            elif msg.kind == MSG_CREDIT:
+                src, dst, vl, _seq = msg.payload
+                release = self._pair_credit(src, dst, vl).release
+                self.sim.call_later(delay, partial(
+                    self._stager.stage, msg.key, release))
+            else:
+                raise PartitionError(f"unknown message kind: {msg.kind}")
+
+    # -- wiring -----------------------------------------------------------
+
+    def attach(self, node_id: int) -> NetworkInterface:
+        if node_id not in self.local_nodes:
+            raise PartitionError(
+                f"node {node_id} is owned by rank "
+                f"{self.plan.rank_of(node_id)}, not rank {self.rank}")
+        ni = super().attach(node_id)
+        ni.credit_return_hook = self._on_frame_drained
+        return ni
+
+    def install_fault_injector(self, injector: FaultInjector):
+        if self.plan.num_parts > 1 and not injector.per_link_streams:
+            raise PartitionError(
+                "partitioned runs need FaultInjector(per_link_streams="
+                "True): a shared RNG stream's consumption order would "
+                "depend on cross-partition interleaving")
+        return super().install_fault_injector(injector)
+
+    # -- data path ---------------------------------------------------------
+
+    def _pair_credit(self, src: int, dst: int,
+                     vl: VirtualLane) -> Resource:
+        key = (src, dst, vl)
+        res = self._pair_credits.get(key)
+        if res is None:
+            res = Resource(self.sim, capacity=self.config.vl_credits,
+                           name=f"xbar.pair{src}-{dst}.{vl.name}")
+            self._pair_credits[key] = res
+        return res
+
+    def _egress_pump(self, ni: NetworkInterface, vl: VirtualLane):
+        """Paired-credit variant of the shared pump: the sender draws
+        from its own per-link counter, never from remote state."""
+        cfg = self.config
+        src = ni.node_id
+        while True:
+            packet = yield ni.egress[vl].get()
+            dst = packet.dst_nid
+            if not 0 <= dst < self.plan.num_nodes or \
+                    not self._reachable(src, dst):
+                self._count_drop(src)
+                ni.notify_failure(packet)
+                continue
+            decision = None
+            if self.fault_injector is not None:
+                decision = self.fault_injector.decide(src, dst, packet)
+            if decision is not None and decision.drop:
+                # The frame leaves the node (serialization is paid) and
+                # is lost on the wire; its credit was never consumed.
+                tx = self._tx_ports[src]
+                yield tx.acquire()
+                yield packet.size_bytes / cfg.link_bandwidth_gbps
+                tx.release()
+                self._count_drop(src)
+                continue
+            yield self._pair_credit(src, dst, vl).acquire()
+            tx = self._tx_ports[src]
+            yield tx.acquire()
+            yield packet.size_bytes / cfg.link_bandwidth_gbps
+            tx.release()
+            delay = cfg.link_latency_ns
+            if decision is not None:
+                delay += decision.extra_delay_ns
+            self._emit(packet, delay, decision, dup=False)
+            if decision is not None and decision.duplicate:
+                dup = copy.copy(packet)
+                # Same wire bits/seq, but drawn outside the credit pool
+                # (mirrors the shared fabric's second-copy semantics).
+                dup._uncredited = True
+                self._emit(dup, delay, decision, dup=True)
+
+    def _emit(self, packet, delay: float, decision, dup: bool) -> None:
+        key = _frame_key(packet, dup)
+        dst_rank = self.plan.rank_of(packet.dst_nid)
+        if dst_rank == self.rank:
+            self.sim.call_later(delay, partial(
+                self._stage_frame, key, packet, decision, False))
+        else:
+            self.outbox.append(RemoteMessage(
+                arrival=self.sim.now + delay, dst_rank=dst_rank, key=key,
+                kind=MSG_FRAME, payload=(packet, decision)))
+        if not dup:
+            # Source-side observer for failures that race with the frame
+            # in flight: the destination (possibly another process)
+            # discards silently; the sender does the accounting.
+            self.sim.call_later(delay, partial(
+                self._stager.stage, _shadow_key(packet),
+                partial(self._shadow, packet)))
+
+    def _stage_frame(self, key: Tuple, packet, decision,
+                     remote: bool) -> None:
+        self._stager.stage(key, partial(
+            self._land_frame, packet, decision, remote))
+
+    def _land_frame(self, packet, decision, remote: bool) -> None:
+        if not self._reachable(packet.src_nid, packet.dst_nid):
+            # Failure raced with the frame in flight. The sender-side
+            # shadow counts the drop and reclaims the credit; a
+            # remote-origin frame just cancels its credit obligation.
+            if remote and not getattr(packet, "_uncredited", False):
+                self.credit_obligations -= 1
+            return
+        self._arrive(packet, self.nis[packet.dst_nid], decision)
+
+    def _shadow(self, packet) -> None:
+        if self._reachable(packet.src_nid, packet.dst_nid):
+            return
+        self._count_drop(packet.src_nid)
+        src_ni = self.nis.get(packet.src_nid)
+        if src_ni is not None:
+            src_ni.notify_failure(packet)
+        # The credit the lost frame held returns after the usual wire
+        # latency, exactly as if the receiver had drained it.
+        self._schedule_pair_release(packet)
+
+    def _on_frame_drained(self, packet) -> None:
+        """NI hook: ``packet``'s receive-buffer slot is free again."""
+        if getattr(packet, "_uncredited", False):
+            return
+        src = packet.src_nid
+        remote = self.plan.rank_of(src) != self.rank
+        if remote:
+            self.credit_obligations -= 1
+            self.outbox.append(RemoteMessage(
+                arrival=self.sim.now + self.config.credit_return_ns,
+                dst_rank=self.plan.rank_of(src),
+                key=_credit_key(src, packet.dst_nid, packet.seq),
+                kind=MSG_CREDIT,
+                payload=(src, packet.dst_nid, packet.vl, packet.seq)))
+        else:
+            self._schedule_pair_release(packet)
+
+    def _schedule_pair_release(self, packet) -> None:
+        release = self._pair_credit(packet.src_nid, packet.dst_nid,
+                                    packet.vl).release
+        self.sim.call_later(self.config.credit_return_ns, partial(
+            self._stager.stage,
+            _credit_key(packet.src_nid, packet.dst_nid, packet.seq),
+            release))

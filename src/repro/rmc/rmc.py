@@ -339,7 +339,8 @@ class RMC:
         if itt_entry.timeout_ns:
             itt_entry.deadline_ns = sim.now + itt_entry.timeout_ns
             sim.process(self._watchdog(itt_entry),
-                        name=f"rmc{self.node_id}.rgp.watchdog")
+                        name=f"rmc{self.node_id}.rgp.watchdog",
+                        daemon=True)
         # Per-line unroll stage plus the (RMCemu) serialized software
         # unroll cost, coalesced into one kernel event per line.
         per_line = cycle + self.config.unroll_overhead_ns

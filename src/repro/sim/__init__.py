@@ -11,6 +11,14 @@ from .engine import (
     Timeout,
     WakeSignal,
 )
+from .parallel import (
+    PartitionError,
+    PartitionPlan,
+    PartitionedRun,
+    RemoteMessage,
+    ZeroLookaheadError,
+    run_partitioned,
+)
 from .resources import Channel, Resource, Store
 from .stats import Counter, Histogram, LatencyStat, ThroughputMeter
 
@@ -22,7 +30,11 @@ __all__ = [
     "Event",
     "Histogram",
     "LatencyStat",
+    "PartitionError",
+    "PartitionPlan",
+    "PartitionedRun",
     "Process",
+    "RemoteMessage",
     "Resource",
     "SimulationError",
     "Simulator",
@@ -31,4 +43,6 @@ __all__ = [
     "ThroughputMeter",
     "Timeout",
     "WakeSignal",
+    "ZeroLookaheadError",
+    "run_partitioned",
 ]

@@ -193,10 +193,16 @@ class Process(Event):
     __slots__ = ("generator", "name", "_waiting_on", "_send", "_throw",
                  "_resume_cb")
 
-    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = "",
+                 daemon: bool = False):
         if not hasattr(generator, "send"):
             raise TypeError(f"process requires a generator, got {generator!r}")
         super().__init__(sim)
+        # A daemon process's *completion* event does not keep the run
+        # alive (nor count as real work): background timers that happen
+        # to return (a retransmission watchdog standing down) must not
+        # extend the run past its last piece of real work.
+        self.daemon = daemon
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._waiting_on: Optional[Event] = None
@@ -508,9 +514,16 @@ class Simulator:
             raise ValueError(f"negative timeout delay: {ns}")
         return ns
 
-    def process(self, generator: Generator, name: str = "") -> Process:
-        """Register a generator as a new process starting immediately."""
-        return Process(self, generator, name=name)
+    def process(self, generator: Generator, name: str = "",
+                daemon: bool = False) -> Process:
+        """Register a generator as a new process starting immediately.
+
+        ``daemon`` marks the process's completion event as a daemon
+        event: background machinery (per-transaction watchdogs) that
+        finishes by *returning* then cannot keep the run alive on its
+        own, mirroring the daemon-timer semantics of :meth:`timeout`.
+        """
+        return Process(self, generator, name=name, daemon=daemon)
 
     def any_of(self, events: Iterable[Event]) -> AnyOf:
         """Composite event firing when any child event fires."""
@@ -623,6 +636,82 @@ class Simulator:
         if until is not None and self.now < until:
             self.now = until
         return self.now
+
+    # -- windowed execution (conservative parallel engine support) -------
+
+    def peek_next_event_time(self) -> float:
+        """Timestamp of the earliest pending event (daemons included),
+        or ``inf`` when nothing is scheduled.
+
+        Used by the conservative parallel runner to compute each
+        partition's earliest possible next action. Daemon events count:
+        a retransmission watchdog can fire and *emit* real traffic, so
+        the lower bound must cover it.
+        """
+        if self._now_queue:
+            return self.now
+        if self._heap:
+            return self._heap[0][0]
+        return float("inf")
+
+    def run_window(self, bound: float):
+        """Process every pending event strictly before ``bound``.
+
+        The conservative-window primitive: unlike :meth:`run`, the loop
+        does not stop when real work drains (another partition may still
+        revive this one through a message) and never advances ``now`` to
+        ``bound`` — it stays at the last dispatched event so repeated
+        windows compose into exactly one serial execution.
+
+        Returns ``(last_real, processed)``: the timestamp of the last
+        non-daemon event dispatched in this window (``None`` if none
+        was) and the number of events processed.
+        """
+        if bound <= self.now:
+            return None, 0
+        heap = self._heap
+        nowq = self._now_queue
+        pop = heapq.heappop
+        pool = self._pool
+        processed = 0
+        last_real = None
+        try:
+            while True:
+                if heap and heap[0][0] <= self.now:
+                    event = pop(heap)[2]
+                elif nowq:
+                    event = nowq.popleft()
+                elif heap:
+                    when = heap[0][0]
+                    if when >= bound:
+                        break
+                    self.now = when
+                    event = pop(heap)[2]
+                else:
+                    break
+                if not event.daemon:
+                    self._pending_real -= 1
+                    last_real = self.now
+                processed += 1
+                if event._pooled:
+                    event._cb(event)
+                    if len(pool) < _POOL_LIMIT:
+                        event.value = None
+                        pool.append(event)
+                    continue
+                callbacks = event.callbacks
+                event.callbacks = None
+                if callbacks:
+                    if len(callbacks) == 1:
+                        callbacks[0](event)
+                    else:
+                        for callback in callbacks:
+                            callback(event)
+                elif not event._ok:
+                    raise event.value
+        finally:
+            self.events_processed += processed
+        return last_real, processed
 
     def run_until_process(self, process: Process, limit: float = 1e15) -> Any:
         """Run until ``process`` completes; return its value.

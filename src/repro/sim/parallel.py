@@ -1,0 +1,468 @@
+"""Conservative parallel discrete-event engine (node-partitioned PDES).
+
+The cluster model partitions naturally at fabric-link boundaries: every
+inter-node interaction crosses a link with a known minimum delay, which
+is exactly the *lookahead* a conservative synchronization scheme needs
+(DRackSim runs rack-scale simulations the same way). Each worker process
+owns one or more nodes — CPU, caches, RMC, NI — plus its half of the
+attached links; cross-partition packets travel as timestamped messages
+injected into the destination partition at ``send_time + link_latency``.
+
+Synchronization is a coordinator-based variant of the classic
+time-window (YAWNS) protocol:
+
+1. Every worker reports its next-event time ``NE``, its count of
+   scheduled non-daemon events, whether it still holds undrained
+   remote frames (*credit obligations*), and the messages it emitted.
+2. The coordinator routes messages, then computes each worker's safe
+   emission horizon ``lb = NE_eff + L`` where ``NE_eff`` also counts
+   freshly routed inbound messages and ``L`` is the worker's minimum
+   outbound latency: the credit-return latency while it owes credits,
+   the full link latency otherwise.
+3. The global window bound is ``min(lb)``; every worker processes all
+   events strictly below it, and no message can ever arrive in a
+   worker's past (``arrival >= NE_sender + L_sender >= bound``).
+
+Windows always make global progress because the worker holding the
+globally minimum ``NE`` has ``bound > NE`` whenever every lookahead is
+positive — which is why a zero lookahead is rejected with
+:class:`ZeroLookaheadError` instead of being allowed to deadlock.
+
+Determinism: with a fixed seed and partition plan the parallel engine
+produces bit-identical per-node telemetry and workload results vs. the
+serial engine. Partitioned runs require ``paired`` flow control (see
+:class:`~repro.fabric.ni.FabricConfig`), whose end-of-instant delivery
+staging orders same-timestamp frames by a canonical key on both sides
+of the cut — the serial engine running the same paired configuration
+executes the exact same event sequence per node.
+
+Workers are forked (``multiprocessing`` "fork" start method), so the
+builder callable is inherited, not pickled; only the cross-partition
+messages travel through pipes. An ``inline`` transport runs every
+partition round-robin in one process with the identical protocol —
+useful for tests and single-core machines.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .engine import SimulationError
+
+__all__ = [
+    "PartitionError",
+    "ZeroLookaheadError",
+    "PartitionPlan",
+    "RemoteMessage",
+    "PartitionedRun",
+    "run_partitioned",
+]
+
+#: RemoteMessage kinds.
+MSG_FRAME = "frame"
+MSG_CREDIT = "credit"
+
+
+class PartitionError(SimulationError):
+    """A partitioned run was configured in an unsupported way (routed
+    topology, membership service, touching a node another rank owns)."""
+
+
+class ZeroLookaheadError(PartitionError):
+    """Partitioned synchronization needs strictly positive link and
+    credit-return latencies: with zero lookahead no worker could ever
+    safely advance and the window protocol would deadlock."""
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """Assignment of node ids to worker ranks.
+
+    ``owner[node_id]`` is the rank that simulates the node. Ranks must
+    be dense (0..num_parts-1) and each must own at least one node, so a
+    plan fully describes the worker fleet.
+    """
+
+    owner: Tuple[int, ...]
+
+    def __post_init__(self):
+        if not self.owner:
+            raise PartitionError("partition plan is empty")
+        ranks = set(self.owner)
+        num_parts = max(ranks) + 1
+        if ranks != set(range(num_parts)):
+            raise PartitionError(
+                f"ranks must be dense 0..{num_parts - 1}: {sorted(ranks)}")
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.owner)
+
+    @property
+    def num_parts(self) -> int:
+        return max(self.owner) + 1
+
+    @classmethod
+    def contiguous(cls, num_nodes: int, num_parts: int) -> "PartitionPlan":
+        """Blocks of consecutive node ids, sizes as equal as possible."""
+        if not 1 <= num_parts <= num_nodes:
+            raise PartitionError(
+                f"need 1..{num_nodes} partitions, got {num_parts}")
+        base, rem = divmod(num_nodes, num_parts)
+        owner: List[int] = []
+        for rank in range(num_parts):
+            owner.extend([rank] * (base + (1 if rank < rem else 0)))
+        return cls(owner=tuple(owner))
+
+    @classmethod
+    def single(cls, num_nodes: int) -> "PartitionPlan":
+        return cls.contiguous(num_nodes, 1)
+
+    def rank_of(self, node_id: int) -> int:
+        return self.owner[node_id]
+
+    def nodes_of(self, rank: int) -> List[int]:
+        return [n for n, r in enumerate(self.owner) if r == rank]
+
+
+@dataclass(frozen=True)
+class RemoteMessage:
+    """One cross-partition link-layer message (frame or credit).
+
+    ``key`` is the canonical end-of-instant ordering key; messages that
+    share an arrival timestamp are replayed in key order, which is the
+    same order the serial engine's delivery stager uses — that is what
+    keeps simultaneous arrivals at a partition boundary deterministic.
+    """
+
+    arrival: float
+    dst_rank: int
+    key: Tuple
+    kind: str
+    payload: object
+
+
+# -- coordinator <-> worker protocol (pickled over pipes) -----------------
+
+
+@dataclass(frozen=True)
+class _Hello:
+    frame_lookahead_ns: float
+    credit_lookahead_ns: float
+
+
+@dataclass(frozen=True)
+class _Report:
+    outbox: Tuple[RemoteMessage, ...]
+    next_event: float
+    pending: int
+    obligations: bool
+    last_real: Optional[float]
+
+
+@dataclass(frozen=True)
+class _RunCmd:
+    bound: float
+    msgs: Tuple[RemoteMessage, ...]
+
+
+@dataclass(frozen=True)
+class _StopCmd:
+    final_time: float
+
+
+@dataclass(frozen=True)
+class _Final:
+    result: object = None
+    events_processed: int = 0
+    wall_s: float = 0.0
+    error: Optional[str] = None
+
+
+@dataclass
+class PartitionedRun:
+    """Outcome of :func:`run_partitioned`."""
+
+    results: Dict[int, object]
+    final_time: float
+    rounds: int
+    wall_s: float
+    #: Per-rank engine accounting: ``{"rank", "nodes", "events_processed",
+    #: "wall_s"}`` — feeds telemetry's per-partition throughput report.
+    partitions: List[Dict[str, object]] = field(default_factory=list)
+
+    def engine_stats(self) -> Dict[str, object]:
+        """Telemetry-ready aggregation (see telemetry.merge_snapshots)."""
+        total_events = sum(p["events_processed"] for p in self.partitions)
+        return {
+            "partitions": self.partitions,
+            "total_events_processed": total_events,
+            "rounds": self.rounds,
+            "wall_s": self.wall_s,
+            "events_per_sec": (total_events / self.wall_s
+                               if self.wall_s > 0 else 0.0),
+        }
+
+
+# -- worker side ----------------------------------------------------------
+
+
+class _WorkerState:
+    """One partition's engine loop, shared by both transports."""
+
+    def __init__(self, rank: int, plan: PartitionPlan, build: Callable):
+        self.rank = rank
+        self.sim, self.fabric, self.finalize = build(rank, plan)
+        self.wall_s = 0.0
+
+    def hello(self) -> _Hello:
+        frame_ns, credit_ns = self.fabric.lookahead()
+        if frame_ns <= 0 or credit_ns <= 0:
+            raise ZeroLookaheadError(
+                "partitioned runs need positive link_latency_ns and "
+                f"credit_return_ns (got {frame_ns}, {credit_ns})")
+        return _Hello(frame_lookahead_ns=frame_ns,
+                      credit_lookahead_ns=credit_ns)
+
+    def report(self, last_real: Optional[float]) -> _Report:
+        return _Report(outbox=tuple(self.fabric.drain_outbox()),
+                       next_event=self.sim.peek_next_event_time(),
+                       pending=self.sim._pending_real,
+                       obligations=self.fabric.has_credit_obligations(),
+                       last_real=last_real)
+
+    def handle(self, cmd):
+        """Execute one coordinator command; returns (reply, done)."""
+        if isinstance(cmd, _StopCmd):
+            self.sim.now = cmd.final_time
+            result = self.finalize()
+            return _Final(result=result,
+                          events_processed=self.sim.events_processed,
+                          wall_s=self.wall_s), True
+        t0 = time.perf_counter()
+        self.fabric.inject_messages(cmd.msgs)
+        last_real, _processed = self.sim.run_window(cmd.bound)
+        self.wall_s += time.perf_counter() - t0
+        return self.report(last_real), False
+
+
+def _worker_main(conn, rank: int, plan: PartitionPlan,
+                 build: Callable) -> None:
+    try:
+        state = _WorkerState(rank, plan, build)
+        conn.send(state.hello())
+        conn.send(state.report(None))
+        while True:
+            reply, done = state.handle(conn.recv())
+            conn.send(reply)
+            if done:
+                return
+    except BaseException:
+        try:
+            conn.send(_Final(error=traceback.format_exc()))
+        except (BrokenPipeError, OSError):
+            pass
+
+
+class _ProcessWorker:
+    """A forked partition process on the far end of a pipe."""
+
+    def __init__(self, ctx, rank: int, plan: PartitionPlan,
+                 build: Callable):
+        self.conn, child = ctx.Pipe()
+        self.proc = ctx.Process(target=_worker_main,
+                                args=(child, rank, plan, build),
+                                daemon=True,
+                                name=f"sim-partition-{rank}")
+        self.proc.start()
+        child.close()
+
+    def send(self, cmd) -> None:
+        self.conn.send(cmd)
+
+    def recv(self):
+        try:
+            return self.conn.recv()
+        except EOFError:
+            return _Final(error=f"partition process {self.proc.pid} "
+                                "exited without a reply")
+
+    def close(self) -> None:
+        self.conn.close()
+        self.proc.join(timeout=30)
+        if self.proc.is_alive():
+            self.proc.terminate()
+            self.proc.join()
+
+
+class _InlineWorker:
+    """Runs a partition in-process with the identical protocol (no pipes,
+    no pickling) — determinism does not depend on the transport."""
+
+    def __init__(self, rank: int, plan: PartitionPlan, build: Callable):
+        self._replies: List = []
+        try:
+            self.state = _WorkerState(rank, plan, build)
+            self._replies.append(self.state.hello())
+            self._replies.append(self.state.report(None))
+        except ZeroLookaheadError:
+            raise
+        except BaseException:
+            self._replies.append(_Final(error=traceback.format_exc()))
+
+    def send(self, cmd) -> None:
+        try:
+            reply, _done = self.state.handle(cmd)
+            self._replies.append(reply)
+        except BaseException:
+            self._replies.append(_Final(error=traceback.format_exc()))
+
+    def recv(self):
+        return self._replies.pop(0)
+
+    def close(self) -> None:
+        pass
+
+
+# -- coordinator ----------------------------------------------------------
+
+
+def _fail(workers, message: str):
+    for w in workers:
+        try:
+            w.close()
+        except Exception:
+            pass
+    raise PartitionError(f"partitioned run failed:\n{message}")
+
+
+def run_partitioned(build: Callable, plan: PartitionPlan,
+                    until: Optional[float] = None,
+                    transport: str = "process") -> PartitionedRun:
+    """Run one partitioned simulation to completion.
+
+    ``build(rank, plan)`` constructs a partition and returns
+    ``(sim, fabric, finalize)`` where ``fabric`` is a
+    :class:`~repro.fabric.partition.PartitionedCrossbar` and
+    ``finalize()`` produces the rank's result after the clocks stop.
+    ``until`` bounds simulated time exactly like ``Simulator.run``.
+
+    With a single-partition plan the builder's simulator simply runs
+    serially — the parallel layer adds zero overhead at ``workers=1``.
+    """
+    if transport not in ("process", "inline"):
+        raise ValueError(f"unknown transport: {transport}")
+    t_start = time.perf_counter()
+    if plan.num_parts == 1:
+        state = _WorkerState(0, plan, build)
+        state.hello()   # validates lookahead
+        t0 = time.perf_counter()
+        final = state.sim.run(until=until)
+        wall = time.perf_counter() - t0
+        return PartitionedRun(
+            results={0: state.finalize()}, final_time=final, rounds=0,
+            wall_s=time.perf_counter() - t_start,
+            partitions=[{"rank": 0, "nodes": plan.nodes_of(0),
+                         "events_processed": state.sim.events_processed,
+                         "wall_s": wall}])
+
+    num_parts = plan.num_parts
+    if transport == "process":
+        import multiprocessing as mp
+
+        if "fork" not in mp.get_all_start_methods():
+            raise PartitionError(
+                "process transport needs the 'fork' start method "
+                "(POSIX); use transport='inline' instead")
+        ctx = mp.get_context("fork")
+        workers = [_ProcessWorker(ctx, r, plan, build)
+                   for r in range(num_parts)]
+    else:
+        workers = [_InlineWorker(r, plan, build) for r in range(num_parts)]
+
+    def expect(reply, kind):
+        if isinstance(reply, _Final) and reply.error is not None:
+            _fail(workers, reply.error)
+        if not isinstance(reply, kind):
+            _fail(workers, f"protocol error: expected {kind.__name__}, "
+                           f"got {type(reply).__name__}")
+        return reply
+
+    hellos = [expect(w.recv(), _Hello) for w in workers]
+    frame_ns = min(h.frame_lookahead_ns for h in hellos)
+    credit_ns = min(h.credit_lookahead_ns for h in hellos)
+    reports: List[_Report] = [expect(w.recv(), _Report) for w in workers]
+    inboxes: List[List[RemoteMessage]] = [[] for _ in range(num_parts)]
+    last_reals: List[Optional[float]] = [None] * num_parts
+    horizon = (math.nextafter(until, math.inf)
+               if until is not None else math.inf)
+    rounds = 0
+
+    while True:
+        for rep in reports:
+            for msg in rep.outbox:
+                inboxes[msg.dst_rank].append(msg)
+        for rank, rep in enumerate(reports):
+            if rep.last_real is not None:
+                prev = last_reals[rank]
+                if prev is None or rep.last_real > prev:
+                    last_reals[rank] = rep.last_real
+
+        bound = math.inf
+        all_idle = True
+        min_next = math.inf
+        for rank, rep in enumerate(reports):
+            inbox = inboxes[rank]
+            next_event = rep.next_event
+            frames_inbound = False
+            for msg in inbox:
+                if msg.arrival < next_event:
+                    next_event = msg.arrival
+                if msg.kind == MSG_FRAME:
+                    frames_inbound = True
+            if rep.pending or inbox:
+                all_idle = False
+            if next_event < min_next:
+                min_next = next_event
+            lookahead = (credit_ns if (rep.obligations or frames_inbound)
+                         else frame_ns)
+            lb = next_event + lookahead
+            if lb < bound:
+                bound = lb
+
+        if all_idle:
+            final = (until if until is not None
+                     else max((t for t in last_reals if t is not None),
+                              default=0.0))
+            break
+        if until is not None and min_next > until:
+            final = until
+            break
+        bound = min(bound, horizon)
+
+        rounds += 1
+        for rank, worker in enumerate(workers):
+            inbox = inboxes[rank]
+            inbox.sort(key=lambda m: (m.arrival, m.key))
+            worker.send(_RunCmd(bound=bound, msgs=tuple(inbox)))
+            inboxes[rank] = []
+        reports = [expect(w.recv(), _Report) for w in workers]
+
+    for worker in workers:
+        worker.send(_StopCmd(final_time=final))
+    finals = [expect(w.recv(), _Final) for w in workers]
+    for worker in workers:
+        worker.close()
+
+    return PartitionedRun(
+        results={rank: f.result for rank, f in enumerate(finals)},
+        final_time=final, rounds=rounds,
+        wall_s=time.perf_counter() - t_start,
+        partitions=[{"rank": rank, "nodes": plan.nodes_of(rank),
+                     "events_processed": f.events_processed,
+                     "wall_s": f.wall_s}
+                    for rank, f in enumerate(finals)])

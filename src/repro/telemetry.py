@@ -11,9 +11,10 @@ its core executed nothing").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
-__all__ = ["NodeSnapshot", "ClusterSnapshot", "snapshot", "format_report"]
+__all__ = ["NodeSnapshot", "ClusterSnapshot", "snapshot",
+           "merge_snapshots", "format_report"]
 
 
 @dataclass
@@ -57,10 +58,20 @@ class ClusterSnapshot:
     #: Membership-service stats (epoch, evictions, rejoins, MTTR) when
     #: the cluster has one enabled; empty dict otherwise.
     membership_stats: Dict[str, float] = field(default_factory=dict)
+    #: Engine accounting for parallel runs: per-partition
+    #: ``events_processed`` / wall-clock plus totals (see
+    #: :func:`merge_snapshots`). Deliberately *not* part of the model
+    #: state — bit-exactness comparisons must exclude it, since wall
+    #: clock differs run to run.
+    engine_stats: Dict[str, object] = field(default_factory=dict)
 
     def node(self, node_id: int) -> NodeSnapshot:
-        """One node's snapshot by id."""
-        return self.nodes[node_id]
+        """One node's snapshot by id (partition-merge safe: snapshots
+        of a partitioned cluster hold a subset of node ids)."""
+        for node in self.nodes:
+            if node.node_id == node_id:
+                return node
+        raise KeyError(f"no snapshot for node {node_id}")
 
     def total(self, attribute: str) -> int:
         """Sum a NodeSnapshot numeric field across nodes."""
@@ -109,12 +120,54 @@ def snapshot(cluster) -> ClusterSnapshot:
                                              else {}))
 
 
+def merge_snapshots(parts: List[ClusterSnapshot],
+                    engine_stats: Optional[Dict[str, object]] = None
+                    ) -> ClusterSnapshot:
+    """Fold per-partition snapshots into one cluster-wide snapshot.
+
+    Every counter increments on exactly one rank (deliveries at the
+    destination's rank, drops and injector decisions at the source's),
+    so fabric counters *sum* to the serial run's values and the node
+    lists are disjoint — concatenation sorted by id reproduces the
+    serial snapshot bit for bit. ``engine_stats`` (typically
+    ``PartitionedRun.engine_stats()``) is attached verbatim.
+    """
+    if not parts:
+        raise ValueError("no snapshots to merge")
+    nodes = sorted((n for p in parts for n in p.nodes),
+                   key=lambda n: n.node_id)
+    fabric: Dict[str, int] = {}
+    for part in parts:
+        for key, value in part.fabric_stats.items():
+            fabric[key] = fabric.get(key, 0) + value
+    return ClusterSnapshot(
+        time_ns=max(p.time_ns for p in parts),
+        nodes=nodes,
+        fabric_stats=fabric,
+        membership_stats={},
+        engine_stats=engine_stats or {},
+    )
+
+
 def format_report(snap: ClusterSnapshot) -> str:
     """Human-readable end-of-run report."""
     lines = [
         f"cluster telemetry @ t={snap.time_ns / 1000:.1f} us",
         f"fabric: {snap.fabric_stats}",
     ]
+    if snap.engine_stats:
+        es = snap.engine_stats
+        lines.append(
+            f"engine: events={es.get('total_events_processed', 0)} "
+            f"rounds={es.get('rounds', 0)} "
+            f"wall={es.get('wall_s', 0.0):.3f}s "
+            f"({es.get('events_per_sec', 0.0):,.0f} ev/s)")
+        for part in es.get("partitions", []):
+            nodes = part.get("nodes", [])
+            lines.append(
+                f"  partition {part.get('rank')}: nodes={nodes} "
+                f"events={part.get('events_processed', 0)} "
+                f"wall={part.get('wall_s', 0.0):.3f}s")
     if snap.membership_stats:
         ms = snap.membership_stats
         lines.append(

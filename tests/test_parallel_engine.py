@@ -1,0 +1,287 @@
+"""Unit tests for the conservative parallel engine.
+
+Covers the partition plan, the window primitives on the serial kernel
+(`run_window` / `peek_next_event_time`), the typed misconfiguration
+errors (zero lookahead, unowned nodes, unsupported combinations), the
+end-of-instant delivery stager's canonical ordering (simultaneous
+timestamps at a partition boundary), and transport-level equality on a
+small cluster workload. Whole-application bit-exactness goldens live in
+``test_parallel_goldens.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.cluster import Cluster, ClusterConfig
+from repro.fabric.faults import FaultInjector
+from repro.fabric.ni import FabricConfig
+from repro.fabric.partition import PartitionedCrossbar, _InstantStager
+from repro.runtime.qp_api import RMCSession
+from repro.sim import (
+    PartitionError,
+    PartitionPlan,
+    RemoteMessage,
+    Simulator,
+    ZeroLookaheadError,
+    run_partitioned,
+)
+from repro.sim.parallel import MSG_FRAME
+from repro.telemetry import merge_snapshots, snapshot
+
+
+class TestPartitionPlan:
+    def test_contiguous_blocks(self):
+        plan = PartitionPlan.contiguous(8, 4)
+        assert plan.owner == (0, 0, 1, 1, 2, 2, 3, 3)
+        assert plan.num_nodes == 8
+        assert plan.num_parts == 4
+
+    def test_contiguous_uneven_spreads_remainder(self):
+        plan = PartitionPlan.contiguous(7, 3)
+        assert plan.owner == (0, 0, 0, 1, 1, 2, 2)
+        assert plan.nodes_of(0) == [0, 1, 2]
+        assert plan.nodes_of(2) == [5, 6]
+
+    def test_single(self):
+        plan = PartitionPlan.single(4)
+        assert plan.num_parts == 1
+        assert plan.nodes_of(0) == [0, 1, 2, 3]
+
+    def test_rank_of(self):
+        plan = PartitionPlan.contiguous(4, 2)
+        assert [plan.rank_of(n) for n in range(4)] == [0, 0, 1, 1]
+
+    def test_sparse_ranks_rejected(self):
+        with pytest.raises(PartitionError, match="dense"):
+            PartitionPlan(owner=(0, 2))
+
+    def test_empty_plan_rejected(self):
+        with pytest.raises(PartitionError, match="empty"):
+            PartitionPlan(owner=())
+
+    def test_more_parts_than_nodes_rejected(self):
+        with pytest.raises(PartitionError):
+            PartitionPlan.contiguous(2, 3)
+
+
+class TestWindowPrimitives:
+    def test_peek_next_event_time(self):
+        sim = Simulator()
+        assert sim.peek_next_event_time() == float("inf")
+        sim.call_later(5.0, lambda: None)
+        assert sim.peek_next_event_time() == 5.0
+
+    def test_run_window_stops_strictly_below_bound(self):
+        sim = Simulator()
+        fired = []
+        for t in (1.0, 2.0, 3.0, 4.0):
+            sim.call_later(t, lambda t=t: fired.append(t))
+        sim.run_window(3.0)
+        assert fired == [1.0, 2.0]
+        # The clock parks at the last processed event; only the runner's
+        # stop command advances it to the agreed final time.
+        assert sim.now == 2.0
+        assert sim.peek_next_event_time() == 3.0
+        sim.run_window(10.0)
+        assert fired == [1.0, 2.0, 3.0, 4.0]
+
+    def test_run_window_processes_daemons(self):
+        """Daemon events inside the window run even with no real work."""
+        sim = Simulator()
+        fired = []
+        sim.call_later(1.0, lambda: fired.append("d"), daemon=True)
+        sim.run_window(2.0)
+        assert fired == ["d"]
+
+
+class TestTypedErrors:
+    def test_zero_link_latency_raises_typed_error(self):
+        config = FabricConfig(flow_control="paired", link_latency_ns=0.0)
+        with pytest.raises(ZeroLookaheadError):
+            Cluster(config=ClusterConfig(num_nodes=2, fabric=config),
+                    partition=PartitionPlan.contiguous(2, 2))
+
+    def test_zero_credit_return_raises_typed_error(self):
+        config = FabricConfig(flow_control="paired", credit_return_ns=0.0)
+        with pytest.raises(ZeroLookaheadError):
+            Cluster(config=ClusterConfig(num_nodes=2, fabric=config),
+                    partition=PartitionPlan.contiguous(2, 2))
+
+    def test_zero_lookahead_is_a_partition_error(self):
+        assert issubclass(ZeroLookaheadError, PartitionError)
+
+    def test_unowned_node_access_raises(self):
+        cluster = Cluster(
+            config=ClusterConfig(
+                num_nodes=4, fabric=FabricConfig(flow_control="paired")),
+            partition=PartitionPlan.contiguous(4, 2), rank=0)
+        assert 0 in cluster.nodes and 1 in cluster.nodes
+        assert len(cluster.nodes) == 2
+        with pytest.raises(PartitionError):
+            cluster.nodes[2]
+
+    def test_plan_size_mismatch_raises(self):
+        with pytest.raises(PartitionError, match="plan covers"):
+            Cluster(config=ClusterConfig(
+                num_nodes=4, fabric=FabricConfig(flow_control="paired")),
+                partition=PartitionPlan.contiguous(2, 2))
+
+    def test_membership_unsupported_on_partitioned_cluster(self):
+        cluster = Cluster(
+            config=ClusterConfig(
+                num_nodes=2, fabric=FabricConfig(flow_control="paired")),
+            partition=PartitionPlan.contiguous(2, 2), rank=0)
+        with pytest.raises(PartitionError):
+            cluster.enable_membership()
+
+    def test_shared_injector_rejected_on_partitioned_fabric(self):
+        cluster = Cluster(
+            config=ClusterConfig(
+                num_nodes=2, fabric=FabricConfig(flow_control="paired")),
+            partition=PartitionPlan.contiguous(2, 2), rank=0)
+        with pytest.raises(PartitionError, match="per_link_streams"):
+            cluster.fabric.install_fault_injector(FaultInjector(seed=1))
+        cluster.fabric.install_fault_injector(
+            FaultInjector(seed=1, per_link_streams=True))
+
+    def test_past_arrival_injection_raises(self):
+        cluster = Cluster(
+            config=ClusterConfig(
+                num_nodes=2, fabric=FabricConfig(flow_control="paired")),
+            partition=PartitionPlan.contiguous(2, 2), rank=0)
+        cluster.sim.call_later(100.0, lambda: None)
+        cluster.sim.run()
+        message = RemoteMessage(arrival=50.0, dst_rank=0,
+                                key=(0, 1, 0, 0, 0), kind=MSG_FRAME,
+                                payload=(None, None))
+        with pytest.raises(PartitionError, match="window protocol"):
+            cluster.fabric.inject_messages([message])
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ValueError, match="transport"):
+            run_partitioned(lambda r, p: None, PartitionPlan.single(1),
+                            transport="threads")
+
+
+class TestInstantStager:
+    def test_simultaneous_entries_run_in_canonical_key_order(self):
+        """Simultaneous timestamps at a partition boundary: entries
+        staged in arbitrary order at one instant execute sorted by the
+        canonical key — the serial engine's delivery order survives the
+        cut no matter which partition staged which entry first."""
+        sim = Simulator()
+        stager = _InstantStager(sim)
+        order = []
+
+        def stage_all():
+            # Staged deliberately out of key order.
+            stager.stage((2, 0, 0, 7, 0), lambda: order.append("c"))
+            stager.stage((0, 1, 0, 3, 0), lambda: order.append("a"))
+            stager.stage((1, 0, 2, 3, 0), lambda: order.append("b"))
+
+        sim.call_later(10.0, stage_all)
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_drain_waits_for_other_events_at_instant(self):
+        """The stager runs after every other event at the instant, so a
+        frame staged at t cannot overtake compute still scheduled at t."""
+        sim = Simulator()
+        stager = _InstantStager(sim)
+        order = []
+        sim.call_later(5.0, lambda: stager.stage((0,),
+                                                 lambda: order.append("s")))
+        sim.call_later(5.0, lambda: order.append("e1"))
+        sim.call_later(5.0, lambda: order.append("e2"))
+        sim.run()
+        assert order == ["e1", "e2", "s"]
+
+
+def _build_cluster_workload(num_nodes, rounds):
+    """Builder for a small all-to-all read workload (returns the runner
+    ``build`` callable); every node reads from every peer then idles an
+    asymmetric amount, exercising cross-partition frames and credits."""
+
+    def build(rank, plan):
+        config = ClusterConfig(
+            num_nodes=num_nodes,
+            fabric=FabricConfig(flow_control="paired"))
+        cluster = Cluster(config=config, partition=plan, rank=rank)
+        gctx = cluster.create_global_context(1, 1 << 20)
+        sim = cluster.sim
+        log = []
+
+        def app(n):
+            session = RMCSession(cluster.nodes[n].core, gctx.qp(n),
+                                 gctx.entry(n))
+            lbuf = session.alloc_buffer(4096)
+            for rnd in range(rounds):
+                for peer in range(num_nodes):
+                    if peer == n:
+                        continue
+                    yield from session.read_sync(peer, 64 * n, lbuf, 256)
+                    log.append((n, rnd, peer, sim.now))
+                yield sim.timeout(100.0 * (n + 1))
+
+        for n in plan.nodes_of(rank):
+            sim.process(app(n), name=f"app{n}")
+
+        def finalize():
+            return {"snap": snapshot(cluster), "log": log}
+
+        return sim, cluster.fabric, finalize
+
+    return build
+
+
+class TestTransportEquality:
+    NODES = 4
+    ROUNDS = 3
+
+    def _merged(self, workers, transport):
+        plan = PartitionPlan.contiguous(self.NODES, workers)
+        build = _build_cluster_workload(self.NODES, self.ROUNDS)
+        run = run_partitioned(build, plan, transport=transport)
+        parts = [run.results[r] for r in sorted(run.results)]
+        snap = merge_snapshots([p["snap"] for p in parts])
+        log = sorted(sum((p["log"] for p in parts), []))
+        return run, snap, log
+
+    @pytest.fixture(scope="class")
+    def serial(self):
+        return self._merged(1, "inline")
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_inline_matches_serial(self, serial, workers):
+        base_run, base_snap, base_log = serial
+        run, snap, log = self._merged(workers, "inline")
+        assert log == base_log
+        assert snap.nodes == base_snap.nodes
+        assert snap.fabric_stats == base_snap.fabric_stats
+        assert snap.time_ns == base_snap.time_ns
+        assert run.final_time == base_run.final_time
+        assert run.rounds > 0
+
+    def test_process_matches_serial(self, serial):
+        _base_run, base_snap, base_log = serial
+        _run, snap, log = self._merged(2, "process")
+        assert log == base_log
+        assert snap.nodes == base_snap.nodes
+        assert snap.fabric_stats == base_snap.fabric_stats
+
+    def test_engine_stats_aggregate_partitions(self):
+        run, _snap, _log = self._merged(2, "inline")
+        stats = run.engine_stats()
+        assert len(stats["partitions"]) == 2
+        assert stats["total_events_processed"] == sum(
+            p["events_processed"] for p in stats["partitions"])
+        assert stats["total_events_processed"] > 0
+        assert stats["rounds"] == run.rounds
+
+    def test_until_bound_respected(self):
+        plan = PartitionPlan.contiguous(self.NODES, 2)
+        build = _build_cluster_workload(self.NODES, self.ROUNDS)
+        run = run_partitioned(build, plan, until=500.0,
+                              transport="inline")
+        assert run.final_time == 500.0

@@ -96,3 +96,40 @@ def test_check_regression_gate(tmp_path):
     }))
     assert check_regression.main(["--bench", str(bad),
                                   "--baseline", str(baseline)]) == 1
+
+
+def test_check_regression_distinct_exit_codes(tmp_path):
+    """0 = OK, 1 = regression, 2 = baseline/bench missing — CI can tell
+    "the kernel got slow" apart from "the gate was never configured"."""
+    sys.path.insert(0, str(REPO / "benchmarks" / "perf"))
+    try:
+        import check_regression
+    finally:
+        sys.path.pop(0)
+
+    baseline = REPO / "benchmarks/perf/baseline.json"
+    good = tmp_path / "good.json"
+    good.write_text(json.dumps({
+        "results": {k: {"events_per_sec": v}
+                    for k, v in json.loads(
+                        baseline.read_text())["results"].items()},
+    }))
+
+    # Missing baseline file -> 2.
+    assert check_regression.main(
+        ["--bench", str(good),
+         "--baseline", str(tmp_path / "nope.json")]) == 2
+    # Missing bench file -> 2.
+    assert check_regression.main(
+        ["--bench", str(tmp_path / "nope.json"),
+         "--baseline", str(baseline)]) == 2
+    # Unusable baseline (no overlapping benchmarks) -> 2.
+    empty = tmp_path / "empty.json"
+    empty.write_text(json.dumps({"results": {}}))
+    assert check_regression.main(
+        ["--bench", str(good), "--baseline", str(empty)]) == 2
+    # Malformed JSON -> 2, not a traceback.
+    broken = tmp_path / "broken.json"
+    broken.write_text("{not json")
+    assert check_regression.main(
+        ["--bench", str(good), "--baseline", str(broken)]) == 2
