@@ -1,19 +1,31 @@
-"""Parallel-engine benchmark: throughput and speedup across workers.
+"""Parallel-engine benchmark: throughput and speedup across workers,
+transports, and partition plans.
 
 Runs the 8-node PageRank (bulk) and message-passing BFS workloads on
-the conservative parallel engine at several worker counts, verifying
-bit-exactness against the 1-worker run as it goes, and sweeps the
-link-latency lookahead to show its effect on the window count (smaller
-lookahead => more, shorter conservative windows => more sync overhead).
+the conservative parallel engine across a (transport x plan x workers)
+grid — ``process`` (pickle-over-pipe) vs ``shm`` (shared-memory rings),
+``contiguous`` vs ``adaptive`` (profiled load-aware) partition plans —
+verifying bit-exactness of results against the 1-worker run for every
+combination, and sweeps the link-latency lookahead to show its effect
+on the window count (smaller lookahead => more, shorter conservative
+windows => more sync overhead).
 
 Honesty notes, recorded in the JSON:
 
-* ``host.cpu_count`` — real speedup needs >= ``workers`` cores. On a
-  single-core container the process transport *loses* wall clock to
-  synchronization; the numbers are still recorded as measured.
+* ``host.usable_cpus`` — real speedup needs >= ``workers`` usable
+  cores; this is ``len(os.sched_getaffinity(0))``, the CPUs this
+  process may actually run on, which on pinned/containerized CI can be
+  far fewer than ``os.cpu_count()``. On a starved host the process
+  transport *loses* wall clock to synchronization; the numbers are
+  still recorded as measured.
 * ``balance_bound`` — the analytic ceiling on speedup from partition
   balance alone (total events / busiest partition's events). This is a
-  property of the workload cut, not a measurement of this host.
+  property of the workload cut, not a measurement of this host —
+  comparing it between the contiguous and adaptive rows isolates what
+  the load-aware plan buys.
+* ``coordination`` — coordinator-side overhead breakdown (grant
+  round-trips, routing time, time blocked on worker reports, codec
+  time) plus each partition's busy/blocked/send/serialize seconds.
 
 Usage::
 
@@ -39,11 +51,19 @@ from repro.cluster.cluster import ClusterConfig
 from repro.fabric.ni import FabricConfig
 from repro.sim import PartitionPlan
 
-SCHEMA = "bench_parallel/v1"
+SCHEMA = "bench_parallel/v2"
 
 NUM_NODES = 8
 DEFAULT_WORKERS = (1, 2, 4)
+DEFAULT_TRANSPORTS = ("process", "shm")
+DEFAULT_PARTITIONS = ("contiguous", "adaptive")
 DEFAULT_LOOKAHEADS = (10.0, 25.0, 50.0, 100.0)
+
+
+def _usable_cpus() -> int:
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
 
 
 def _config(link_latency_ns: float = 50.0) -> ClusterConfig:
@@ -53,11 +73,14 @@ def _config(link_latency_ns: float = 50.0) -> ClusterConfig:
                             link_latency_ns=link_latency_ns))
 
 
-def _engine_row(result, workers: int) -> dict:
+def _engine_row(result, workers: int, transport: str,
+                partition: str) -> dict:
     stats = result.telemetry.engine_stats
     busiest = max(p["events_processed"] for p in stats["partitions"])
     return {
         "workers": workers,
+        "transport": stats.get("transport", transport),
+        "partition": partition,
         "events": stats["total_events_processed"],
         "wall_s": stats["wall_s"],
         "events_per_sec": stats["events_per_sec"],
@@ -66,54 +89,86 @@ def _engine_row(result, workers: int) -> dict:
         #: Analytic: speedup ceiling from event balance alone.
         "balance_bound": (stats["total_events_processed"] / busiest
                           if busiest else 1.0),
+        "eager_events": stats.get("eager_events_total", 0),
+        "coordination": stats.get("coordination", {}),
+        "worker_busy_s": sum(p.get("busy_s", 0.0)
+                             for p in stats["partitions"]),
+        "worker_blocked_s": sum(p.get("blocked_s", 0.0)
+                                for p in stats["partitions"]),
+        "worker_serialize_s": sum(p.get("serialize_s", 0.0)
+                                  for p in stats["partitions"]),
     }
 
 
-def bench_pagerank(vertices: int, supersteps: int, workers_list,
-                   transport: str) -> dict:
-    graph = zipf_graph(vertices, avg_degree=6, seed=7)
+def _sweep(run_one, check_same, workers_list, transports, partitions):
+    """(transport x partition x workers) grid with a shared 1-worker
+    baseline row; every combination must be bit-identical to it."""
     rows = []
     reference = None
-    for workers in workers_list:
-        result = run_sonuma_bulk(
-            graph, NUM_NODES, supersteps=supersteps,
-            cluster_config=_config(),
-            partition=PartitionPlan.contiguous(NUM_NODES, workers),
-            transport=transport)
-        if reference is None:
-            reference = result
-        else:
-            assert result.ranks == reference.ranks, \
-                f"pagerank not bit-identical at {workers} workers"
-            assert result.elapsed_ns == reference.elapsed_ns
-        rows.append(_engine_row(result, workers))
+    for transport in transports:
+        for partition in partitions:
+            for workers in workers_list:
+                if workers <= 1:
+                    if rows:
+                        continue     # one baseline row is enough
+                    spec = PartitionPlan.contiguous(NUM_NODES, 1)
+                    label = "contiguous"
+                else:
+                    spec, label = partition, partition
+                result = run_one(spec, workers, transport)
+                if reference is None:
+                    reference = result
+                else:
+                    check_same(result, reference, workers, transport,
+                               label)
+                rows.append(_engine_row(result, workers, transport,
+                                        label))
     base_wall = rows[0]["wall_s"]
     for row in rows:
         row["speedup"] = base_wall / row["wall_s"] if row["wall_s"] else 0.0
+    return rows
+
+
+def bench_pagerank(vertices: int, supersteps: int, workers_list,
+                   transports, partitions) -> dict:
+    graph = zipf_graph(vertices, avg_degree=6, seed=7)
+
+    def run_one(spec, workers, transport):
+        return run_sonuma_bulk(
+            graph, NUM_NODES, supersteps=supersteps,
+            cluster_config=_config(), workers=workers,
+            partition=spec, transport=transport)
+
+    def check_same(result, reference, workers, transport, partition):
+        assert result.ranks == reference.ranks, \
+            f"pagerank not bit-identical at {workers} workers " \
+            f"({transport}/{partition})"
+        assert result.elapsed_ns == reference.elapsed_ns
+
+    rows = _sweep(run_one, check_same, workers_list, transports,
+                  partitions)
     return {"workload": "pagerank-bulk", "vertices": vertices,
             "supersteps": supersteps, "nodes": NUM_NODES,
             "bit_identical": True, "rows": rows}
 
 
-def bench_bfs(vertices: int, workers_list, transport: str) -> dict:
+def bench_bfs(vertices: int, workers_list, transports,
+              partitions) -> dict:
     graph = zipf_graph(vertices, avg_degree=6, seed=17)
-    rows = []
-    reference = None
-    for workers in workers_list:
-        result = run_bfs_push(
+
+    def run_one(spec, workers, transport):
+        return run_bfs_push(
             graph, NUM_NODES, source=0, cluster_config=_config(),
-            partition=PartitionPlan.contiguous(NUM_NODES, workers),
-            transport=transport)
-        if reference is None:
-            reference = result
-        else:
-            assert result.distances == reference.distances, \
-                f"bfs not bit-identical at {workers} workers"
-            assert result.elapsed_ns == reference.elapsed_ns
-        rows.append(_engine_row(result, workers))
-    base_wall = rows[0]["wall_s"]
-    for row in rows:
-        row["speedup"] = base_wall / row["wall_s"] if row["wall_s"] else 0.0
+            workers=workers, partition=spec, transport=transport)
+
+    def check_same(result, reference, workers, transport, partition):
+        assert result.distances == reference.distances, \
+            f"bfs not bit-identical at {workers} workers " \
+            f"({transport}/{partition})"
+        assert result.elapsed_ns == reference.elapsed_ns
+
+    rows = _sweep(run_one, check_same, workers_list, transports,
+                  partitions)
     return {"workload": "bfs-push", "vertices": vertices,
             "nodes": NUM_NODES, "bit_identical": True, "rows": rows}
 
@@ -142,8 +197,8 @@ def bench_lookahead_sensitivity(vertices: int, supersteps: int,
             "sim_time_ns": result.elapsed_ns,
         })
     return {"workload": "pagerank-bulk", "workers": workers,
-            "vertices": vertices, "supersteps": supersteps,
-            "rows": rows}
+            "transport": transport, "vertices": vertices,
+            "supersteps": supersteps, "rows": rows}
 
 
 def main(argv=None) -> int:
@@ -153,8 +208,12 @@ def main(argv=None) -> int:
     parser.add_argument("--vertices", type=int, default=192)
     parser.add_argument("--supersteps", type=int, default=2)
     parser.add_argument("--bfs-vertices", type=int, default=256)
-    parser.add_argument("--transport", choices=["process", "inline"],
-                        default="process")
+    parser.add_argument("--transports", nargs="+",
+                        choices=["process", "inline", "shm"],
+                        default=list(DEFAULT_TRANSPORTS))
+    parser.add_argument("--partitions", nargs="+",
+                        choices=["contiguous", "adaptive"],
+                        default=list(DEFAULT_PARTITIONS))
     parser.add_argument("--lookaheads", type=float, nargs="+",
                         default=list(DEFAULT_LOOKAHEADS))
     parser.add_argument("--sensitivity-workers", type=int, default=2)
@@ -163,31 +222,37 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     print(f"parallel engine benchmark — {NUM_NODES} simulated nodes, "
-          f"workers {args.workers}, transport {args.transport} "
-          f"(host: {os.cpu_count()} cpus)")
+          f"workers {args.workers}, transports {args.transports}, "
+          f"partitions {args.partitions} "
+          f"(host: {_usable_cpus()} usable cpus)")
 
     pagerank = bench_pagerank(args.vertices, args.supersteps,
-                              args.workers, args.transport)
-    bfs = bench_bfs(args.bfs_vertices, args.workers, args.transport)
+                              args.workers, args.transports,
+                              args.partitions)
+    bfs = bench_bfs(args.bfs_vertices, args.workers, args.transports,
+                    args.partitions)
     sensitivity = None
     if not args.skip_sensitivity:
         sensitivity = bench_lookahead_sensitivity(
             args.vertices, args.supersteps, args.lookaheads,
-            args.sensitivity_workers, args.transport)
+            args.sensitivity_workers, args.transports[0])
 
     payload = {
         "schema": SCHEMA,
         "host": {
             "cpu_count": os.cpu_count(),
+            "usable_cpus": _usable_cpus(),
             "machine": platform.machine(),
             "python": sys.version.split()[0],
-            "note": "speedup > 1 requires at least `workers` physical "
-                    "cores; balance_bound is the analytic ceiling from "
+            "note": "speedup > 1 requires at least `workers` usable "
+                    "cores (sched_getaffinity, not cpu_count); "
+                    "balance_bound is the analytic ceiling from "
                     "partition event balance, independent of this host",
         },
         "config": {
             "nodes": NUM_NODES,
-            "transport": args.transport,
+            "transports": list(args.transports),
+            "partitions": list(args.partitions),
             "workers": list(args.workers),
         },
         "workloads": [pagerank, bfs],
@@ -199,12 +264,14 @@ def main(argv=None) -> int:
     for case in (pagerank, bfs):
         print(f"  {case['workload']}:")
         for row in case["rows"]:
-            print(f"    workers={row['workers']}: "
+            print(f"    w={row['workers']} {row['transport']:>7}/"
+                  f"{row['partition']:<10} "
                   f"{row['events_per_sec']:>10,.0f} ev/s  "
                   f"wall={row['wall_s']:.3f}s  "
                   f"speedup={row['speedup']:.2f}x  "
                   f"(balance bound {row['balance_bound']:.2f}x, "
-                  f"{row['rounds']} rounds)")
+                  f"{row['rounds']} rounds, "
+                  f"blocked {row['worker_blocked_s']:.2f}s)")
     if sensitivity:
         print("  lookahead sensitivity (pagerank, "
               f"{sensitivity['workers']} workers):")

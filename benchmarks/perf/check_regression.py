@@ -6,15 +6,25 @@ allowed factor (default 2x, generous because CI machines are noisy and
 heterogeneous; the gate exists to catch order-of-magnitude mistakes like
 an accidentally quadratic heap, not 20% jitter).
 
+With ``--transport-bench`` it additionally gates the transport
+microbenchmark (``bench_transport.py``): the shm ring's enqueue
+advantage over pickle-over-pipe must stay above
+``--min-transport-speedup`` (default 3x, below the ~5x a healthy ring
+shows, so scheduler noise cannot trip it but losing the ring's wait-free
+handoff will).
+
 Usage::
 
     python benchmarks/perf/check_regression.py \
-        --bench BENCH_kernel.json --baseline benchmarks/perf/baseline.json
+        --bench BENCH_kernel.json --baseline benchmarks/perf/baseline.json \
+        --transport-bench BENCH_transport.json
 
 Exit codes (so CI can tell "slow" from "not configured"):
 
 * ``0`` — within the allowed regression factor.
-* ``1`` — geomean slowdown exceeds ``--max-regression``.
+* ``1`` — a gated metric regressed (kernel geomean slowdown exceeds
+  ``--max-regression``, or transport speedup fell below the floor).
+  A regression wins over a missing file when both happen.
 * ``2`` — baseline or bench file missing/unusable (no comparison ran).
 """
 
@@ -33,6 +43,25 @@ EXIT_REGRESSION = 1
 EXIT_NO_BASELINE = 2
 
 
+def check_transport(path: str, floor: float) -> int:
+    """Gate the transport microbench: shm enqueue speedup >= floor."""
+    try:
+        with open(path) as fh:
+            payload = json.load(fh)
+        speedup = float(payload["speedup"])
+    except (FileNotFoundError, json.JSONDecodeError, KeyError,
+            TypeError, ValueError) as exc:
+        print(f"cannot read transport bench {path}: {exc}")
+        return EXIT_NO_BASELINE
+    print(f"  transport: shm ring {speedup:.2f}x pipe enqueue "
+          f"(floor: {floor:.2f}x)")
+    if speedup < floor:
+        print(f"FAIL: shm transport no longer beats pickle-over-pipe "
+              f"by {floor:.1f}x")
+        return EXIT_REGRESSION
+    return EXIT_OK
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--bench", default="BENCH_kernel.json")
@@ -40,19 +69,39 @@ def main(argv=None) -> int:
                         default="benchmarks/perf/baseline.json")
     parser.add_argument("--max-regression", type=float, default=2.0,
                         help="fail if baseline/current exceeds this factor")
+    parser.add_argument("--transport-bench", default=None,
+                        help="also gate a BENCH_transport.json speedup")
+    parser.add_argument("--min-transport-speedup", type=float, default=3.0)
     args = parser.parse_args(argv)
 
+    codes = []
+    if args.transport_bench is not None:
+        codes.append(check_transport(args.transport_bench,
+                                     args.min_transport_speedup))
+
+    codes.append(check_kernel(args.bench, args.baseline,
+                              args.max_regression))
+
+    if EXIT_REGRESSION in codes:
+        return EXIT_REGRESSION
+    if EXIT_NO_BASELINE in codes:
+        return EXIT_NO_BASELINE
+    print("OK")
+    return EXIT_OK
+
+
+def check_kernel(bench: str, baseline: str, max_regression: float) -> int:
     try:
-        with open(args.bench) as fh:
+        with open(bench) as fh:
             current = json.load(fh)["results"]
     except (FileNotFoundError, json.JSONDecodeError, KeyError) as exc:
-        print(f"cannot read bench file {args.bench}: {exc}")
+        print(f"cannot read bench file {bench}: {exc}")
         return EXIT_NO_BASELINE
     try:
-        with open(args.baseline) as fh:
+        with open(baseline) as fh:
             base = json.load(fh)["results"]
     except (FileNotFoundError, json.JSONDecodeError, KeyError) as exc:
-        print(f"cannot read baseline {args.baseline}: {exc}")
+        print(f"cannot read baseline {baseline}: {exc}")
         return EXIT_NO_BASELINE
 
     ratios = {}
@@ -67,13 +116,12 @@ def main(argv=None) -> int:
     for name, ratio in sorted(ratios.items()):
         print(f"  {name:18s} {ratio:6.2f}x vs baseline")
     print(f"  geomean: {overall:.2f}x "
-          f"(floor: {1.0 / args.max_regression:.2f}x)")
+          f"(floor: {1.0 / max_regression:.2f}x)")
 
-    if overall < 1.0 / args.max_regression:
-        print(f"FAIL: kernel is more than {args.max_regression:.1f}x "
+    if overall < 1.0 / max_regression:
+        print(f"FAIL: kernel is more than {max_regression:.1f}x "
               "slower than the committed baseline")
         return EXIT_REGRESSION
-    print("OK")
     return EXIT_OK
 
 

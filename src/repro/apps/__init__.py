@@ -16,6 +16,7 @@ from .graph import (
     partition_random,
     zipf_graph,
 )
+from .kv_harness import KV_CLIENT, KV_PRIMARY, run_kv_failover
 from .kvstore import (
     AvailabilityStats,
     CodedKVServer,
@@ -55,6 +56,9 @@ __all__ = [
     "run_bfs_push",
     "KVServer",
     "KVStats",
+    "KV_CLIENT",
+    "KV_PRIMARY",
+    "run_kv_failover",
     "PageRankResult",
     "PageRankTiming",
     "Partition",

@@ -38,7 +38,12 @@ from ..runtime.barrier import Barrier
 from ..runtime.layout import MessagingConfig
 from ..runtime.messaging import Messenger
 from ..runtime.qp_api import RMCSession
-from ..sim import PartitionPlan, run_partitioned
+from ..sim import (
+    PartitionPlan,
+    default_transport,
+    plan_from_spec,
+    run_partitioned,
+)
 from ..telemetry import merge_snapshots, snapshot
 from .graph import Graph, partition_random
 from .pagerank import _paired_config, _resolve_plan
@@ -327,8 +332,8 @@ def run_bfs_push(graph: Graph, num_nodes: int, source: int = 0,
                  cluster_config: Optional[ClusterConfig] = None,
                  seed: int = 7,
                  workers: Optional[int] = None,
-                 partition: Optional[PartitionPlan] = None,
-                 transport: str = "process") -> BFSResult:
+                 partition=None,
+                 transport: Optional[str] = None) -> BFSResult:
     """Message-passing BFS: frontier exchange via the §5.3 library.
 
     Each node expands only vertices it owns; discoveries of remote
@@ -375,6 +380,11 @@ def run_bfs_push(graph: Graph, num_nodes: int, source: int = 0,
 
             return sim, setup.cluster.fabric, finalize
 
+        if isinstance(plan, str):
+            plan = plan_from_spec(plan, build, num_nodes,
+                                  workers or num_nodes)
+        if transport is None:
+            transport = default_transport(plan.num_parts)
         run = run_partitioned(build, plan, transport=transport)
         parts = [run.results[r] for r in sorted(run.results)]
         distances = _merge_push_results(graph, parts)

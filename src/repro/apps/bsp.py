@@ -29,14 +29,16 @@ Two programs ship with the engine: :class:`PageRankProgram`
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Protocol, Sequence, Set
+from dataclasses import dataclass, replace as _dc_replace
+from typing import Dict, List, Optional, Protocol, Sequence, Set, Tuple
 
 from ..cluster.cluster import Cluster, ClusterConfig
 from ..resilience.checkpoint import HEADER_BYTES, StripedCheckpointStore
 from ..resilience.coding import parse_checkpoint_mode
 from ..runtime.barrier import Barrier, NodeEvicted, RankFailed
 from ..runtime.qp_api import RemoteOpFailed, RMCSession
+from ..sim import (PartitionError, PartitionPlan, default_transport,
+                   plan_from_spec, run_partitioned)
 from .graph import Graph, partition_random
 
 __all__ = ["VertexProgram", "BSPEngine", "BSPResult",
@@ -47,6 +49,31 @@ _CTX = 1
 #: One cache line per vertex: value[epoch 0] f64, value[epoch 1] f64,
 #: auxiliary u64 (program-defined; PageRank stores the out-degree).
 RECORD_BYTES = 64
+
+#: Fabric-carried FT-BSP control words (partitioned runs only): one
+#: cache line each, offsets relative to the engine's ``ctrl_base``.
+#: Every word lives in its writer's own segment (single-writer rule);
+#: peers read it with one-sided ``read_sync`` over the fabric, so the
+#: protocol is identical no matter which rank simulates which node.
+_CTRL_FLAG = 0         # u64: 1 + last superstep at which this node changed
+_CTRL_VERDICT = 64     # u64: ((step+1) << 1) | proceed, decider-written
+_CTRL_ARRIVED = 128    # u64: 1 + barrier generation at the rendezvous
+_CTRL_DURABLE = 192    # u64: 1 + durable local checkpoint header
+_CTRL_ADOPT_DUR = 256  # u64: 1 + durable peer-region header
+_CTRL_PLAN = 320       # 3 x u64: (dead-mask << 1) | 1, restore, generation
+_CTRL_FINISHED = 384   # u64: 1 once this node returned successfully
+
+
+def _paired_cluster_config(config: Optional[ClusterConfig],
+                           num_nodes: int) -> ClusterConfig:
+    """The caller's config upgraded to paired flow control, which the
+    partition cut requires (see fabric.partition)."""
+    config = config or ClusterConfig(num_nodes=num_nodes)
+    if config.fabric.flow_control != "paired":
+        config = _dc_replace(
+            config, fabric=_dc_replace(config.fabric,
+                                       flow_control="paired"))
+    return config
 
 
 class VertexProgram(Protocol):
@@ -146,23 +173,31 @@ class BSPEngine:
 
     def __init__(self, graph: Graph, num_nodes: int,
                  cluster_config: Optional[ClusterConfig] = None,
-                 seed: int = 7):
+                 seed: int = 7, plan: Optional[PartitionPlan] = None,
+                 rank: int = 0):
         self.graph = graph
         self.num_nodes = num_nodes
         self.partition = partition_random(graph, num_nodes, seed=seed)
+        #: Parallel-engine partition plan (None for a serial cluster).
+        #: Per-rank instances own only ``plan.nodes_of(rank)``.
+        self.plan = plan
+        self.rank = rank
         max_part = max(len(m) for m in self.partition.members)
         segment = self._segment_bytes(max_part)
         self.cluster = Cluster(config=cluster_config
-                               or ClusterConfig(num_nodes=num_nodes))
+                               or ClusterConfig(num_nodes=num_nodes),
+                               partition=plan, rank=rank)
+        self.owned = (list(plan.nodes_of(rank)) if plan is not None
+                      else list(range(num_nodes)))
         self.gctx = self.cluster.create_global_context(_CTX, segment)
         self.sessions = {
             n: RMCSession(self.cluster.nodes[n].core, self.gctx.qp(n),
                           self.gctx.entry(n))
-            for n in range(num_nodes)
+            for n in self.owned
         }
         self.barriers = {
             n: Barrier(self.sessions[n], n, list(range(num_nodes)))
-            for n in range(num_nodes)
+            for n in self.owned
         }
 
     def _segment_bytes(self, max_part: int) -> int:
@@ -347,7 +382,12 @@ class FaultTolerantBSPEngine(BSPEngine):
                  seed: int = 7, checkpoint_every: int = 1,
                  checkpoint_mode: str = "replica",
                  hb_interval_ns: float = 5_000.0,
-                 lease_ns: Optional[float] = None, fault_seed: int = 0):
+                 lease_ns: Optional[float] = None, fault_seed: int = 0,
+                 workers: Optional[int] = None,
+                 transport: Optional[str] = None,
+                 partition="contiguous",
+                 crash_schedule: Optional[Sequence[Tuple]] = None,
+                 plan: Optional[PartitionPlan] = None, rank: int = 0):
         if num_nodes < 2:
             raise ValueError("fault tolerance needs at least two nodes")
         if checkpoint_every < 1:
@@ -357,13 +397,59 @@ class FaultTolerantBSPEngine(BSPEngine):
         #: before super().__init__ because _segment_bytes needs it.
         self.checkpoint_mode, self.ckpt_code = parse_checkpoint_mode(
             checkpoint_mode, num_peers=num_nodes - 1)
+        #: Parallel-engine knobs: ``workers > 1`` runs the whole engine
+        #: on the conservative parallel simulator (one process per
+        #: rank); ``partition`` is a plan, "contiguous", or "adaptive";
+        #: ``transport=None`` picks the fastest available. Crash
+        #: timelines must come through ``crash_schedule`` (a sequence of
+        #: ``(victim, at_ns[, restart_after_ns])``) so every rank
+        #: replays the identical fault schedule.
+        self.workers = int(workers) if workers else 1
+        self.transport = transport
+        self.partition_spec = partition
+        self.crash_schedule = tuple(tuple(entry)
+                                    for entry in (crash_schedule or ()))
+        if (self.workers > 1 or plan is not None) \
+                and self.ckpt_code is not None:
+            raise PartitionError(
+                "partitioned fault-tolerant BSP supports replica "
+                "checkpoints only (coded stripes reconstruct by peeking "
+                "remote segments)")
+        if self.workers > 1:
+            # Deferred: per-rank engines (plan/rank set) are built
+            # inside run_partitioned's worker processes; this object is
+            # only the front-end that merges their results.
+            self._deferred = dict(cluster_config=cluster_config,
+                                  seed=seed,
+                                  hb_interval_ns=hb_interval_ns,
+                                  lease_ns=lease_ns,
+                                  fault_seed=fault_seed)
+            self.graph = graph
+            self.num_nodes = num_nodes
+            self.partition = partition_random(graph, num_nodes, seed=seed)
+            self.plan = None
+            self.cluster = None
+            self.membership = None
+            self.controller = None
+            self.ckpt_store = None
+            self.failed_ranks: Set[int] = set()
+            #: engine_stats() of the last partitioned run (transport,
+            #: coordination breakdown, per-rank accounting) plus the
+            #: merged membership counters.
+            self.partitioned_stats: Optional[Dict[str, object]] = None
+            return
         super().__init__(graph, num_nodes, cluster_config=cluster_config,
-                         seed=seed)
-        self.failed_ranks: Set[int] = set()
+                         seed=seed, plan=plan, rank=rank)
+        self.failed_ranks = set()
         self.membership = self.cluster.enable_membership(
             interval_ns=hb_interval_ns, lease_ns=lease_ns,
             on_evict=self._note_eviction)
         self.controller = self.cluster.fault_controller(seed=fault_seed)
+        for entry in self.crash_schedule:
+            victim, at_ns = entry[0], entry[1]
+            restart_after = entry[2] if len(entry) > 2 else None
+            self.controller.schedule_crash(victim, at_ns=at_ns,
+                                           restart_after_ns=restart_after)
         #: Striped coded checkpoint store (None in replica mode).
         self.ckpt_store: Optional[StripedCheckpointStore] = None
         if self.ckpt_code is not None:
@@ -390,7 +476,14 @@ class FaultTolerantBSPEngine(BSPEngine):
             self.peer_ckpt_base = 3 * stride + 128   # ring predecessor's
             self.peer_hdr_base = 5 * stride + 128    # 2 x 64B headers
             self.adopt_base = 5 * stride + 256       # adopted partition
-            return 6 * stride + 256 + (1 << 20)
+            base = 6 * stride + 256
+            #: Partitioned runs only: one cache line per fabric-carried
+            #: control word (see _rank_worker). The serial layout is
+            #: untouched so existing serial timings stay bit-identical.
+            self.ctrl_base = base
+            if self.plan is not None:
+                base += 8 * 64
+            return base + (1 << 20)
         shard_stride = -(-self.ckpt_code.shard_length(stride) // 64) * 64
         self.shard_stride = shard_stride
         self.shard_base = stride
@@ -481,6 +574,9 @@ class FaultTolerantBSPEngine(BSPEngine):
     def run(self, program: VertexProgram, max_supersteps: int,
             stop_on_convergence: bool = True,
             tolerance: float = 0.0) -> BSPResult:
+        if self.workers > 1:
+            return self._run_partitioned(program, max_supersteps,
+                                         stop_on_convergence, tolerance)
         graph, partition = self.graph, self.partition
         cluster = self.cluster
         sim = cluster.sim
@@ -884,3 +980,524 @@ class FaultTolerantBSPEngine(BSPEngine):
                          remote_reads=remote_reads[0],
                          recoveries=recoveries[0],
                          checkpoints=checkpoints[0])
+
+    # -- the partitioned (multi-process) fault-tolerant run ------------------
+
+    def _run_partitioned(self, program: VertexProgram, max_supersteps: int,
+                         stop_on_convergence: bool,
+                         tolerance: float) -> BSPResult:
+        """Front-end of a ``workers > 1`` run: build one per-rank engine
+        inside each worker process, execute on the conservative parallel
+        simulator, and merge the per-rank results. The vertex-level model
+        is identical to the serial fault-tolerant path except that the
+        shared-dict control plane (``changed``/``proceed``/``recovery``)
+        is carried over the fabric instead (see :meth:`_rank_worker`), so
+        the computed values are bit-for-bit the serial values and the run
+        itself is bit-identical across worker counts and transports."""
+        deferred = self._deferred
+        num_nodes = self.num_nodes
+        config = _paired_cluster_config(deferred["cluster_config"],
+                                        num_nodes)
+
+        def build(rank: int, build_plan: PartitionPlan):
+            engine = FaultTolerantBSPEngine(
+                self.graph, num_nodes, cluster_config=config,
+                seed=deferred["seed"],
+                checkpoint_every=self.checkpoint_every,
+                checkpoint_mode="replica",
+                hb_interval_ns=deferred["hb_interval_ns"],
+                lease_ns=deferred["lease_ns"],
+                fault_seed=deferred["fault_seed"],
+                crash_schedule=self.crash_schedule,
+                plan=build_plan, rank=rank)
+            return engine._start_rank(program, max_supersteps,
+                                      stop_on_convergence, tolerance)
+
+        plan = plan_from_spec(self.partition_spec, build, num_nodes,
+                              min(self.workers, num_nodes))
+        transport = self.transport or default_transport(plan.num_parts)
+        run = run_partitioned(build, plan, transport=transport)
+        parts = [run.results[r] for r in sorted(run.results)]
+        values = [0.0] * self.graph.num_vertices
+        for part in parts:
+            for vertex, value in part["values"].items():
+                values[vertex] = value
+        steps_run = max(part["steps_run"] for part in parts)
+        stats = run.engine_stats()
+        stats["membership"] = {
+            "evictions": max(part["evictions"] for part in parts),
+            "rejoins": max(part["rejoins"] for part in parts),
+        }
+        self.partitioned_stats = stats
+        return BSPResult(
+            values=values, supersteps_run=steps_run,
+            elapsed_ns=run.final_time,
+            converged=steps_run < max_supersteps,
+            remote_reads=sum(part["remote_reads"] for part in parts),
+            recoveries=sum(part["recoveries"] for part in parts),
+            checkpoints=sum(part["checkpoints"] for part in parts))
+
+    def _start_rank(self, program: VertexProgram, max_supersteps: int,
+                    stop_on_convergence: bool, tolerance: float):
+        """Builder payload for :func:`repro.sim.run_partitioned`: spawn
+        a worker per *owned* node and return ``(sim, fabric, finalize)``.
+        Called on per-rank engines (``plan``/``rank`` set)."""
+        sim = self.cluster.sim
+        st = self._rank_state = {
+            #: rank -> (home node, record-array base). Updated on every
+            #: rank during recovery: the adopter assignment is a pure
+            #: function of the replicated dead set.
+            "partition_home": {n: (n, 0) for n in range(self.num_nodes)},
+            "adopted": set(),
+            "steps_run": [0],
+            "remote_reads": [0],
+            "recoveries": [0],
+            "checkpoints": [0],
+            "recovery_plan": [None],
+        }
+        for node_id in self.owned:
+            self._init_records(program, node_id, node_id, 0)
+        procs = [sim.process(self._rank_worker(n, program, max_supersteps,
+                                               stop_on_convergence,
+                                               tolerance),
+                             name=f"ftbsp{n}")
+                 for n in self.owned]
+
+        def finalize():
+            for proc in procs:
+                if not proc.triggered:
+                    raise RuntimeError(
+                        f"{proc.name} did not finish (deadlock?)")
+                if not proc.ok:
+                    raise proc.value
+            return {
+                "values": self._collect_rank(),
+                "steps_run": st["steps_run"][0],
+                "remote_reads": st["remote_reads"][0],
+                "recoveries": st["recoveries"][0],
+                "checkpoints": st["checkpoints"][0],
+                "evictions": self.membership.evictions,
+                "rejoins": self.membership.rejoins,
+            }
+
+        return sim, self.cluster.fabric, finalize
+
+    def _collect_rank(self) -> Dict[int, float]:
+        """Final values of every partition this rank is responsible for
+        emitting: partitions homed on a live owned node, plus a dead
+        un-adopted rank's last durable checkpoint when this rank owns
+        its ring successor (mirrors the serial collection)."""
+        st = self._rank_state
+        failed = self.failed_ranks
+        final_epoch = st["steps_run"][0] % 2
+        values: Dict[int, float] = {}
+        for rank in range(self.num_nodes):
+            home, base = st["partition_home"][rank]
+            if rank in failed and home == rank:
+                succ = self._adopter_of(rank)
+                if succ not in self.owned:
+                    continue
+                durable = self._durable_header(succ, self.peer_hdr_base)
+                if durable < st["steps_run"][0]:
+                    raise RuntimeError(
+                        f"rank {rank} died un-adopted with a stale "
+                        f"checkpoint ({durable} < {st['steps_run'][0]})")
+                slot = self._slot_with_header(succ, self.peer_hdr_base,
+                                              durable)
+                home = succ
+                base = self.peer_ckpt_base + slot * self.part_stride
+            elif home not in self.owned or home in failed:
+                continue
+            for vertex in self.partition.members[rank]:
+                rel = self._record_offset(vertex)
+                raw = self.cluster.peek_segment(home, _CTX, base + rel, 24)
+                values[vertex] = _unpack(raw)[final_epoch]
+        return values
+
+    def _rank_worker(self, node_id: int, program: VertexProgram,
+                     max_supersteps: int, stop_on_convergence: bool,
+                     tolerance: float):
+        """The serial fault-tolerant worker with its shared-dict control
+        plane replaced by fabric-carried control words, so it runs
+        unmodified under any partitioning:
+
+        * ``changed[n]`` -> each node's FLAG word: ``1 + s`` where ``s``
+          is the last superstep whose compute changed the node. Flags
+          are monotone (never reset); the decider's proceed test becomes
+          ``any(flag >= step)``, which is equivalent to the serial reset
+          semantics because under ``stop_on_convergence`` a partition
+          unchanged at ``step - 1`` is unchanged at every later step of
+          this (deterministic) execution.
+        * ``proceed[0]`` -> the decider's VERDICT word, generation-
+          stamped with ``step + 1`` so a reader can detect a torn round.
+        * the ``recovery`` dict -> ARRIVED / DURABLE / ADOPT_DUR words
+          per node plus the planner's PLAN line.
+
+        Writes land in the writer's own segment (untimed pokes — the
+        modeled out-of-band control plane, same as the serial shared
+        dicts); every read of a *peer's* word is a timed one-sided
+        ``read_sync`` even when the peer is simulated by this same rank,
+        keeping the event timeline independent of the partitioning."""
+        graph, partition = self.graph, self.partition
+        cluster = self.cluster
+        sim = cluster.sim
+        num_nodes = self.num_nodes
+        every = self.checkpoint_every
+        failed = self.failed_ranks
+        st = self._rank_state
+        partition_home = st["partition_home"]
+        session = self.sessions[node_id]
+        barrier = self.barriers[node_id]
+        core = session.core
+        space = session.space
+        seg_base = session.ctx.segment.base_vaddr
+        mirrors = {
+            r: session.alloc_buffer(
+                max(len(partition.members[r]), 1) * RECORD_BYTES)
+            for r in range(num_nodes) if r != node_id
+        }
+        hdr_buf = session.alloc_buffer(8)
+        ctrl_buf = session.alloc_buffer(64)
+        ctrl_base = self.ctrl_base
+
+        def decider() -> int:
+            return min(r for r in range(num_nodes) if r not in failed)
+
+        def poke_word(offset: int, value: int) -> None:
+            cluster.poke_segment(node_id, _CTX, ctrl_base + offset,
+                                 int(value).to_bytes(8, "little"))
+
+        def peek_word(offset: int) -> int:
+            return int.from_bytes(
+                cluster.peek_segment(node_id, _CTX, ctrl_base + offset, 8),
+                "little")
+
+        def read_ctrl(peer: int, offset: int, nbytes: int = 8):
+            # Timed fabric read of a peer's control word — always over
+            # the fabric, never a local peek, so the model is identical
+            # under every partitioning.
+            yield from session.wait_for_slot()
+            yield from session.read_sync(peer, ctrl_base + offset,
+                                         ctrl_buf, nbytes)
+            return session.buffer_peek(ctrl_buf, nbytes)
+
+        def read_ctrl_word(peer: int, offset: int):
+            raw = yield from read_ctrl(peer, offset)
+            return int.from_bytes(raw, "little")
+
+        def raise_errors() -> None:
+            if session.errors:
+                entry = session.errors[0]
+                raise RemoteOpFailed(entry.wq_index, entry.error)
+
+        def checkpoint(progress: int):
+            slot = (progress // every) % 2
+            nbytes = len(partition.members[node_id]) * RECORD_BYTES
+            if nbytes == 0:
+                return
+            data = session.buffer_peek(seg_base, nbytes)
+            cluster.poke_segment(node_id, _CTX,
+                                 self.local_ckpt_base
+                                 + slot * self.part_stride, data)
+            cluster.poke_segment(node_id, _CTX,
+                                 self.local_hdr_base + slot * 64,
+                                 progress.to_bytes(8, "little"))
+            st["checkpoints"][0] += 1
+            succ = (node_id + 1) % num_nodes
+            if succ in failed or not self._replica_peer_ok(succ):
+                return
+            yield from session.wait_for_slot()
+            yield from session.write_async(
+                succ, self.peer_ckpt_base + slot * self.part_stride,
+                seg_base, nbytes)
+            yield from session.drain_cq()
+            raise_errors()
+            session.buffer_poke(hdr_buf, progress.to_bytes(8, "little"))
+            yield from session.write_sync(
+                succ, self.peer_hdr_base + slot * 64, hdr_buf, 8)
+            cluster.resilience_counters(node_id) \
+                .checkpoint_bytes_written += nbytes
+
+        def restore_rank(rank, src_ckpt, src_hdr, dst_base, restore_pt):
+            # Node-local in every partitioned case: survivors restore
+            # from their own snapshots, adopters from their own peer
+            # (ring-predecessor) region.
+            if restore_pt == 0:
+                self._init_records(program, rank, node_id, dst_base)
+                return
+            nbytes = len(partition.members[rank]) * RECORD_BYTES
+            if nbytes == 0:
+                return
+            slot = self._slot_with_header(node_id, src_hdr, restore_pt)
+            data = cluster.peek_segment(
+                node_id, _CTX, src_ckpt + slot * self.part_stride, nbytes)
+            cluster.poke_segment(node_id, _CTX, dst_base, data)
+
+        def finished_exit():
+            for d in sorted(failed):
+                barrier.exclude(d)
+            poke_word(_CTRL_FINISHED, 1)
+            return None
+
+        def recover(step: int):
+            # Quiesce: outstanding operations toward the dead node
+            # error-complete once the retransmission budget runs out.
+            yield from session.drain_cq()
+            session.consume_errors()
+            # Wait for the eviction verdict; none within a few leases
+            # means the failure was transient — retry the superstep.
+            deadline = sim.now + 4 * self.membership.lease_ns
+            while not failed and sim.now < deadline:
+                yield sim.timeout(self.membership.interval_ns)
+            # A live peer whose FINISHED word is set already returned:
+            # the collective result is materialized, recovery is
+            # bookkeeping only (see the serial path for the argument).
+            for r in range(num_nodes):
+                if r == node_id or r in failed \
+                        or self.controller.is_down(r):
+                    continue
+                try:
+                    word = yield from read_ctrl_word(r, _CTRL_FINISHED)
+                except RemoteOpFailed:
+                    session.consume_errors()
+                    continue
+                if word:
+                    return finished_exit()
+            if not failed:
+                return step
+            if st["recovery_plan"][0] is not None \
+                    and set(failed) - set(st["recovery_plan"][0]["dead"]):
+                raise RuntimeError(
+                    "second failure incident after recovery: the "
+                    "rendezvous state is valid for one incident per run")
+            # Rendezvous: publish durable headers, then the arrival —
+            # the planner reads them only after seeing the arrival.
+            poke_word(_CTRL_DURABLE,
+                      1 + self._durable_header(node_id,
+                                               self.local_hdr_base))
+            poke_word(_CTRL_ADOPT_DUR,
+                      1 + self._durable_header(node_id,
+                                               self.peer_hdr_base))
+            poke_word(_CTRL_ARRIVED, 1 + barrier.generation)
+            plan = None
+            while plan is None:
+                live = [r for r in range(num_nodes) if r not in failed]
+                if node_id == min(live):
+                    # Planner: wait until every live rank has arrived.
+                    # A crashed-but-not-yet-evicted rank reads as 0 (or
+                    # fails the read) and keeps the plan on hold — the
+                    # serial "all accounted for" condition.
+                    arrived = {node_id: peek_word(_CTRL_ARRIVED)}
+                    waiting_on = None
+                    for r in live:
+                        if r == node_id:
+                            continue
+                        try:
+                            word = yield from read_ctrl_word(
+                                r, _CTRL_ARRIVED)
+                        except RemoteOpFailed:
+                            session.consume_errors()
+                            word = 0
+                        if word == 0:
+                            waiting_on = r
+                            break
+                        arrived[r] = word
+                    if waiting_on is not None:
+                        # The missing rank may have returned instead
+                        # (crash racing the final rendezvous).
+                        try:
+                            word = yield from read_ctrl_word(
+                                waiting_on, _CTRL_FINISHED)
+                        except RemoteOpFailed:
+                            session.consume_errors()
+                            word = 0
+                        if word:
+                            return finished_exit()
+                    else:
+                        dead = sorted(failed)
+                        adopters = {d: self._adopter_of(d) for d in dead}
+                        durables = []
+                        for r in live:
+                            if r == node_id:
+                                durables.append(
+                                    peek_word(_CTRL_DURABLE) - 1)
+                            else:
+                                word = yield from read_ctrl_word(
+                                    r, _CTRL_DURABLE)
+                                durables.append(word - 1)
+                        for d in dead:
+                            if adopters[d] == node_id:
+                                durables.append(
+                                    peek_word(_CTRL_ADOPT_DUR) - 1)
+                            else:
+                                word = yield from read_ctrl_word(
+                                    adopters[d], _CTRL_ADOPT_DUR)
+                                durables.append(word - 1)
+                        plan = {"restore": min(durables),
+                                "generation": max(arrived.values()) - 1,
+                                "dead": dead, "adopters": adopters}
+                        mask = sum(1 << d for d in dead)
+                        cluster.poke_segment(
+                            node_id, _CTX, ctrl_base + _CTRL_PLAN,
+                            struct.pack("<3Q", (mask << 1) | 1,
+                                        plan["restore"],
+                                        plan["generation"]))
+                        st["recoveries"][0] += 1
+                        break
+                else:
+                    # Follower: poll the planner's PLAN line (the
+                    # planner identity is recomputed each round — an
+                    # eviction may change it) until it turns valid.
+                    word = 0
+                    try:
+                        raw = yield from read_ctrl(min(live), _CTRL_PLAN,
+                                                   24)
+                        word, restore, generation = struct.unpack(
+                            "<3Q", raw)
+                    except RemoteOpFailed:
+                        session.consume_errors()
+                    if word:
+                        dead = sorted(failed)
+                        if (word >> 1) != sum(1 << d for d in dead):
+                            raise RuntimeError(
+                                "recovery plan covers a different dead "
+                                "set than this rank observed")
+                        plan = {"restore": restore,
+                                "generation": generation, "dead": dead,
+                                "adopters": {d: self._adopter_of(d)
+                                             for d in dead}}
+                        break
+                    try:
+                        word = yield from read_ctrl_word(
+                            min(live), _CTRL_FINISHED)
+                    except RemoteOpFailed:
+                        session.consume_errors()
+                        word = 0
+                    if word:
+                        return finished_exit()
+                yield sim.timeout(self.membership.interval_ns)
+            st["recovery_plan"][0] = plan
+            restore_pt = plan["restore"]
+            for d in plan["dead"]:
+                barrier.exclude(d)
+            if plan["generation"] > barrier.generation:
+                barrier.resync_generation(plan["generation"])
+            session.consume_errors()
+            restore_rank(node_id, self.local_ckpt_base,
+                         self.local_hdr_base, 0, restore_pt)
+            for d in plan["dead"]:
+                adopter = plan["adopters"][d]
+                if adopter == node_id and d not in st["adopted"]:
+                    if any(h == node_id
+                           for r, (h, _) in partition_home.items()
+                           if r != node_id and r != d):
+                        raise RuntimeError(
+                            "adoption region already in use: one "
+                            "adoption per surviving rank")
+                    restore_rank(d, self.peer_ckpt_base,
+                                 self.peer_hdr_base, self.adopt_base,
+                                 restore_pt)
+                    st["adopted"].add(d)
+                # Every rank redirects reads for the dead partition to
+                # its adopter — the assignment is a pure function of the
+                # replicated dead set, so no agreement message needed.
+                partition_home[d] = (adopter, self.adopt_base)
+            # Force one proceed decision after the rollback (the serial
+            # path's changed/proceed := True).
+            if peek_word(_CTRL_FLAG) < restore_pt:
+                poke_word(_CTRL_FLAG, restore_pt)
+            return restore_pt
+
+        step = 0
+        while True:
+            try:
+                if step >= max_supersteps:
+                    yield from barrier.wait()   # final rendezvous
+                    poke_word(_CTRL_FINISHED, 1)
+                    return
+                yield from barrier.wait()       # flags are final
+                dec = decider()
+                proceed = None
+                if node_id == dec:
+                    proceed = peek_word(_CTRL_FLAG) >= step
+                    for r in range(num_nodes):
+                        if r == node_id or r in failed:
+                            continue
+                        word = yield from read_ctrl_word(r, _CTRL_FLAG)
+                        if word >= step:
+                            proceed = True
+                    poke_word(_CTRL_VERDICT,
+                              ((step + 1) << 1) | int(proceed))
+                yield from barrier.wait()       # verdict is visible
+                if node_id != dec:
+                    word = yield from read_ctrl_word(dec, _CTRL_VERDICT)
+                    if (word >> 1) != step + 1:
+                        raise RuntimeError(
+                            f"verdict generation mismatch: "
+                            f"{word >> 1} != {step + 1}")
+                    proceed = bool(word & 1)
+                if stop_on_convergence and not proceed:
+                    yield from barrier.wait()   # final rendezvous
+                    poke_word(_CTRL_FINISHED, 1)
+                    return
+                st["steps_run"][0] = step + 1
+
+                # Shuffle: one bulk read per remote-homed rank.
+                for r in range(num_nodes):
+                    home, base = partition_home[r]
+                    if home == node_id:
+                        continue
+                    nbytes = len(partition.members[r]) * RECORD_BYTES
+                    if nbytes == 0:
+                        continue
+                    yield from session.wait_for_slot()
+                    yield from session.read_async(home, base, mirrors[r],
+                                                  nbytes)
+                    st["remote_reads"][0] += 1
+                yield from session.drain_cq()
+                raise_errors()
+
+                read_at = step % 2
+                write_off = 8 * ((step + 1) % 2)
+                for rank in range(num_nodes):
+                    home, base = partition_home[rank]
+                    if home != node_id:
+                        continue
+                    for vertex in partition.members[rank]:
+                        yield core.compute(program.vertex_compute_ns)
+                        inputs = []
+                        for u in graph.in_neighbors[vertex]:
+                            owner = partition.owner[u]
+                            o_home, o_base = partition_home[owner]
+                            rel = self._record_offset(u)
+                            if o_home == node_id:
+                                vaddr = seg_base + o_base + rel
+                            else:
+                                vaddr = mirrors[owner] + rel
+                            raw = yield from core.mem_read(space, vaddr,
+                                                           24)
+                            vals = _unpack(raw)
+                            inputs.append((vals[read_at], vals[2]))
+                            yield core.compute(program.edge_compute_ns)
+                        new_value = program.update(graph, vertex, inputs)
+                        rec_vaddr = (seg_base + base
+                                     + self._record_offset(vertex))
+                        old_value = _unpack(session.buffer_peek(
+                            rec_vaddr, 24))[read_at]
+                        if abs(new_value - old_value) > tolerance \
+                                and peek_word(_CTRL_FLAG) < step + 1:
+                            poke_word(_CTRL_FLAG, step + 1)
+                        yield from core.mem_write(
+                            space, rec_vaddr + write_off,
+                            struct.pack("<d", new_value))
+
+                if (step + 1) % every == 0:
+                    yield from checkpoint(step + 1)
+                step += 1
+            except (RankFailed, NodeEvicted, RemoteOpFailed):
+                if barrier.self_evicted or node_id in failed \
+                        or self.controller.is_down(node_id):
+                    return   # it is me who died
+                step = yield from recover(step)
+                if step is None:
+                    return   # run already complete (see recover)

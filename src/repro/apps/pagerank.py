@@ -31,7 +31,13 @@ from ..baselines.shm import build_shm_node
 from ..cluster.cluster import Cluster, ClusterConfig
 from ..runtime.barrier import Barrier
 from ..runtime.qp_api import RMCSession
-from ..sim import PartitionPlan, Simulator, run_partitioned
+from ..sim import (
+    PartitionPlan,
+    Simulator,
+    default_transport,
+    plan_from_spec,
+    run_partitioned,
+)
 from ..telemetry import merge_snapshots, snapshot
 from .graph import Graph, Partition, partition_random
 
@@ -316,8 +322,9 @@ def _run_partitioned_pagerank(variant: str, worker_fn, graph: Graph,
                               num_nodes: int, supersteps: int,
                               timing: PageRankTiming,
                               cluster_config: Optional[ClusterConfig],
-                              seed: int, plan: PartitionPlan,
-                              transport: str) -> PageRankResult:
+                              seed: int, plan, transport: Optional[str],
+                              num_parts: Optional[int] = None
+                              ) -> PageRankResult:
     config = _paired_config(cluster_config, num_nodes)
 
     def build(rank: int, build_plan: PartitionPlan):
@@ -345,6 +352,11 @@ def _run_partitioned_pagerank(variant: str, worker_fn, graph: Graph,
 
         return sim, setup.cluster.fabric, finalize
 
+    if isinstance(plan, str):
+        plan = plan_from_spec(plan, build, num_nodes,
+                              num_parts or num_nodes)
+    if transport is None:
+        transport = default_transport(plan.num_parts)
     run = run_partitioned(build, plan, transport=transport)
     parts = [run.results[r] for r in sorted(run.results)]
     # Vertex ownership is disjoint across workers, so the per-worker
@@ -362,10 +374,14 @@ def _run_partitioned_pagerank(variant: str, worker_fn, graph: Graph,
         telemetry=merged)
 
 
-def _resolve_plan(num_nodes: int, workers: Optional[int],
-                  partition: Optional[PartitionPlan]
-                  ) -> Optional[PartitionPlan]:
-    if partition is not None:
+def _resolve_plan(num_nodes: int, workers: Optional[int], partition):
+    """A concrete plan, a deferred spec string ("adaptive"/"contiguous",
+    resolved once the builder exists), or None for the serial path."""
+    if isinstance(partition, PartitionPlan):
+        return partition
+    if isinstance(partition, str):
+        if workers is None or workers <= 1:
+            return None
         return partition
     if workers is not None and workers > 1:
         return PartitionPlan.contiguous(num_nodes, workers)
@@ -377,19 +393,22 @@ def run_sonuma_bulk(graph: Graph, num_nodes: int, supersteps: int = 1,
                     cluster_config: Optional[ClusterConfig] = None,
                     seed: int = 7,
                     workers: Optional[int] = None,
-                    partition: Optional[PartitionPlan] = None,
-                    transport: str = "process") -> PageRankResult:
+                    partition=None,
+                    transport: Optional[str] = None) -> PageRankResult:
     """Pregel-style PageRank: whole-partition pulls each superstep.
 
     ``workers > 1`` (or an explicit ``partition`` plan) runs the
     simulation on the conservative parallel engine — bit-identical
-    results, one worker process per partition.
+    results, one worker process per partition. ``partition`` may be a
+    :class:`PartitionPlan`, ``"contiguous"``, or ``"adaptive"``
+    (profiled load-aware cut); ``transport=None`` picks the fastest
+    available (shm > process > inline).
     """
     plan = _resolve_plan(num_nodes, workers, partition)
     if plan is not None:
         return _run_partitioned_pagerank(
             "bulk", _bulk_worker, graph, num_nodes, supersteps, timing,
-            cluster_config, seed, plan, transport)
+            cluster_config, seed, plan, transport, num_parts=workers)
     setup = _SoNUMASetup(graph, num_nodes, cluster_config, seed)
     sim = setup.cluster.sim
     remote_reads = [0]
@@ -484,19 +503,20 @@ def run_sonuma_fine(graph: Graph, num_nodes: int, supersteps: int = 1,
                     cluster_config: Optional[ClusterConfig] = None,
                     seed: int = 7,
                     workers: Optional[int] = None,
-                    partition: Optional[PartitionPlan] = None,
-                    transport: str = "process") -> PageRankResult:
+                    partition=None,
+                    transport: Optional[str] = None) -> PageRankResult:
     """The Fig. 4 implementation: one async remote read per cut edge.
 
     ``workers > 1`` (or an explicit ``partition`` plan) runs the
     simulation on the conservative parallel engine — bit-identical
-    results, one worker process per partition.
+    results, one worker process per partition. ``partition`` and
+    ``transport`` as in :func:`run_sonuma_bulk`.
     """
     plan = _resolve_plan(num_nodes, workers, partition)
     if plan is not None:
         return _run_partitioned_pagerank(
             "fine", _fine_worker, graph, num_nodes, supersteps, timing,
-            cluster_config, seed, plan, transport)
+            cluster_config, seed, plan, transport, num_parts=workers)
     setup = _SoNUMASetup(graph, num_nodes, cluster_config, seed)
     sim = setup.cluster.sim
     remote_reads = [0]

@@ -98,15 +98,22 @@ def _cmd_pagerank(args) -> int:
         # processes; results are bit-identical to the serial engine.
         from .apps.graph import zipf_graph
         from .apps.pagerank import run_sonuma_bulk
+        from .sim import resolve_run_options
 
+        transport, partition, note = resolve_run_options(
+            args.workers, args.transport, args.partition)
+        if note:
+            print(f"note: {note}")
         nodes = max(args.nodes)
         graph = zipf_graph(args.vertices, avg_degree=args.degree, seed=7)
         print(f"PageRank (bulk) on the parallel engine — "
               f"{args.vertices} vertices, {nodes} simulated nodes, "
-              f"{args.workers} workers")
+              f"{args.workers} workers, {transport} transport, "
+              f"{partition} plan")
         result = run_sonuma_bulk(graph, nodes, supersteps=args.supersteps,
                                  workers=args.workers,
-                                 transport=args.transport)
+                                 partition=partition,
+                                 transport=transport)
         es = result.telemetry.engine_stats
         print(f"simulated time: {result.elapsed_us:.1f} us "
               f"({result.remote_reads} remote reads)")
@@ -114,12 +121,21 @@ def _cmd_pagerank(args) -> int:
               f"{es['wall_s']:.3f} s wall "
               f"({es['events_per_sec']:,.0f} ev/s, "
               f"{es['rounds']} sync rounds)")
+        coord = es.get("coordination", {})
+        if coord:
+            print(f"coordination: {coord.get('grant_roundtrips', 0)} grant "
+                  f"round-trips, route {coord.get('route_s', 0.0):.3f}s, "
+                  f"wait {coord.get('wait_s', 0.0):.3f}s, "
+                  f"codec {coord.get('serialize_s', 0.0):.3f}s")
         for part in es["partitions"]:
             print(f"  worker {part['rank']}: nodes {part['nodes']} "
                   f"events={part['events_processed']} "
                   f"wall={part['wall_s']:.3f}s")
         return 0
 
+    if args.transport != "auto" or args.partition != "auto":
+        print("note: single worker: running serial "
+              "(--transport/--partition moot)")
     print(f"PageRank speedups — {args.vertices} vertices, "
           f"nodes {args.nodes}")
     rows = pagerank_speedups(node_counts=tuple(args.nodes),
@@ -192,9 +208,17 @@ def build_parser() -> argparse.ArgumentParser:
                       help="simulation worker processes (>1 runs the "
                            "conservative parallel engine)")
     rank.add_argument("--supersteps", type=int, default=2)
-    rank.add_argument("--transport", choices=["process", "inline"],
-                      default="process",
-                      help="parallel-engine transport (debugging aid)")
+    rank.add_argument("--transport",
+                      choices=["auto", "shm", "process", "inline"],
+                      default="auto",
+                      help="parallel-engine transport; 'auto' picks shm "
+                           "when the host supports POSIX fork + shared "
+                           "memory, else falls back with a note")
+    rank.add_argument("--partition",
+                      choices=["auto", "contiguous", "adaptive"],
+                      default="auto",
+                      help="partition plan; 'auto' uses the profiled "
+                           "adaptive plan for multi-worker runs")
 
     kv = sub.add_parser("kvstore", help="one-sided-read KV store demo")
     kv.add_argument("--keys", type=int, default=500)

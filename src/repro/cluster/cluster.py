@@ -164,17 +164,22 @@ class Cluster:
         epoch fencing on all NIs), pong resumption rejoins. Callbacks
         (``fn(node_id, epoch)``) passed here are registered before the
         initial joins fire. Returns the
-        :class:`~repro.cluster.membership.MembershipService`."""
-        from .membership import MembershipService
+        :class:`~repro.cluster.membership.MembershipService`.
 
-        if self.partition is not None:
-            raise PartitionError(
-                "the membership service is not supported on a "
-                "partitioned cluster yet (heartbeats are cluster-global)")
+        On a *partitioned* cluster the probing mesh cannot run (each
+        rank simulates only its own nodes), so this returns a
+        :class:`~repro.cluster.membership.ScheduledMembership` instead:
+        same interface, same fencing, but evictions/rejoins are driven
+        deterministically from the replicated fault controller rather
+        than from RPING detectors."""
+        from .membership import MembershipService, ScheduledMembership
+
         if self.membership is not None:
             raise RuntimeError("membership already enabled")
-        self.membership = MembershipService(self, interval_ns=interval_ns,
-                                            lease_ns=lease_ns)
+        service_cls = (ScheduledMembership if self.partition is not None
+                       else MembershipService)
+        self.membership = service_cls(self, interval_ns=interval_ns,
+                                      lease_ns=lease_ns)
         for callback, registry in ((on_join, self.membership.on_join),
                                    (on_evict, self.membership.on_evict),
                                    (on_rejoin, self.membership.on_rejoin)):

@@ -116,6 +116,13 @@ class NodeFaultController:
         self.fabric.fail_node(node_id)
         self.down.add(node_id)
         self.gray.discard(node_id)
+        # Scheduled (partitioned) membership has no probing detectors:
+        # tell it directly so the eviction fires at lease expiry on
+        # every rank. The RPING-based service has no such hook — its
+        # detectors notice the silence on their own.
+        note_crash = getattr(self.membership, "note_crash", None)
+        if note_crash is not None:
+            note_crash(node_id)
         if node is not None:
             node.rmc.mute_pings = False
             self.crashes += 1

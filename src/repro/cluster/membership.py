@@ -34,7 +34,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
-__all__ = ["MemberState", "MemberRecord", "MembershipService"]
+__all__ = ["MemberState", "MemberRecord", "MembershipService",
+           "ScheduledMembership"]
 
 
 class MemberState(enum.Enum):
@@ -233,3 +234,131 @@ class MembershipService:
             "rejoins": self.rejoins,
             "mttr_ns": self.mttr_ns,
         }
+
+
+class ScheduledMembership(MembershipService):
+    """Deterministic membership for *partitioned* clusters.
+
+    The RPING-based :class:`MembershipService` is cluster-global: every
+    node probes every other, and the first detector to see a lease
+    expire drives the eviction. On a partitioned (multi-rank) cluster
+    each rank simulates only its own nodes, so the probing mesh cannot
+    run — and worse, detector timing would depend on which rank hosts
+    which detector, breaking the parallel engine's bit-for-bit
+    determinism guarantee.
+
+    This variant replaces probing with *scheduled* transitions that
+    every rank replays identically:
+
+    * the fault controller reports each crash through
+      :meth:`note_crash`; the eviction fires exactly ``lease_ns`` later
+      (the instant the last pre-crash lease would have expired) on
+      every rank, fencing only the nodes the rank owns;
+    * a restart (:meth:`register_restart`, called on every rank by the
+      replicated controller) schedules the rejoin one heartbeat
+      ``interval_ns`` after reboot — the first probe round that would
+      have seen a pong.
+
+    The service keeps a record for *every* node id in the cluster (not
+    just the rank-owned ones) so liveness queries agree across ranks,
+    and it mirrors the full :class:`MembershipService` interface:
+    ``is_live`` / ``evict`` / ``register_restart`` / ``rejoin`` /
+    ``attach_detector`` (a no-op here) / ``stats`` and the callback
+    registries. Epoch fencing and incarnations behave exactly as in the
+    probing service; only the *detection delay* is idealized (a fixed
+    lease instead of probe-phase-dependent), which is the price of a
+    partition-invariant model.
+    """
+
+    def __init__(self, cluster, interval_ns: float = 20_000.0,
+                 lease_ns: Optional[float] = None):
+        super().__init__(cluster, interval_ns=interval_ns,
+                         lease_ns=lease_ns)
+        # Records for all nodes, including ones other ranks simulate.
+        self.members = {nid: MemberRecord(nid)
+                        for nid in cluster.all_node_ids}
+
+    def start(self) -> None:
+        """Stamp incarnation 1 into every owned NI; no probes are
+        started. Join callbacks fire for every node id so rank-level
+        bookkeeping is identical everywhere."""
+        if self._started:
+            raise RuntimeError("membership service already started")
+        self._started = True
+        for node in self.cluster.nodes:
+            node.ni.epoch = self.members[node.node_id].incarnation
+        for nid in self.cluster.all_node_ids:
+            for callback in self.on_join:
+                callback(nid, self.epoch)
+
+    def attach_detector(self, node) -> None:
+        """No probing mesh on a partitioned cluster: transitions come
+        from :meth:`note_crash` / :meth:`register_restart` instead."""
+
+    def note_crash(self, node_id: int) -> None:
+        """Fault-controller hook: a node was fail-stopped *now*. Evict
+        it when its lease runs out, unless it was restarted first —
+        exactly what the probing detectors would conclude, at the
+        deterministic worst-case instant."""
+        record = self.members.get(node_id)
+        if record is None or not record.is_live:
+            return
+        sim = self.sim
+        incarnation = record.incarnation
+
+        def _lease_expiry():
+            yield sim.timeout(self.lease_ns)
+            current = self.members[node_id]
+            faults = self.cluster.faults
+            if current.is_live and current.incarnation == incarnation \
+                    and (faults is None or faults.is_down(node_id)):
+                self.evict(node_id)
+
+        sim.process(_lease_expiry(), name=f"membership.lease{node_id}")
+
+    def register_restart(self, node_id: int) -> int:
+        """Replicated restart path: advance the incarnation past the
+        fence everywhere, stamp the NI only on the owning rank, and
+        schedule the deterministic rejoin (first post-reboot heartbeat
+        round). Returns the new incarnation."""
+        record = self.members[node_id]
+        if record.incarnation < record.fenced_below:
+            record.incarnation = record.fenced_below
+        node = self.cluster.nodes.get(node_id)
+        if node is not None:
+            node.ni.epoch = record.incarnation
+        sim = self.sim
+
+        def _first_pong():
+            yield sim.timeout(self.interval_ns)
+            faults = self.cluster.faults
+            if faults is None or not faults.is_down(node_id):
+                self.rejoin(node_id)
+
+        sim.process(_first_pong(), name=f"membership.rejoin{node_id}")
+        return record.incarnation
+
+    def rejoin(self, node_id: int) -> int:
+        """As the base service, but the NI re-incarnation stamp only
+        touches rank-owned nodes."""
+        record = self.members[node_id]
+        if record.is_live:
+            return self.epoch
+        if record.incarnation < record.fenced_below:
+            record.incarnation = record.fenced_below
+            node = self.cluster.nodes.get(node_id)
+            if node is not None:
+                node.ni.epoch = record.incarnation
+        record.state = MemberState.ALIVE
+        record.rejoined_at = self.sim.now
+        record.rejoins += 1
+        self.rejoins += 1
+        if record.evicted_at is not None:
+            self.repair_times_ns.append(record.rejoined_at
+                                        - record.evicted_at)
+        self.epoch += 1
+        for callback in self.on_rejoin:
+            callback(node_id, self.epoch)
+        return self.epoch
+
+

@@ -12,11 +12,16 @@ from .engine import (
     WakeSignal,
 )
 from .parallel import (
+    TRANSPORTS,
     PartitionError,
     PartitionPlan,
     PartitionedRun,
     RemoteMessage,
     ZeroLookaheadError,
+    default_transport,
+    resolve_run_options,
+    plan_from_spec,
+    profile_weights,
     run_partitioned,
 )
 from .resources import Channel, Resource, Store
@@ -42,7 +47,12 @@ __all__ = [
     "Store",
     "ThroughputMeter",
     "Timeout",
+    "TRANSPORTS",
     "WakeSignal",
     "ZeroLookaheadError",
+    "default_transport",
+    "resolve_run_options",
+    "plan_from_spec",
+    "profile_weights",
     "run_partitioned",
 ]

@@ -1,0 +1,283 @@
+"""Single-producer/single-consumer ring buffers over shared memory.
+
+The parallel engine's ``shm`` transport moves window-protocol messages
+through a pair of these rings per worker (coordinator->worker and
+worker->coordinator) instead of pickling dataclasses over a pipe. Each
+ring is a fixed byte region with a small header:
+
+* byte 0:   head cursor (u64, bytes ever pushed, written by producer)
+* byte 64:  tail cursor (u64, bytes ever consumed, written by consumer)
+* byte 128: data region of ``capacity`` bytes
+
+Cursors live on separate cache lines so the two sides never write the
+same line. Records are ``[u32 size | u32 seq | u32 crc | u32 pad |
+payload | pad-to-8]`` stored contiguously; a record that would straddle
+the region end is preceded by a wrap marker (``size == 0xFFFFFFFF``)
+and starts at offset 0 instead. Publication is seqlock-style: the
+producer writes the payload first, then the header words, then advances
+the head cursor.
+
+Like any seqlock, the *reader* must tolerate observing the writer's
+stores before they have all become visible in its own mapping — kernels
+are free to make shared-memory propagation page-granular and slightly
+delayed (this shows up readily under virtualization). The consumer
+therefore treats an out-of-sequence header as "not published yet" and
+re-reads with a bounded patience window (``stale_timeout_s``), and every
+payload carries a CRC32 so a record spanning several pages can never be
+consumed half-new/half-stale. Only a mismatch that persists past the
+patience window raises :class:`RingCorrupted`.
+
+Backpressure: a full ring makes ``push`` spin briefly and then sleep
+in 50 us steps until the consumer frees space (or the timeout lapses).
+A single record is capped at half the ring capacity — beyond that a
+record could deadlock against the wrap skip — and raises
+:class:`RingOverflow`.
+"""
+
+from __future__ import annotations
+
+import struct
+import time
+import zlib
+from typing import Optional
+
+__all__ = [
+    "HEADER_BYTES",
+    "RingError",
+    "RingFull",
+    "RingCorrupted",
+    "RingOverflow",
+    "SpscRing",
+]
+
+HEADER_BYTES = 128
+
+_HEAD_OFF = 0
+_TAIL_OFF = 64
+_WRAP = 0xFFFFFFFF
+_REC = struct.Struct("<IIII")   # size, seq, crc32(payload), pad
+_REC_BYTES = _REC.size
+_CUR = struct.Struct("<Q")
+_SPINS = 200
+_SLEEP_S = 50e-6
+
+#: How long the consumer keeps re-reading a not-yet-visible record
+#: before declaring the ring corrupt. Cross-mapping visibility delays
+#: are typically well under a millisecond; 2 s means a genuine framing
+#: bug still surfaces quickly while no real delay can trip it.
+DEFAULT_STALE_TIMEOUT_S = 2.0
+
+
+class RingError(RuntimeError):
+    """Base class for ring-buffer failures."""
+
+
+class RingFull(RingError):
+    """Non-blocking push found no room (or the blocking timeout lapsed)."""
+
+
+class RingCorrupted(RingError):
+    """A record stayed out-of-sequence or failed its CRC past the
+    stale-read patience window."""
+
+
+class RingOverflow(RingError):
+    """A single record is larger than the ring can safely hold."""
+
+
+class SpscRing:
+    """One direction of a shared-memory message channel.
+
+    ``buf`` is a writable memoryview whose first ``HEADER_BYTES`` bytes
+    are the cursor header and whose remaining ``capacity`` bytes are the
+    data region. Exactly one process may push and exactly one may pop.
+    """
+
+    def __init__(self, buf, capacity: int, create: bool = False,
+                 stale_timeout_s: float = DEFAULT_STALE_TIMEOUT_S):
+        if capacity % 8 != 0 or capacity < 64:
+            raise ValueError(f"capacity must be a multiple of 8 >= 64, "
+                             f"got {capacity}")
+        if len(buf) < HEADER_BYTES + capacity:
+            raise ValueError("buffer smaller than header + capacity")
+        self._buf = buf
+        self.capacity = capacity
+        self.stale_timeout_s = stale_timeout_s
+        if create:
+            _CUR.pack_into(buf, _HEAD_OFF, 0)
+            _CUR.pack_into(buf, _TAIL_OFF, 0)
+        # Each side caches the cursor it owns, plus the last value it
+        # *observed* of the other side's cursor. The observed copies cut
+        # shared-cursor traffic to one re-read per batch instead of one
+        # per message (Lamport-queue cursor caching) — cursors only ever
+        # grow, so a stale observation is merely conservative.
+        self._head = _CUR.unpack_from(buf, _HEAD_OFF)[0]
+        self._tail = _CUR.unpack_from(buf, _TAIL_OFF)[0]
+        self._seen_head = self._head
+        self._seen_tail = self._tail
+        self._push_seq = 0
+        self._pop_seq = 0
+        self.msgs_pushed = 0
+        self.bytes_pushed = 0
+
+    # -- producer side ----------------------------------------------------
+
+    def push(self, data: bytes, block: bool = True,
+             timeout: Optional[float] = None) -> bool:
+        size = len(data)
+        rec = _REC_BYTES + size
+        rec += (-rec) % 8
+        # Capping records at half the capacity guarantees that any
+        # record either fits in the room before the region end or can
+        # wrap to offset 0 without its space demand exceeding the ring.
+        if rec > self.capacity // 2:
+            raise RingOverflow(
+                f"record of {size} bytes exceeds half the ring capacity "
+                f"({self.capacity})")
+        head = self._head
+        cap = self.capacity
+        off = head % cap
+        room = cap - off
+        need = rec if room >= rec else room + rec
+        buf = self._buf
+        # Fast path: enough room against the last-observed tail (the
+        # common case); re-read the shared tail, then spin/sleep, only
+        # when the cached view looks full.
+        if cap - (head - self._seen_tail) < need \
+                and cap - (head - self._shared_tail()) < need:
+            if not self._wait_for(
+                    lambda: cap - (head - self._shared_tail()) >= need,
+                    block, timeout):
+                if block:
+                    raise RingFull(f"ring full for {timeout}s")
+                return False
+        if room < rec:
+            if room >= _REC_BYTES:
+                _REC.pack_into(buf, HEADER_BYTES + off, _WRAP,
+                               self._push_seq, 0, 0)
+            head += room
+            off = 0
+        base = HEADER_BYTES + off
+        buf[base + _REC_BYTES:base + _REC_BYTES + size] = data
+        _REC.pack_into(buf, base, size, self._push_seq,
+                       zlib.crc32(data), 0)
+        self._head = head + rec
+        _CUR.pack_into(buf, _HEAD_OFF, self._head)
+        self._push_seq = (self._push_seq + 1) & 0xFFFFFFFF
+        self.msgs_pushed += 1
+        self.bytes_pushed += size
+        return True
+
+    # -- consumer side ----------------------------------------------------
+
+    def pop(self, block: bool = True,
+            timeout: Optional[float] = None) -> Optional[bytes]:
+        while True:
+            tail = self._tail
+            # Fast path: a record is already known published (observed
+            # head ahead of tail); only then touch the shared cursor.
+            if self._seen_head == tail and self._shared_head() == tail:
+                if not self._wait_for(lambda: self._shared_head() != tail,
+                                      block, timeout):
+                    return None
+            off = tail % self.capacity
+            room = self.capacity - off
+            if room < _REC_BYTES:
+                self._advance_tail(tail + room)
+                continue
+            header = self._stable_header(tail, off, room)
+            if header is None:
+                continue   # the head cursor itself was stale: re-wait
+            size, crc = header
+            if size == _WRAP:
+                self._advance_tail(tail + room)
+                continue
+            base = HEADER_BYTES + off
+            data = self._stable_payload(base, size, crc)
+            rec = _REC_BYTES + size
+            rec += (-rec) % 8
+            self._advance_tail(tail + rec)
+            self._pop_seq = (self._pop_seq + 1) & 0xFFFFFFFF
+            return data
+
+    def release(self) -> None:
+        """Drop the underlying memoryview so the shared-memory segment
+        can be closed without dangling buffer exports."""
+        buf, self._buf = self._buf, None
+        if buf is not None:
+            try:
+                buf.release()
+            except BufferError:
+                pass
+
+    # -- internals ---------------------------------------------------------
+
+    def _stable_header(self, tail: int, off: int, room: int):
+        """Read the record header at ``off``, waiting out delayed store
+        visibility. Returns (size, crc), or None if a re-read of the
+        head cursor shows there is no record after all (the head itself
+        had been read stale)."""
+        buf = self._buf
+        deadline = None
+        while True:
+            size, seq, crc, _pad = _REC.unpack_from(buf, HEADER_BYTES + off)
+            if seq == self._pop_seq \
+                    and (size == _WRAP or _REC_BYTES + size <= room):
+                return size, crc
+            if self._shared_head() == tail:
+                return None
+            if deadline is None:
+                deadline = time.perf_counter() + self.stale_timeout_s
+            elif time.perf_counter() >= deadline:
+                raise RingCorrupted(
+                    f"record seq {seq} != expected {self._pop_seq} "
+                    f"(or misframed size {size:#x}) at offset {off}, "
+                    f"stale past {self.stale_timeout_s}s")
+            time.sleep(_SLEEP_S)
+
+    def _stable_payload(self, base: int, size: int, crc: int) -> bytes:
+        """Copy the payload, re-reading until its CRC matches — a record
+        spanning several pages may become visible page by page."""
+        buf = self._buf
+        deadline = None
+        while True:
+            data = bytes(buf[base + _REC_BYTES:base + _REC_BYTES + size])
+            if zlib.crc32(data) == crc:
+                return data
+            if deadline is None:
+                deadline = time.perf_counter() + self.stale_timeout_s
+            elif time.perf_counter() >= deadline:
+                raise RingCorrupted(
+                    f"payload crc mismatch for record seq "
+                    f"{self._pop_seq}, stale past {self.stale_timeout_s}s")
+            time.sleep(_SLEEP_S)
+
+    def _shared_head(self) -> int:
+        self._seen_head = _CUR.unpack_from(self._buf, _HEAD_OFF)[0]
+        return self._seen_head
+
+    def _shared_tail(self) -> int:
+        self._seen_tail = _CUR.unpack_from(self._buf, _TAIL_OFF)[0]
+        return self._seen_tail
+
+    def _advance_tail(self, tail: int) -> None:
+        self._tail = tail
+        _CUR.pack_into(self._buf, _TAIL_OFF, tail)
+
+    @staticmethod
+    def _wait_for(ready, block: bool, timeout: Optional[float]) -> bool:
+        if ready():
+            return True
+        if not block:
+            return False
+        for _ in range(_SPINS):
+            if ready():
+                return True
+        deadline = (time.perf_counter() + timeout
+                    if timeout is not None else None)
+        while True:
+            if ready():
+                return True
+            if deadline is not None and time.perf_counter() >= deadline:
+                return False
+            time.sleep(_SLEEP_S)

@@ -1,0 +1,77 @@
+"""Partitioned replicated/coded KV failover harness: parity goldens.
+
+``run_kv_failover`` drives the replicated (or erasure-coded) KV cluster
+with a client, a primary, and backups pinned to fixed node ids, so the
+same scenario can be cut across 1..N worker processes. The *outcome*
+dict (final values, availability stats, membership events) must be
+identical whatever the worker count or transport; only the ``perf``
+side (wall clock) may differ.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import run_kv_failover
+
+CRASH_AT = 30_000.0
+RESTART_AFTER = 20_000.0
+
+REPLICATED_CONFIGS = [(1, "inline"), (2, "inline"), (2, "shm"),
+                      (3, "process")]
+
+
+def _run(mode, num_nodes, workers, transport, crash=False,
+         restart=True):
+    # A restarted primary rejoins with empty memory, so the coded
+    # scenario keeps it down (fail-stop): every read after the crash —
+    # including the final readback — must reconstruct from parity.
+    return run_kv_failover(
+        num_nodes=num_nodes, workers=workers, transport=transport,
+        mode=mode,
+        crash_primary_at_ns=CRASH_AT if crash else None,
+        restart_after_ns=RESTART_AFTER if crash and restart else None)
+
+
+class TestReplicatedParity:
+    @pytest.fixture(scope="class")
+    def serial(self):
+        return _run("replicated", 3, 1, "inline", crash=True)
+
+    def test_scenario_is_meaningful(self, serial):
+        out = serial["outcome"]
+        assert out["values_ok"]
+        assert out["availability"]["failovers"] >= 1
+        assert out["membership"]["evictions"] >= 1
+
+    @pytest.mark.parametrize("workers,transport", REPLICATED_CONFIGS[1:])
+    def test_outcome_partition_invariant(self, serial, workers,
+                                         transport):
+        got = _run("replicated", 3, workers, transport, crash=True)
+        assert got["outcome"] == serial["outcome"]
+        assert got["perf"]["workers"] == workers
+
+    def test_fault_free_all_gets_on_primary(self):
+        out = _run("replicated", 3, 2, "inline")["outcome"]
+        assert out["values_ok"]
+        assert out["availability"]["failovers"] == 0
+        assert out["membership"]["evictions"] == 0
+
+
+class TestCodedParity:
+    @pytest.fixture(scope="class")
+    def serial(self):
+        return _run("coded", 4, 1, "inline", crash=True, restart=False)
+
+    def test_degraded_reads_reconstruct(self, serial):
+        out = serial["outcome"]
+        assert out["values_ok"]
+        assert out["availability"]["degraded_reads"] >= 1
+
+    @pytest.mark.parametrize("workers,transport",
+                             [(2, "inline"), (2, "shm"), (4, "process")])
+    def test_outcome_partition_invariant(self, serial, workers,
+                                         transport):
+        got = _run("coded", 4, workers, transport, crash=True,
+                   restart=False)
+        assert got["outcome"] == serial["outcome"]

@@ -127,13 +127,18 @@ class TestTypedErrors:
                 num_nodes=4, fabric=FabricConfig(flow_control="paired")),
                 partition=PartitionPlan.contiguous(2, 2))
 
-    def test_membership_unsupported_on_partitioned_cluster(self):
+    def test_membership_on_partitioned_cluster_is_scheduled(self):
+        """A partitioned rank cannot run the RPING probing mesh (it
+        only simulates its own nodes), so enable_membership returns the
+        deterministic fault-controller-driven ScheduledMembership."""
+        from repro.cluster.membership import ScheduledMembership
+
         cluster = Cluster(
             config=ClusterConfig(
                 num_nodes=2, fabric=FabricConfig(flow_control="paired")),
             partition=PartitionPlan.contiguous(2, 2), rank=0)
-        with pytest.raises(PartitionError):
-            cluster.enable_membership()
+        service = cluster.enable_membership()
+        assert isinstance(service, ScheduledMembership)
 
     def test_shared_injector_rejected_on_partitioned_fabric(self):
         cluster = Cluster(

@@ -25,7 +25,7 @@ from repro.cluster.cluster import Cluster, ClusterConfig
 from repro.fabric.faults import FaultInjector, FaultPolicy
 from repro.fabric.ni import FabricConfig
 from repro.runtime.qp_api import RMCSession, RemoteOpFailed
-from repro.sim import PartitionPlan, run_partitioned
+from repro.sim import PartitionPlan, plan_from_spec, run_partitioned
 from repro.telemetry import merge_snapshots, snapshot
 
 NODES = 4
@@ -82,13 +82,39 @@ class TestPageRankGoldens:
         assert got.remote_reads == fine_serial.remote_reads
         _assert_snapshots_equal(got.telemetry, fine_serial.telemetry)
 
-    def test_bulk_process_transport_bit_identical(self, graph,
-                                                  bulk_serial):
-        """Real forked worker processes over pipes, not the inline
-        shortcut — the transport must not affect a single bit."""
+    @pytest.mark.parametrize("transport", ["process", "shm"])
+    def test_bulk_real_transport_bit_identical(self, graph, bulk_serial,
+                                               transport):
+        """Real forked worker processes — over pipes and over
+        shared-memory rings — not the inline shortcut: the transport
+        must not affect a single bit."""
         got = run_sonuma_bulk(graph, NODES, supersteps=2,
                               cluster_config=_paired_config(),
-                              workers=2, transport="process")
+                              workers=2, transport=transport)
+        assert got.ranks == bulk_serial.ranks
+        assert got.elapsed_ns == bulk_serial.elapsed_ns
+        _assert_snapshots_equal(got.telemetry, bulk_serial.telemetry)
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_bulk_adaptive_plan_bit_identical(self, graph, bulk_serial,
+                                              workers):
+        """The profiled load-aware plan cuts the rack differently but
+        must replay the exact same simulation."""
+        got = run_sonuma_bulk(graph, NODES, supersteps=2,
+                              cluster_config=_paired_config(),
+                              workers=workers, partition="adaptive",
+                              transport="inline")
+        assert got.ranks == bulk_serial.ranks
+        assert got.elapsed_ns == bulk_serial.elapsed_ns
+        _assert_snapshots_equal(got.telemetry, bulk_serial.telemetry)
+
+    def test_bulk_adaptive_shm_bit_identical(self, graph, bulk_serial):
+        """Both new dimensions at once: adaptive plan over the shm
+        transport."""
+        got = run_sonuma_bulk(graph, NODES, supersteps=2,
+                              cluster_config=_paired_config(),
+                              workers=2, partition="adaptive",
+                              transport="shm")
         assert got.ranks == bulk_serial.ranks
         assert got.elapsed_ns == bulk_serial.elapsed_ns
         _assert_snapshots_equal(got.telemetry, bulk_serial.telemetry)
@@ -129,10 +155,23 @@ class TestBFSGoldens:
         assert got.levels == serial.levels
         _assert_snapshots_equal(got.telemetry, serial.telemetry)
 
-    def test_push_process_transport_bit_identical(self, graph, serial):
+    @pytest.mark.parametrize("transport", ["process", "shm"])
+    def test_push_real_transport_bit_identical(self, graph, serial,
+                                               transport):
         got = run_bfs_push(graph, NODES, source=0,
                            cluster_config=_paired_config(),
-                           workers=2, transport="process")
+                           workers=2, transport=transport)
+        assert got.distances == serial.distances
+        assert got.elapsed_ns == serial.elapsed_ns
+        _assert_snapshots_equal(got.telemetry, serial.telemetry)
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_push_adaptive_plan_bit_identical(self, graph, serial,
+                                              workers):
+        got = run_bfs_push(graph, NODES, source=0,
+                           cluster_config=_paired_config(),
+                           workers=workers, partition="adaptive",
+                           transport="inline")
         assert got.distances == serial.distances
         assert got.elapsed_ns == serial.elapsed_ns
         _assert_snapshots_equal(got.telemetry, serial.telemetry)
@@ -206,8 +245,12 @@ def _chaos_build(rank, plan):
     return sim, cluster.fabric, finalize
 
 
-def _run_chaos(workers, transport="inline"):
-    plan = PartitionPlan.contiguous(NODES, workers)
+def _run_chaos(workers, transport="inline", partition="contiguous"):
+    if partition == "adaptive" and workers > 1:
+        plan = plan_from_spec("adaptive", _chaos_build, NODES, workers,
+                              profile_until=HORIZON / 4)
+    else:
+        plan = PartitionPlan.contiguous(NODES, workers)
     run = run_partitioned(_chaos_build, plan, until=HORIZON,
                           transport=transport)
     parts = [run.results[r] for r in sorted(run.results)]
@@ -244,9 +287,23 @@ class TestChaosGolden:
         assert counts == base_counts
         _assert_snapshots_equal(snap, base_snap)
 
-    def test_chaos_process_transport_bit_identical(self, serial):
+    @pytest.mark.parametrize("transport", ["process", "shm"])
+    def test_chaos_real_transport_bit_identical(self, serial, transport):
         _base_run, base_snap, base_log, base_tl, _counts = serial
-        _run, snap, log, timeline, _ = _run_chaos(2, transport="process")
+        _run, snap, log, timeline, _ = _run_chaos(2, transport=transport)
         assert log == base_log
         assert timeline == base_tl
+        _assert_snapshots_equal(snap, base_snap)
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_chaos_adaptive_plan_bit_identical(self, serial, workers):
+        """Crash/restart epochs and fault injection under a profiled
+        load-aware cut of the rack: still the exact same simulation
+        (the profiling pre-run must not leak state into the real run)."""
+        _base_run, base_snap, base_log, base_tl, base_counts = serial
+        _run, snap, log, timeline, counts = _run_chaos(
+            workers, partition="adaptive")
+        assert log == base_log
+        assert timeline == base_tl
+        assert counts == base_counts
         _assert_snapshots_equal(snap, base_snap)

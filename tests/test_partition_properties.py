@@ -1,0 +1,101 @@
+"""Property-based tests for the load-aware partition planner.
+
+``PartitionPlan.from_profile`` must be a *pure, deterministic* function
+of the weight vector (any float noise or dict-order dependence would
+silently break bit-identical parallel replay), must always yield a
+well-formed plan, and its greedy LPT packing carries the classical
+balance guarantee: no bin exceeds the ideal share by more than one
+item's weight.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import PartitionPlan
+from repro.sim.parallel import PartitionError
+
+weights_st = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False,
+              allow_infinity=False),
+    min_size=1, max_size=24)
+
+
+def plans(draw_parts=True):
+    """(weights, num_parts) pairs with num_parts in range."""
+    return weights_st.flatmap(
+        lambda ws: st.tuples(
+            st.just(ws), st.integers(min_value=1, max_value=len(ws))))
+
+
+class TestFromProfileProperties:
+    @given(plans())
+    @settings(max_examples=150, deadline=None)
+    def test_well_formed(self, case):
+        weights, num_parts = case
+        plan = PartitionPlan.from_profile(weights, num_parts)
+        assert len(plan.owner) == len(weights)
+        assert set(plan.owner) == set(range(num_parts))
+        for rank in range(num_parts):
+            assert plan.nodes_of(rank)       # no empty partition
+
+    @given(plans())
+    @settings(max_examples=100, deadline=None)
+    def test_deterministic(self, case):
+        weights, num_parts = case
+        a = PartitionPlan.from_profile(weights, num_parts)
+        b = PartitionPlan.from_profile(list(weights), num_parts)
+        c = PartitionPlan.from_profile(
+            {i: w for i, w in enumerate(weights)}, num_parts)
+        assert a.owner == b.owner == c.owner
+
+    @given(plans())
+    @settings(max_examples=100, deadline=None)
+    def test_rank_labels_follow_lowest_node(self, case):
+        """Ranks are relabeled by each bin's lowest node id, so the
+        first time each rank appears in the owner vector is in rank
+        order — node 0 always belongs to rank 0."""
+        weights, num_parts = case
+        plan = PartitionPlan.from_profile(weights, num_parts)
+        first_seen = []
+        for rank in plan.owner:
+            if rank not in first_seen:
+                first_seen.append(rank)
+        assert first_seen == sorted(first_seen)
+        assert plan.owner[0] == 0
+
+    @given(plans())
+    @settings(max_examples=150, deadline=None)
+    def test_lpt_balance_bound(self, case):
+        """Greedy LPT: max bin load <= ideal share + one max weight."""
+        weights, num_parts = case
+        plan = PartitionPlan.from_profile(weights, num_parts)
+        loads = [sum(weights[n] for n in plan.nodes_of(r))
+                 for r in range(num_parts)]
+        ideal = sum(weights) / num_parts
+        assert max(loads) <= ideal + max(weights) + 1e-6
+
+    @given(weights_st)
+    @settings(max_examples=50, deadline=None)
+    def test_one_part_per_node_is_identity(self, weights):
+        """Sanity on the packing direction: with as many parts as
+        nodes, every node gets its own partition."""
+        plan = PartitionPlan.from_profile(weights, len(weights))
+        assert sorted(plan.owner) == list(range(len(weights)))
+
+
+class TestFromProfileValidation:
+    def test_negative_weight_rejected(self):
+        with pytest.raises(PartitionError):
+            PartitionPlan.from_profile([1.0, -0.5], 2)
+
+    def test_nan_weight_rejected(self):
+        with pytest.raises(PartitionError):
+            PartitionPlan.from_profile([1.0, float("nan")], 2)
+
+    def test_num_parts_out_of_range(self):
+        with pytest.raises(PartitionError):
+            PartitionPlan.from_profile([1.0, 2.0], 3)
+        with pytest.raises(PartitionError):
+            PartitionPlan.from_profile([1.0, 2.0], 0)

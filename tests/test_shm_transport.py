@@ -1,0 +1,230 @@
+"""Unit tests for the shm transport's building blocks: the SPSC ring
+buffer (wraparound, backpressure, torn-read guard) and the fixed-layout
+wire codec (roundtrips for every protocol message type).
+
+The ring tests run on plain ``bytearray`` buffers — the ring's contract
+is over any writable buffer, and staying off ``shared_memory`` keeps
+them independent of platform POSIX support. The transport-level
+integration (real forked workers over real shared memory) is covered by
+the goldens in ``test_parallel_goldens.py``.
+"""
+
+from __future__ import annotations
+
+import struct
+import threading
+
+import pytest
+
+from repro.protocol import VirtualLane
+from repro.sim.parallel import (MSG_CREDIT, MSG_FRAME, RemoteMessage,
+                                _Final, _Hello, _Report, _RunCmd,
+                                _StopCmd, decode_wire, encode_wire)
+from repro.sim.ringbuf import (HEADER_BYTES, RingCorrupted, RingFull,
+                               RingOverflow, SpscRing)
+
+
+def make_ring(capacity=256, **kwargs):
+    buf = memoryview(bytearray(HEADER_BYTES + capacity))
+    return SpscRing(buf, capacity, create=True, **kwargs)
+
+
+class TestRingBasics:
+    def test_roundtrip(self):
+        ring = make_ring()
+        assert ring.push(b"hello")
+        assert ring.pop() == b"hello"
+
+    def test_fifo_order(self):
+        ring = make_ring(1024)
+        msgs = [bytes([i]) * (i + 1) for i in range(16)]
+        for m in msgs:
+            ring.push(m)
+        assert [ring.pop() for _ in msgs] == msgs
+
+    def test_empty_pop_nonblocking(self):
+        assert make_ring().pop(block=False) is None
+
+    def test_zero_length_record(self):
+        ring = make_ring()
+        ring.push(b"")
+        assert ring.pop() == b""
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            make_ring(60)          # not a multiple of 8
+        with pytest.raises(ValueError):
+            make_ring(32)          # too small
+        with pytest.raises(ValueError):
+            SpscRing(memoryview(bytearray(64)), 256, create=True)
+
+    def test_counters(self):
+        ring = make_ring()
+        ring.push(b"abc")
+        ring.push(b"defgh")
+        assert ring.msgs_pushed == 2
+        assert ring.bytes_pushed == 8
+
+
+class TestRingWraparound:
+    def test_many_records_through_small_ring(self):
+        """Streaming far more bytes than the capacity exercises every
+        wrap alignment; contents and order must survive."""
+        ring = make_ring(128)
+        for i in range(500):
+            msg = bytes((i + j) % 256 for j in range(i % 40))
+            ring.push(msg)
+            assert ring.pop() == msg
+
+    def test_wrap_marker_path(self):
+        """A record that would straddle the region end must wrap to
+        offset 0 behind a wrap marker and still read back intact."""
+        ring = make_ring(256)
+        ring.push(b"x" * 88)       # 104-byte record
+        assert ring.pop() == b"x" * 88
+        ring.push(b"y" * 40)       # 56-byte record: cursor now at 160
+        assert ring.pop() == b"y" * 40
+        msg = bytes(range(104))    # 120-byte record > 96 bytes of room
+        ring.push(msg)
+        assert ring.pop() == msg
+
+    def test_interleaved_producer_consumer_thread(self):
+        """Concurrent SPSC streaming across a thread boundary with
+        varied sizes (checks cursor caching + wraparound together)."""
+        ring = make_ring(256)
+        msgs = [bytes((i * 17 + j) % 256 for j in range(i % 50))
+                for i in range(2000)]
+
+        def produce():
+            for m in msgs:
+                ring.push(m, timeout=10.0)
+
+        t = threading.Thread(target=produce)
+        t.start()
+        got = [ring.pop(timeout=10.0) for _ in msgs]
+        t.join()
+        assert got == msgs
+
+
+class TestRingBackpressure:
+    def test_nonblocking_push_full(self):
+        ring = make_ring(64)
+        assert ring.push(b"a" * 16)    # 32-byte record
+        assert ring.push(b"b" * 8)     # 24-byte record: 56/64 used
+        assert ring.push(b"c", block=False) is False
+
+    def test_blocking_push_timeout(self):
+        ring = make_ring(64)
+        ring.push(b"a" * 16)
+        ring.push(b"b" * 8)
+        with pytest.raises(RingFull):
+            ring.push(b"c", timeout=0.05)
+
+    def test_push_resumes_after_pop(self):
+        ring = make_ring(64)
+        ring.push(b"a" * 16)
+        ring.push(b"b" * 8)
+        assert ring.push(b"c", block=False) is False
+        assert ring.pop() == b"a" * 16
+        assert ring.push(b"c", block=False)
+        assert ring.pop() == b"b" * 8
+        assert ring.pop() == b"c"
+
+    def test_overflow_record_rejected(self):
+        """A single record above half the capacity could deadlock
+        against the wrap skip, so it must be rejected outright."""
+        ring = make_ring(128)
+        with pytest.raises(RingOverflow):
+            ring.push(b"x" * 64)
+        # Right at the cap (16B header + 48B payload = 64 = 128//2): ok.
+        ring.push(b"x" * 48)
+        assert ring.pop() == b"x" * 48
+
+
+class TestRingTornReadGuard:
+    """The consumer must never hand over a half-visible record: an
+    out-of-sequence header or a CRC-mismatched payload is re-read with
+    bounded patience, and only a *persistent* mismatch (a real framing
+    bug, emulated here by corrupting the buffer) raises."""
+
+    def test_corrupt_payload_raises(self):
+        ring = make_ring(stale_timeout_s=0.05)
+        ring.push(b"payload-bytes")
+        ring._buf[HEADER_BYTES + 16] ^= 0xFF    # flip a payload byte
+        with pytest.raises(RingCorrupted):
+            ring.pop()
+
+    def test_out_of_sequence_header_raises(self):
+        ring = make_ring(stale_timeout_s=0.05)
+        ring.push(b"first")
+        ring.push(b"second")
+        assert ring.pop() == b"first"
+        # Corrupt the second record's seq word (u32 at record base + 4).
+        first_rec = 16 + len(b"first")
+        first_rec += (-first_rec) % 8
+        struct.pack_into("<I", ring._buf,
+                         HEADER_BYTES + first_rec + 4, 999)
+        with pytest.raises(RingCorrupted):
+            ring.pop()
+
+    def test_misframed_size_raises(self):
+        ring = make_ring(stale_timeout_s=0.05)
+        ring.push(b"abc")
+        # A size word larger than the remaining room can only be a torn
+        # or corrupt header, never a published record.
+        struct.pack_into("<I", ring._buf, HEADER_BYTES, 1 << 20)
+        with pytest.raises(RingCorrupted):
+            ring.pop()
+
+
+def _credit(i=0, arrival=1000.5):
+    return RemoteMessage(arrival=arrival, dst_rank=1,
+                         key=(2, 0, 1, 7, i), kind=MSG_CREDIT,
+                         payload=(0, 1, VirtualLane.REQUEST, i))
+
+
+class TestWireCodec:
+    def test_report_roundtrip(self):
+        report = _Report(outbox=tuple(_credit(i) for i in range(3)),
+                         next_event=123.25, pending=5, obligations=True,
+                         last_real=99.5)
+        assert decode_wire(encode_wire(report)) == report
+
+    def test_report_none_last_real(self):
+        report = _Report(outbox=(), next_event=float("inf"), pending=0,
+                         obligations=False, last_real=None)
+        assert decode_wire(encode_wire(report)) == report
+
+    def test_frame_message_roundtrip(self):
+        frame = RemoteMessage(arrival=55.0, dst_rank=0,
+                              key=(1, 2, 3, 4, 5), kind=MSG_FRAME,
+                              payload={"opaque": ["frame", 1]})
+        run = _RunCmd(bound=200.0, msgs=(frame, _credit()), eager=50.0)
+        assert decode_wire(encode_wire(run)) == run
+
+    def test_nonconforming_message_falls_back_to_pickle(self):
+        """A message whose key does not fit the fixed 5-int layout must
+        still survive via the pickled-fallback message kind."""
+        odd = RemoteMessage(arrival=7.0, dst_rank=0,
+                            key=("string", "key"), kind=MSG_CREDIT,
+                            payload=(0, 1, VirtualLane.REQUEST, 0))
+        run = _RunCmd(bound=1.0, msgs=(odd,))
+        assert decode_wire(encode_wire(run)) == run
+
+    def test_hello_stop_final_roundtrip(self):
+        hello = _Hello(frame_lookahead_ns=50.0, credit_lookahead_ns=25.0)
+        assert decode_wire(encode_wire(hello)) == hello
+        stop = _StopCmd(final_time=1234.5)
+        assert decode_wire(encode_wire(stop)) == stop
+        final = _Final(result={"x": 1}, events_processed=42, wall_s=0.5,
+                       stats={"busy_s": 0.25})
+        assert decode_wire(encode_wire(final)) == final
+
+    def test_codec_through_ring(self):
+        """The two layers composed, as the transport uses them."""
+        ring = make_ring(4096)
+        report = _Report(outbox=tuple(_credit(i) for i in range(4)),
+                         next_event=1.5, pending=1, obligations=True,
+                         last_real=None)
+        ring.push(encode_wire(report))
+        assert decode_wire(ring.pop()) == report
