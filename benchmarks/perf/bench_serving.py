@@ -1,0 +1,242 @@
+"""Serving-tier benchmark: tail latency and throughput under open load.
+
+Sweeps the million-client serving scenario
+(:func:`repro.serving.run_serving`) over an offered-rate x doorbell-batch
+x shard-count grid and reports, per cell, the served throughput and the
+p50/p99/p999 latency quantiles plus availability (cluster-wide and the
+worst shard). Three extra sections carry the headline results:
+
+* ``ablation`` — batched (one doorbell + one issue overhead per batch)
+  vs unbatched fast path at saturating offered load; ``speedup`` is the
+  served-ops/sec ratio and is the CI gate metric
+  (``check_regression.py --serving-bench``, floor 2x);
+* ``chaos`` — the same scenario with a shard primary crashed mid-trace:
+  availability stays 1.0 (backups absorb the crash) while the
+  lease-expiry window lands in the crashed shard's p99 — the SLO cost
+  of a failure, quantified;
+* ``determinism`` — the trace digest plus a 1-worker vs 2-worker re-run
+  of one grid cell; ``parity`` must be true (the outcome dict is
+  bit-identical whatever the partitioning).
+
+Simulated quantities (latency quantiles, served Mops, availability) are
+exact properties of the model — unlike the wall-clock benches, no
+repeat/min methodology is needed; one run per cell is deterministic.
+
+Usage::
+
+    python benchmarks/perf/bench_serving.py --out BENCH_serving.json
+    python benchmarks/perf/bench_serving.py --quick   # CI-sized sweep
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import platform
+import sys
+import time
+
+if __package__ in (None, ""):
+    from _common import write_json
+else:
+    from ._common import write_json
+
+from repro.serving import TraceConfig, generate_trace, run_serving, \
+    trace_digest
+
+SCHEMA = "bench_serving/v1"
+
+#: The ablation/gate configuration: offered load far above the
+#: unbatched fast path's ~8-9 Mops/s per-shard issue-bound capacity
+#: (§7.5: per-core request rate is limited by issue overhead), so both
+#: arms saturate and the served-rate ratio measures capacity, not load.
+GATE = dict(num_shards=2, replication=1, rate_mops=48.0,
+            duration_ns=30_000.0, num_keys=128, num_buckets=512,
+            seed=5, window=64)
+
+
+def _cell(rate: float, batch: int, shards: int, args) -> dict:
+    out = run_serving(
+        num_shards=shards, replication=1, rate_mops=rate,
+        duration_ns=args.duration_ns, num_clients=args.clients,
+        num_keys=args.keys, num_buckets=args.buckets, seed=args.seed,
+        window=args.window, batch=batch)["outcome"]
+    return _row(rate, batch, shards, out)
+
+
+def _row(rate: float, batch: int, shards: int, out: dict) -> dict:
+    worst = min(r["availability"] for r in out["shards"].values())
+    return {
+        "rate_mops": rate, "batch": batch, "num_shards": shards,
+        "requests": out["num_requests"],
+        "served": out["served"], "failed": out["failed"],
+        "served_mops": out["served_mops"],
+        "p50_ns": out["latency"]["p50_ns"],
+        "p99_ns": out["latency"]["p99_ns"],
+        "p999_ns": out["latency"]["p999_ns"],
+        "availability": out["availability"],
+        "worst_shard_availability": worst,
+        "entries_per_doorbell": (out["posted"] / out["doorbells"]
+                                 if out["doorbells"] else 0.0),
+        "wrong": out["wrong"],
+    }
+
+
+def run_ablation(args) -> dict:
+    gate = dict(GATE, num_clients=args.clients,
+                duration_ns=min(GATE["duration_ns"], args.duration_ns)
+                if args.quick else GATE["duration_ns"])
+    unbatched = run_serving(batch=1, **gate)["outcome"]
+    batched = run_serving(batch=args.gate_batch, **gate)["outcome"]
+    return {
+        "config": dict(gate, batch_batched=args.gate_batch,
+                       batch_unbatched=1),
+        "unbatched": _row(gate["rate_mops"], 1, gate["num_shards"],
+                          unbatched),
+        "batched": _row(gate["rate_mops"], args.gate_batch,
+                        gate["num_shards"], batched),
+        "speedup": (batched["served_mops"] / unbatched["served_mops"]
+                    if unbatched["served_mops"] else 0.0),
+    }
+
+
+def run_chaos(args) -> dict:
+    kw = dict(num_shards=3, replication=2, rate_mops=4.0,
+              duration_ns=40_000.0, num_clients=args.clients,
+              num_keys=96, num_buckets=256, seed=11, batch=args.gate_batch)
+    quiet = run_serving(**kw)["outcome"]
+    chaos = run_serving(crash_shard=1, crash_at_ns=12_000.0,
+                        **kw)["outcome"]
+    hit, calm = chaos["shards"][1], quiet["shards"][1]
+    return {
+        "config": dict(kw, crash_shard=1, crash_at_ns=12_000.0),
+        "quiet": _row(kw["rate_mops"], kw["batch"], 3, quiet),
+        "crashed": _row(kw["rate_mops"], kw["batch"], 3, chaos),
+        "evictions": chaos["membership"]["evictions"],
+        "failovers": hit["failovers"],
+        #: SLO impact of the crash, isolated to the shard that lost its
+        #: primary: p99 inflation while availability holds at 1.0.
+        "crashed_shard_p99_ns": hit["latency"]["p99_ns"],
+        "quiet_shard_p99_ns": calm["latency"]["p99_ns"],
+        "p99_inflation": (hit["latency"]["p99_ns"]
+                          / calm["latency"]["p99_ns"]
+                          if calm["latency"]["p99_ns"] else 0.0),
+        "availability_held": chaos["availability"] == 1.0,
+    }
+
+
+def run_determinism(args, rates, shards) -> dict:
+    kw = dict(num_shards=shards[0], replication=1, rate_mops=rates[0],
+              duration_ns=args.duration_ns, num_clients=args.clients,
+              num_keys=args.keys, num_buckets=args.buckets,
+              seed=args.seed, window=args.window, batch=args.gate_batch)
+    serial = run_serving(workers=1, **kw)["outcome"]
+    parallel = run_serving(workers=2, **kw)["outcome"]
+    digest = trace_digest(generate_trace(TraceConfig(
+        rate_mops=kw["rate_mops"], duration_ns=kw["duration_ns"],
+        num_clients=args.clients, num_keys=args.keys, seed=args.seed)))
+    return {
+        "trace_digest": digest,
+        "workers_checked": [1, 2],
+        "parity": serial == parallel,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rates", type=float, nargs="+",
+                        default=[8.0, 24.0, 48.0],
+                        help="offered load grid, million req/s")
+    parser.add_argument("--batches", type=int, nargs="+",
+                        default=[1, 8, 16],
+                        help="doorbell batch / pipeline chunk grid")
+    parser.add_argument("--shards", type=int, nargs="+", default=[2, 4])
+    parser.add_argument("--duration-ns", type=float, default=30_000.0)
+    parser.add_argument("--clients", type=int, default=1_000_000,
+                        help="logical client population (>= 1e6 for the "
+                             "committed artifact)")
+    parser.add_argument("--keys", type=int, default=128)
+    parser.add_argument("--buckets", type=int, default=512)
+    parser.add_argument("--window", type=int, default=64)
+    parser.add_argument("--seed", type=int, default=5)
+    parser.add_argument("--gate-batch", type=int, default=16,
+                        help="batch size of the ablation's batched arm")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized sweep (small grid, short trace)")
+    parser.add_argument("--out", default="BENCH_serving.json")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        args.rates = [8.0, 48.0]
+        args.batches = [1, 16]
+        args.shards = [2]
+        args.duration_ns = min(args.duration_ns, 15_000.0)
+
+    start = time.time()
+    print(f"serving bench — rates {args.rates} Mops x batches "
+          f"{args.batches} x shards {args.shards}, "
+          f"{args.clients:,} logical clients")
+    grid = []
+    for shards in args.shards:
+        for rate in args.rates:
+            for batch in args.batches:
+                row = _cell(rate, batch, shards, args)
+                grid.append(row)
+                print(f"  shards={shards} rate={rate:5.1f} "
+                      f"batch={batch:2d}: served "
+                      f"{row['served_mops']:6.2f} Mops  "
+                      f"p50 {row['p50_ns']:7.0f}  "
+                      f"p99 {row['p99_ns']:8.0f}  "
+                      f"p999 {row['p999_ns']:8.0f} ns  "
+                      f"avail {row['availability']:.4f}")
+
+    ablation = run_ablation(args)
+    print(f"  ablation @ {ablation['config']['rate_mops']} Mops: "
+          f"batched {ablation['batched']['served_mops']:.2f} vs "
+          f"unbatched {ablation['unbatched']['served_mops']:.2f} Mops "
+          f"-> {ablation['speedup']:.2f}x")
+
+    chaos = run_chaos(args)
+    print(f"  chaos: availability held={chaos['availability_held']}, "
+          f"{chaos['failovers']} failovers, crashed-shard p99 "
+          f"{chaos['crashed_shard_p99_ns']:.0f} ns "
+          f"({chaos['p99_inflation']:.1f}x quiet)")
+
+    determinism = run_determinism(args, args.rates, args.shards)
+    print(f"  determinism: parity={determinism['parity']} "
+          f"digest={determinism['trace_digest'][:16]}...")
+
+    write_json(args.out, {
+        "schema": SCHEMA,
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "machine": platform.machine(),
+            "python": sys.version.split()[0],
+        },
+        "config": {
+            "rates_mops": list(args.rates),
+            "batches": list(args.batches),
+            "shards": list(args.shards),
+            "duration_ns": args.duration_ns,
+            "logical_clients": args.clients,
+            "num_keys": args.keys,
+            "num_buckets": args.buckets,
+            "window": args.window,
+            "seed": args.seed,
+            "quick": bool(args.quick),
+        },
+        "logical_clients": args.clients,
+        "grid": grid,
+        "ablation": ablation,
+        "chaos": chaos,
+        "determinism": determinism,
+        #: Gate metric: batched/unbatched served-throughput ratio at the
+        #: saturating-rate configuration.
+        "speedup": ablation["speedup"],
+        "wall_s": time.time() - start,
+    })
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

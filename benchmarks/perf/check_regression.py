@@ -13,6 +13,14 @@ advantage over pickle-over-pipe must stay above
 shows, so scheduler noise cannot trip it but losing the ring's wait-free
 handoff will).
 
+With ``--serving-bench`` it gates the serving-tier benchmark
+(``bench_serving.py``): doorbell batching must keep serving at least
+``--min-serving-speedup`` (default 2x) the unbatched served-ops/sec at
+the saturating-rate ablation config, with a no-worse batched p99 and
+worker-count parity intact. These are *simulated* quantities — fully
+deterministic, so unlike the wall-clock gates there is no noise margin
+to reason about.
+
 Usage::
 
     python benchmarks/perf/check_regression.py \
@@ -62,6 +70,37 @@ def check_transport(path: str, floor: float) -> int:
     return EXIT_OK
 
 
+def check_serving(path: str, floor: float) -> int:
+    """Gate the serving bench: batching speedup, tail, and parity."""
+    try:
+        with open(path) as fh:
+            payload = json.load(fh)
+        speedup = float(payload["ablation"]["speedup"])
+        batched = payload["ablation"]["batched"]
+        unbatched = payload["ablation"]["unbatched"]
+        parity = bool(payload["determinism"]["parity"])
+    except (FileNotFoundError, json.JSONDecodeError, KeyError,
+            TypeError, ValueError) as exc:
+        print(f"cannot read serving bench {path}: {exc}")
+        return EXIT_NO_BASELINE
+    print(f"  serving: batched {speedup:.2f}x unbatched served ops/s "
+          f"(floor: {floor:.2f}x), batched p99 {batched['p99_ns']:.0f} ns "
+          f"vs unbatched {unbatched['p99_ns']:.0f} ns, parity={parity}")
+    if speedup < floor:
+        print(f"FAIL: doorbell batching no longer serves {floor:.1f}x "
+              "the unbatched throughput at saturating load")
+        return EXIT_REGRESSION
+    if batched["p99_ns"] > unbatched["p99_ns"]:
+        print("FAIL: batched fast path has a worse p99 than the "
+              "unbatched one — batching is adding tail latency")
+        return EXIT_REGRESSION
+    if not parity:
+        print("FAIL: serving outcome differs between worker counts — "
+              "the scenario is no longer partition-invariant")
+        return EXIT_REGRESSION
+    return EXIT_OK
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--bench", default="BENCH_kernel.json")
@@ -72,12 +111,18 @@ def main(argv=None) -> int:
     parser.add_argument("--transport-bench", default=None,
                         help="also gate a BENCH_transport.json speedup")
     parser.add_argument("--min-transport-speedup", type=float, default=3.0)
+    parser.add_argument("--serving-bench", default=None,
+                        help="also gate a BENCH_serving.json ablation")
+    parser.add_argument("--min-serving-speedup", type=float, default=2.0)
     args = parser.parse_args(argv)
 
     codes = []
     if args.transport_bench is not None:
         codes.append(check_transport(args.transport_bench,
                                      args.min_transport_speedup))
+    if args.serving_bench is not None:
+        codes.append(check_serving(args.serving_bench,
+                                   args.min_serving_speedup))
 
     codes.append(check_kernel(args.bench, args.baseline,
                               args.max_regression))

@@ -235,6 +235,36 @@ def parallel_engine(quick: bool, workers: int = 2,
           "(asserted in tests/test_parallel_goldens.py)")
 
 
+def serving(quick: bool, rate: float = 24.0, shards: int = 2,
+            batch: int = 8):
+    from repro.serving import run_serving
+
+    banner(f"Serving tier — {shards} shards, {rate} Mops offered, "
+           f"doorbell batch {batch}")
+    duration = 15_000.0 if quick else 30_000.0
+    rows = []
+    for b in sorted({1, batch}):
+        out = run_serving(num_shards=shards, replication=1,
+                          rate_mops=rate, duration_ns=duration,
+                          batch=b, window=64, num_keys=128,
+                          num_buckets=512, seed=5)["outcome"]
+        rows.append((b, out))
+    print(f"{'batch':>6} {'served Mops':>12} {'p50 (ns)':>9} "
+          f"{'p99 (ns)':>9} {'p999 (ns)':>10} {'avail':>6}")
+    for b, out in rows:
+        latency = out["latency"]
+        print(f"{b:>6} {out['served_mops']:>12.2f} "
+              f"{latency['p50_ns']:>9.0f} {latency['p99_ns']:>9.0f} "
+              f"{latency['p999_ns']:>10.0f} {out['availability']:>6.3f}")
+    if len(rows) > 1 and rows[0][1]["served_mops"] > 0:
+        print(f"batching speedup: "
+              f"{rows[-1][1]['served_mops'] / rows[0][1]['served_mops']:.2f}x "
+              f"served ops/s (gate floor in CI: 2x at 48 Mops offered)")
+    print(f"{rows[-1][1]['logical_clients']:,} logical clients "
+          f"multiplexed over {shards} pipelined sessions; full grid in "
+          f"benchmarks/perf/bench_serving.py")
+
+
 EXPERIMENTS = {
     "fig1": fig1,
     "fig7": fig7,
@@ -242,7 +272,12 @@ EXPERIMENTS = {
     "table2": table2,
     "fig9": fig9,
     "parallel": parallel_engine,
+    "serving": serving,
 }
+
+#: Experiments that take per-experiment CLI options (forwarded as
+#: keyword arguments by :func:`_run_one`).
+_EXPERIMENT_OPTS = {"parallel", "serving"}
 
 
 def _run_one(job) -> str:
@@ -255,7 +290,9 @@ def _run_one(job) -> str:
     name, quick, opts = job
     buffer = io.StringIO()
     with contextlib.redirect_stdout(buffer):
-        EXPERIMENTS[name](quick, **(opts if name == "parallel" else {}))
+        EXPERIMENTS[name](quick,
+                          **(opts.get(name, {})
+                             if name in _EXPERIMENT_OPTS else {}))
     return buffer.getvalue()
 
 
@@ -279,15 +316,25 @@ def main() -> int:
                         default="auto",
                         help="parallel-engine partition plan "
                              "('auto': profiled adaptive)")
+    parser.add_argument("--rate", type=float, default=24.0,
+                        help="serving experiment: offered load (Mops)")
+    parser.add_argument("--shards", type=int, default=2,
+                        help="serving experiment: shard count")
+    parser.add_argument("--batch", type=int, default=8,
+                        help="serving experiment: doorbell batch size")
     parser.add_argument("--json", metavar="PATH",
                         help="also write captured output as JSON")
     args = parser.parse_args()
 
     chosen = [args.only] if args.only else list(EXPERIMENTS)
-    engine_opts = {"workers": max(2, args.parallel),
-                   "transport": args.transport,
-                   "partition": args.partition}
-    jobs = [(name, args.quick, engine_opts) for name in chosen]
+    opts = {
+        "parallel": {"workers": max(2, args.parallel),
+                     "transport": args.transport,
+                     "partition": args.partition},
+        "serving": {"rate": args.rate, "shards": args.shards,
+                    "batch": args.batch},
+    }
+    jobs = [(name, args.quick, opts) for name in chosen]
     start = time.time()
     if args.parallel > 1:
         import multiprocessing

@@ -22,7 +22,10 @@ discrete-event simulation:
 * :mod:`repro.baselines` — RDMA/InfiniBand, commodity TCP/IP, and
   cache-coherent SHM comparators;
 * :mod:`repro.emulation` — the Xen/RMCemu development platform;
-* :mod:`repro.apps` — PageRank (three variants) and a key-value store.
+* :mod:`repro.apps` — PageRank (three variants) and a key-value store;
+* :mod:`repro.serving` — the sharded million-client serving tier
+  (consistent-hash placement, pipelined doorbell-batched clients,
+  open-loop load generation, tail-latency SLOs).
 
 Quickstart::
 

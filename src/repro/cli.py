@@ -7,6 +7,7 @@ Usage::
     python -m repro netpipe [--threshold 256]
     python -m repro pagerank [--vertices 2048 --nodes 2 4]
     python -m repro kvstore [--keys 500 --gets 100]
+    python -m repro serving [--rate 24 --shards 2 --batch 8]
 
 Each subcommand builds a fresh simulated rack and prints results in the
 paper's units. The heavy full sweeps live in ``benchmarks/run_all.py``;
@@ -183,6 +184,49 @@ def _cmd_kvstore(args) -> int:
     return 0
 
 
+def _cmd_serving(args) -> int:
+    from .serving import run_serving
+
+    crash = {}
+    if args.crash_shard is not None:
+        crash = dict(crash_shard=args.crash_shard,
+                     crash_at_ns=args.crash_at_ns)
+    result = run_serving(num_shards=args.shards,
+                         replication=args.replication,
+                         rate_mops=args.rate,
+                         duration_ns=args.duration_ns,
+                         num_clients=args.clients,
+                         batch=args.batch, window=args.window,
+                         workers=args.workers, seed=args.seed, **crash)
+    out = result["outcome"]
+    latency = out["latency"]
+    print(f"serving: {out['num_requests']} requests from "
+          f"{out['logical_clients']:,} logical clients over "
+          f"{args.shards} shards (replication {args.replication}, "
+          f"batch {args.batch}, window {args.window})")
+    print(f"  served {out['served_mops']:.2f} Mops "
+          f"(offered {args.rate:.2f}), availability "
+          f"{out['availability']:.4f}, wrong values {out['wrong']}")
+    print(f"  latency: p50 {latency['p50_ns']:.0f}  "
+          f"p99 {latency['p99_ns']:.0f}  "
+          f"p999 {latency['p999_ns']:.0f} ns")
+    print(f"  doorbells: {out['posted']} WQ entries over "
+          f"{out['doorbells']} doorbells "
+          f"({out['posted'] / out['doorbells']:.2f} entries/doorbell)"
+          if out["doorbells"] else "  doorbells: none rung")
+    for shard_id in sorted(out["shards"]):
+        report = out["shards"][shard_id]
+        print(f"  shard {shard_id} (nodes {report['replicas']}): "
+              f"served {report['served']}, "
+              f"p99 {report['latency']['p99_ns']:.0f} ns, "
+              f"failovers {report['failovers']}, "
+              f"availability {report['availability']:.4f}")
+    if out["membership"]["evictions"]:
+        print(f"  membership: {out['membership']['evictions']} "
+              f"eviction(s), {out['membership']['rejoins']} rejoin(s)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Scale-Out NUMA reproduction CLI")
@@ -225,6 +269,28 @@ def build_parser() -> argparse.ArgumentParser:
     kv.add_argument("--gets", type=int, default=100)
     kv.add_argument("--buckets", type=int, default=4096)
 
+    serve = sub.add_parser("serving",
+                           help="sharded serving tier under open load")
+    serve.add_argument("--rate", type=float, default=24.0,
+                       help="offered load, million req/s")
+    serve.add_argument("--shards", type=int, default=2)
+    serve.add_argument("--replication", type=int, default=1)
+    serve.add_argument("--batch", type=int, default=8,
+                       help="doorbell batch / CQ reap chunk")
+    serve.add_argument("--window", type=int, default=32,
+                       help="per-shard in-flight request window")
+    serve.add_argument("--clients", type=int, default=1_000_000,
+                       help="logical client population")
+    serve.add_argument("--duration-ns", type=float, default=30_000.0)
+    serve.add_argument("--seed", type=int, default=5)
+    serve.add_argument("--workers", type=int, default=1,
+                       help="simulation worker processes (>1 runs the "
+                            "conservative parallel engine)")
+    serve.add_argument("--crash-shard", type=int, default=None,
+                       help="chaos: crash this shard's primary "
+                            "mid-trace (needs --replication >= 2)")
+    serve.add_argument("--crash-at-ns", type=float, default=10_000.0)
+
     return parser
 
 
@@ -237,6 +303,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "netpipe": _cmd_netpipe,
         "pagerank": _cmd_pagerank,
         "kvstore": _cmd_kvstore,
+        "serving": _cmd_serving,
     }
     return handlers[args.command](args)
 

@@ -111,9 +111,15 @@ class WorkQueue(_Ring):
         self._free: List[int] = list(range(size - 1, -1, -1))
         self._pending: List[int] = []   # posted, not yet consumed by RGP
         self.posted_total = 0
-        #: Hook invoked on every post. The RMC wires this to the RGP's
-        #: wake signal: in hardware the RGP continuously polls; in the
-        #: simulation the wake keeps event counts proportional to work.
+        #: Doorbell rings: a plain :meth:`post` rings once per entry, a
+        #: :meth:`post_batch` once per batch. ``posted_total /
+        #: doorbells`` is the achieved batching factor the serving
+        #: telemetry reports.
+        self.doorbells = 0
+        #: Hook invoked on every doorbell. The RMC wires this to the
+        #: RGP's wake signal: in hardware the RGP continuously polls; in
+        #: the simulation the wake keeps event counts proportional to
+        #: work.
         self.on_post = None
 
     @property
@@ -130,8 +136,13 @@ class WorkQueue(_Ring):
             raise RuntimeError("work queue full (reap completions first)")
         return self._free[-1]
 
-    def post(self, entry: WQEntry) -> int:
-        """Application-side: place a request; returns its slot index."""
+    def place(self, entry: WQEntry) -> int:
+        """Application-side: stage a request without ringing the
+        doorbell; returns its slot index. The RGP only learns of staged
+        entries once :meth:`ring_doorbell` fires — the split lets a
+        batched poster write many WQ entries and then announce them all
+        with a single doorbell (§4.2's per-request hand-off, amortized).
+        """
         if not self._free:
             raise RuntimeError("work queue full (reap completions first)")
         index = self._free.pop()
@@ -140,9 +151,31 @@ class WorkQueue(_Ring):
         self.slots[index] = entry
         self._pending.append(index)
         self.posted_total += 1
+        return index
+
+    def ring_doorbell(self) -> None:
+        """Announce staged entries to the RMC (one wake per doorbell)."""
+        self.doorbells += 1
         if self.on_post is not None:
             self.on_post()
+
+    def post(self, entry: WQEntry) -> int:
+        """Application-side: place a request; returns its slot index.
+        A plain post is a one-entry doorbell."""
+        index = self.place(entry)
+        self.ring_doorbell()
         return index
+
+    def post_batch(self, entries) -> List[int]:
+        """Application-side: place several requests under one doorbell;
+        returns their slot indices in posting order."""
+        if len(entries) > len(self._free):
+            raise RuntimeError(
+                f"work queue lacks room for a {len(entries)}-entry batch "
+                f"({len(self._free)} slots free)")
+        indices = [self.place(entry) for entry in entries]
+        self.ring_doorbell()
+        return indices
 
     def poll(self) -> Optional[int]:
         """RMC-side: index of the oldest unconsumed request, or None."""

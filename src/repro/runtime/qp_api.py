@@ -183,6 +183,93 @@ class RMCSession:
         peer failure — while they spin on something else."""
         return (yield from self._poll_cq_once(callback))
 
+    # -- batched fast path (serving tier) --------------------------------------
+
+    def post_batch(self, entries, callback: Optional[Callable] = None):
+        """Timed coroutine: post several WQ entries under ONE doorbell.
+
+        The software issue overhead — the dominant per-op cost that caps
+        a core at ~10 M ops/s (§7.5) — is charged once for the whole
+        batch (prepare + a single doorbell write); each entry still pays
+        its coherent WQ slot store. Paired with
+        :attr:`~repro.rmc.rmc.RMCConfig.doorbell_batch` on the RMC side,
+        this is the serving tier's batching fast path. Requires free WQ
+        slots for every entry (callers size batches by
+        ``qp.wq.free_slots``). Returns the slot indices in posting
+        order.
+        """
+        if not entries:
+            return []
+        if self.qp.halted:
+            raise RemoteOpFailed(-1, "rmc_halted")
+        if len(entries) > self.qp.wq.free_slots:
+            raise RuntimeError(
+                f"WQ lacks room for a {len(entries)}-entry batch: "
+                "reap completions first")
+        yield self.core.compute(self.core.config.issue_overhead_ns)
+        indices = []
+        for entry in entries:
+            if entry.op in (Opcode.RWRITE, Opcode.RNOTIFY):
+                self._log_write(entry.dst_nid, entry.offset,
+                                entry.local_vaddr, entry.length)
+            # Each staged WQ slot is still a coherent store the RMC
+            # later reads; only the doorbell is shared.
+            slot_vaddr = self.qp.wq.slot_vaddr(self.qp.wq.next_free())
+            yield from self.core.touch(self.space, slot_vaddr,
+                                       is_write=True)
+            index = self.qp.wq.place(entry)
+            self._callbacks[index] = (callback, None)
+            self._posted[index] = entry
+            self.ops_issued += 1
+            indices.append(index)
+        self.qp.wq.ring_doorbell()
+        return indices
+
+    def poll_cq_batch(self, max_reap: int,
+                      callback: Optional[Callable] = None):
+        """Timed coroutine: one polling sweep that reaps up to
+        ``max_reap`` ready completions.
+
+        The software poll overhead is charged once per sweep; every
+        reaped completion still pays its coherent CQ slot load. Error
+        completions are *returned* (and recorded in :attr:`errors`) so
+        pipelined callers can observe per-request failures; completions
+        belonging to a synchronous waiter are routed to it and not
+        returned. Returns a (possibly empty) list of
+        :class:`~repro.rmc.queues.CQEntry`.
+        """
+        if self.qp.halted:
+            raise RemoteOpFailed(-1, "rmc_halted")
+        yield self.core.compute(self.core.config.poll_overhead_ns)
+        reaped: List[CQEntry] = []
+        while len(reaped) < max_reap:
+            slot_vaddr = self.qp.cq.slot_vaddr(self.qp.cq.read_index)
+            yield from self.core.touch(self.space, slot_vaddr)
+            cq_entry = self.qp.cq.poll()
+            if cq_entry is None:
+                break
+            self.qp.cq.reap()
+            self.qp.wq.release_slot(cq_entry.wq_index)
+            self.ops_completed += 1
+            posted = self._posted.pop(cq_entry.wq_index, None)
+            if cq_entry.error is not None:
+                self.errors.append(cq_entry)
+                if posted is not None:
+                    self.failed_peers.add(posted.dst_nid)
+            registered, _arg = self._callbacks.pop(cq_entry.wq_index,
+                                                   (None, None))
+            if registered is _SYNC_WAITER:
+                # A synchronous operation on this session owns it.
+                self._finished[cq_entry.wq_index] = cq_entry
+                continue
+            chosen = registered if registered is not None else callback
+            if chosen is not None and cq_entry.error is None:
+                yield self.core.compute(
+                    self.core.config.callback_overhead_ns)
+                chosen(cq_entry)
+            reaped.append(cq_entry)
+        return reaped
+
     # -- synchronous API -------------------------------------------------------
 
     def read_sync(self, dst_nid: int, offset: int, local_vaddr: int,

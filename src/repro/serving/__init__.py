@@ -1,0 +1,29 @@
+"""The serving tier: sharded KV serving for million-client populations.
+
+Builds on the replicated KV (:mod:`repro.apps.kvstore`) and the
+doorbell-batched QP fast path (:mod:`repro.runtime.qp_api`,
+``RMCConfig.doorbell_batch``):
+
+* :mod:`.hashring` — consistent-hash sharding with virtual nodes and
+  shard-map routing (minimal remapping on membership change);
+* :mod:`.loadgen` — seeded open-loop traffic (Poisson arrivals, Zipf
+  key skew, 10^6+ logical clients multiplexed over a few sessions);
+* :mod:`.pipeline` — the pipelined, doorbell-batched per-shard GET
+  engine with membership-aware failover and tail-latency histograms;
+* :mod:`.harness` — the partitionable end-to-end scenario
+  (:func:`run_serving`), chaos runs included.
+"""
+
+from .hashring import ConsistentHashRing, ShardMap, hash64
+from .harness import SERVING_CLIENT, run_serving
+from .loadgen import (Request, TraceConfig, generate_trace, split_by_shard,
+                      trace_digest, value_of_key)
+from .pipeline import PipelinedShardClient
+
+__all__ = [
+    "ConsistentHashRing", "ShardMap", "hash64",
+    "Request", "TraceConfig", "generate_trace", "split_by_shard",
+    "trace_digest", "value_of_key",
+    "PipelinedShardClient",
+    "run_serving", "SERVING_CLIENT",
+]

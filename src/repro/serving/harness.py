@@ -1,0 +1,268 @@
+"""Partitionable million-client serving scenario.
+
+The serving tier glued together: a :class:`~.hashring.ShardMap` places
+``num_shards`` KV shards on dedicated primary nodes (node ``1 + s`` for
+shard ``s``) with ``replication`` copies (each shard's backups live on
+the next shards' primaries, so every node holds its own table plus
+``replication - 1`` backup tables at per-shard region offsets). Node 0
+is the front end: one :class:`~.pipeline.PipelinedShardClient` per
+shard — the paper's one-QP-per-core model (§4.3) — drives the open-loop
+Zipf/Poisson trace from :mod:`~.loadgen`, multiplexing the logical
+client population over pipelined, doorbell-batched sessions.
+
+Like the other harnesses (:func:`~repro.apps.kv_harness.run_kv_failover`,
+BSP), the same scenario runs serially or split across worker processes
+with :func:`~repro.sim.parallel.run_partitioned`. Everything the
+``outcome`` dict reports is a pure function of the arguments: the trace
+is regenerated identically on every rank, table preloads are
+deterministic, membership transitions replay from the replicated fault
+schedule, and the latency histograms count integers — so the merged
+outcome is bit-identical for any worker count and transport, including
+chaos runs that crash a shard primary mid-trace.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..apps.bsp import _paired_cluster_config
+from ..apps.kvstore import BUCKET_BYTES, _bucket_index, _pack_bucket
+from ..cluster.cluster import Cluster, ClusterConfig
+from ..node.node import NodeConfig
+from ..rmc.rmc import RMCConfig
+from ..runtime.qp_api import RMCSession
+from ..sim import (Simulator, default_transport, plan_from_spec,
+                   run_partitioned)
+from ..telemetry import LogLinearHistogram
+from ..vm.address import PAGE_SIZE
+from .hashring import ShardMap
+from .loadgen import (TraceConfig, generate_trace, split_by_shard,
+                      trace_digest, value_of_key)
+from .pipeline import PipelinedShardClient
+
+__all__ = ["run_serving", "SERVING_CLIENT"]
+
+_SERVING_CTX = 3
+
+#: Node 0 is the front end; node ``1 + s`` is shard ``s``'s primary.
+SERVING_CLIENT = 0
+
+
+def _build_table(keys_values: Dict[int, bytes], num_buckets: int,
+                 max_probes: int) -> bytes:
+    """Materialize one shard's table bytes (linear probing, the same
+    layout :meth:`KVServer.put_local` produces) — a pure function so
+    every rank preloads identical replicas."""
+    table = bytearray(num_buckets * BUCKET_BYTES)
+    for key in sorted(keys_values):
+        index = _bucket_index(key, num_buckets)
+        for probe in range(num_buckets):
+            if probe >= max_probes:
+                raise ValueError(
+                    f"key {key} needs probe {probe} >= max_probes="
+                    f"{max_probes}; raise num_buckets or max_probes")
+            slot = (index + probe) % num_buckets
+            at = slot * BUCKET_BYTES
+            if table[at:at + 8] == b"\x00" * 8:
+                table[at:at + BUCKET_BYTES] = _pack_bucket(
+                    key, keys_values[key])
+                break
+        else:
+            raise RuntimeError("shard table full")
+    return bytes(table)
+
+
+def run_serving(num_shards: int = 2,
+                replication: int = 2,
+                rate_mops: float = 4.0,
+                duration_ns: float = 40_000.0,
+                window: int = 32,
+                batch: int = 8,
+                num_clients: int = 1_000_000,
+                num_keys: int = 256,
+                num_buckets: int = 512,
+                zipf_s: float = 0.99,
+                seed: int = 1234,
+                vnodes: int = 128,
+                max_probes: int = 16,
+                workers: int = 1,
+                transport: Optional[str] = None,
+                partition="contiguous",
+                crash_shard: Optional[int] = None,
+                crash_at_ns: Optional[float] = None,
+                restart_after_ns: Optional[float] = None,
+                hb_interval_ns: float = 2_000.0,
+                lease_ns: float = 6_000.0,
+                fault_seed: int = 0) -> dict:
+    """Run the serving scenario; returns ``{"outcome", "perf"}``.
+
+    ``outcome`` holds only deterministic, partition-invariant facts:
+    the trace digest, per-shard serving reports (served/failed counts,
+    availability, failover counters, latency quantiles, doorbell
+    amortization), the merged cluster histogram, and membership
+    counters. ``perf`` holds the wall-clock side of the parallel run.
+
+    ``crash_shard`` (with ``crash_at_ns``) kills that shard's primary
+    mid-trace: in-flight GETs error-complete, the scheduled membership
+    service evicts the node one lease later on every rank, and the
+    pipelined clients fail over to the backups — the SLO impact shows
+    up in the shard's tail quantiles and failover counters.
+    """
+    if num_shards < 1:
+        raise ValueError("need at least one shard")
+    if not 1 <= replication <= num_shards:
+        raise ValueError(
+            f"replication {replication} out of range 1..{num_shards}")
+    if crash_shard is not None:
+        if not 0 <= crash_shard < num_shards:
+            raise ValueError(f"crash_shard {crash_shard} out of range")
+        if crash_at_ns is None:
+            raise ValueError("crash_shard needs crash_at_ns")
+        if replication < 2:
+            raise ValueError("chaos runs need replication >= 2 "
+                             "(otherwise the shard is just gone)")
+
+    num_nodes = 1 + num_shards
+    shard_map = ShardMap({s: 1 + s for s in range(num_shards)},
+                         replication=replication, vnodes=vnodes)
+    region_bytes = num_buckets * BUCKET_BYTES
+    segment_size = -(-num_shards * region_bytes // PAGE_SIZE) * PAGE_SIZE
+
+    # The workload: pure functions of the seed, regenerated identically
+    # on every rank (what makes the outcome worker-count-invariant).
+    trace_config = TraceConfig(rate_mops=rate_mops,
+                               duration_ns=duration_ns,
+                               num_clients=num_clients,
+                               num_keys=num_keys, zipf_s=zipf_s,
+                               seed=seed)
+    trace = generate_trace(trace_config)
+    digest = trace_digest(trace)
+    shard_traces = split_by_shard(trace, shard_map.shard_of)
+    expected = {k: value_of_key(k) for k in range(1, num_keys + 1)}
+    shard_keys = {s: {} for s in range(num_shards)}
+    for key, value in expected.items():
+        shard_keys[shard_map.shard_of(key)][key] = value
+    tables = {s: _build_table(shard_keys[s], num_buckets, max_probes)
+              for s in range(num_shards)}
+
+    schedule: Sequence[Tuple] = ()
+    if crash_shard is not None:
+        schedule = ((shard_map.shard_nodes[crash_shard], crash_at_ns,
+                     restart_after_ns),)
+
+    config = _paired_cluster_config(
+        ClusterConfig(num_nodes=num_nodes,
+                      node=NodeConfig(
+                          rmc=RMCConfig(doorbell_batch=max(1, batch)))),
+        num_nodes)
+
+    def build(rank, plan):
+        sim = Simulator()
+        cluster = Cluster(sim=sim, config=config, partition=plan,
+                          rank=rank)
+        membership = cluster.enable_membership(interval_ns=hb_interval_ns,
+                                               lease_ns=lease_ns)
+        controller = cluster.fault_controller(seed=fault_seed)
+        for victim, at_ns, restart in schedule:
+            controller.schedule_crash(victim, at_ns=at_ns,
+                                      restart_after_ns=restart)
+        gctx = cluster.create_global_context(_SERVING_CTX, segment_size,
+                                             qps_per_node=num_shards)
+        # Untimed preload: each holder node gets its shard tables at
+        # the per-shard region offset (identical geometry on every
+        # replica, so one bucket offset works against any of them).
+        for s in range(num_shards):
+            for nid in shard_map.replica_nodes(s):
+                if nid in cluster.nodes:
+                    cluster.poke_segment(nid, _SERVING_CTX,
+                                         s * region_bytes, tables[s])
+        out = {}
+        clients: List[PipelinedShardClient] = []
+
+        if SERVING_CLIENT in cluster.nodes:
+            node = cluster.nodes[SERVING_CLIENT]
+            for s in range(num_shards):
+                session = RMCSession(node.core,
+                                     gctx.qp(SERVING_CLIENT, index=s),
+                                     gctx.entry(SERVING_CLIENT))
+                client = PipelinedShardClient(
+                    session, shard=s,
+                    replicas=shard_map.replica_nodes(s),
+                    num_buckets=num_buckets,
+                    table_offset=s * region_bytes,
+                    window=window, batch=batch, max_probes=max_probes,
+                    membership=membership,
+                    expected=shard_keys[s])
+                clients.append(client)
+                sim.process(client.serve(shard_traces.get(s, [])),
+                            name=f"serve-shard{s}")
+
+        def finalize():
+            if clients:
+                reports = {c.shard: c.report() for c in clients}
+                merged_hist = LogLinearHistogram(name="cluster-get")
+                for c in clients:
+                    merged_hist.merge(c.histogram)
+                served = sum(c.availability.gets_ok for c in clients)
+                failed = sum(c.availability.gets_failed for c in clients)
+                starts = [c.first_arrival_ns for c in clients
+                          if c.first_arrival_ns is not None]
+                ends = [c.last_completion_ns for c in clients]
+                span = (max(ends) - min(starts)) if starts else 0.0
+                out["shards"] = reports
+                out["latency"] = merged_hist.as_dict()
+                out["served"] = served
+                out["failed"] = failed
+                out["availability"] = (served / (served + failed)
+                                       if served + failed else 1.0)
+                out["wrong"] = sum(c.wrong for c in clients)
+                out["doorbells"] = sum(c.session.qp.wq.doorbells
+                                       for c in clients)
+                out["posted"] = sum(c.session.qp.wq.posted_total
+                                    for c in clients)
+                out["served_mops"] = (served / span * 1e3
+                                      if span > 0 else 0.0)
+            out["membership"] = {"evictions": membership.evictions,
+                                 "rejoins": membership.rejoins}
+            return out
+
+        return sim, cluster.fabric, finalize
+
+    plan = plan_from_spec(partition, build, num_nodes,
+                          min(int(workers) or 1, num_nodes))
+    transport = transport or default_transport(plan.num_parts)
+    run = run_partitioned(build, plan, transport=transport)
+
+    merged = {
+        "final_time": run.final_time,
+        "num_shards": num_shards,
+        "replication": replication,
+        "num_requests": len(trace),
+        "logical_clients": num_clients,
+        "distinct_clients": len({r.client_id for r in trace}),
+        "trace_digest": digest,
+        "shard_map_version": shard_map.version,
+    }
+    for part in run.results.values():
+        for field in ("shards", "latency", "served", "failed",
+                      "availability", "wrong", "doorbells", "posted",
+                      "served_mops"):
+            if field in part:
+                merged[field] = part[field]
+        # Replicated control-plane state: identical on every rank.
+        merged["membership"] = part["membership"]
+    if "served" in merged \
+            and merged["served"] + merged["failed"] != len(trace):
+        raise RuntimeError(
+            f"served {merged['served']} + failed {merged['failed']} != "
+            f"{len(trace)} requests: the serve loop dropped arrivals")
+    return {
+        "outcome": merged,
+        "perf": {
+            "transport": run.transport,
+            "workers": plan.num_parts,
+            "rounds": run.rounds,
+            "wall_s": run.wall_s,
+            "engine": run.engine_stats(),
+        },
+    }

@@ -1,0 +1,198 @@
+"""Consistent-hash sharding with virtual nodes.
+
+The serving tier spreads the key space over many shard primaries the
+way rack-scale memory pools do (MIND's range/hash split, Dynamo-style
+rings): each shard owns many *virtual nodes* (tokens) on a 64-bit ring,
+a key belongs to the first token clockwise from its hash, and replica
+groups are the next distinct shards along the ring. Virtual nodes keep
+per-shard load within a few percent of fair, and membership changes
+remap only the arc a joining/leaving shard owns — the two properties
+``tests/test_serving.py`` pins with hypothesis.
+
+Hashing uses blake2b (stable across platforms and Python versions, so
+placement — and therefore every serving benchmark — is reproducible
+bit for bit).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["ConsistentHashRing", "ShardMap", "hash64"]
+
+_U64 = (1 << 64) - 1
+
+
+def hash64(data: bytes) -> int:
+    """Stable 64-bit hash (blake2b truncated)."""
+    return int.from_bytes(
+        hashlib.blake2b(data, digest_size=8).digest(), "little")
+
+
+class ConsistentHashRing:
+    """A 64-bit consistent-hash ring with virtual nodes.
+
+    Members are arbitrary hashable ids (the serving tier uses shard
+    ids). ``vnodes`` tokens per member are placed at
+    ``hash64(b"member:replica")``; :meth:`lookup` walks clockwise.
+    """
+
+    def __init__(self, members: Sequence = (), vnodes: int = 128):
+        if vnodes < 1:
+            raise ValueError("need at least one virtual node per member")
+        self.vnodes = vnodes
+        self._tokens: List[int] = []
+        self._owners: List = []            # parallel to _tokens
+        self._members: Dict = {}           # member -> its token list
+        for member in members:
+            self.add(member)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, member) -> bool:
+        return member in self._members
+
+    @property
+    def members(self) -> List:
+        return sorted(self._members)
+
+    def _member_tokens(self, member) -> List[int]:
+        return [hash64(f"{member!r}:{v}".encode()) & _U64
+                for v in range(self.vnodes)]
+
+    def add(self, member) -> None:
+        """Join a member: inserts its vnode tokens (O(vnodes log n))."""
+        if member in self._members:
+            raise ValueError(f"member {member!r} already on the ring")
+        tokens = self._member_tokens(member)
+        self._members[member] = tokens
+        for token in tokens:
+            at = bisect.bisect(self._tokens, token)
+            self._tokens.insert(at, token)
+            self._owners.insert(at, member)
+
+    def remove(self, member) -> None:
+        """Leave: drops the member's tokens; its arcs fall to successors."""
+        tokens = self._members.pop(member, None)
+        if tokens is None:
+            raise KeyError(f"member {member!r} not on the ring")
+        for token in tokens:
+            at = bisect.bisect_left(self._tokens, token)
+            while self._owners[at] != member:
+                at += 1   # token collision between members (vanishingly rare)
+            del self._tokens[at]
+            del self._owners[at]
+
+    def lookup(self, key: int):
+        """The member owning ``key`` (first token clockwise of its hash)."""
+        return self.lookup_hash(hash64(key.to_bytes(8, "little")))
+
+    def lookup_hash(self, point: int):
+        """Owner of a raw 64-bit ring position (for arc accounting)."""
+        if not self._tokens:
+            raise KeyError("lookup on an empty ring")
+        at = bisect.bisect(self._tokens, point)
+        if at == len(self._tokens):
+            at = 0   # wrap: past the last token the ring restarts
+        return self._owners[at]
+
+    def successors(self, key: int, count: int) -> List:
+        """The first ``count`` *distinct* members clockwise from the
+        key's hash — the replica group for ``key``."""
+        if count > len(self._members):
+            raise ValueError(
+                f"asked for {count} distinct members, ring has "
+                f"{len(self._members)}")
+        point = hash64(key.to_bytes(8, "little"))
+        at = bisect.bisect(self._tokens, point)
+        group: List = []
+        for step in range(len(self._tokens)):
+            owner = self._owners[(at + step) % len(self._tokens)]
+            if owner not in group:
+                group.append(owner)
+                if len(group) == count:
+                    break
+        return group
+
+    def ownership(self) -> Dict:
+        """member -> fraction of the 2^64 ring it owns (exact arc
+        measure; the balance bound the property tests assert)."""
+        if not self._tokens:
+            return {}
+        fractions = {member: 0 for member in self._members}
+        previous = self._tokens[-1]
+        for token, owner in zip(self._tokens, self._owners):
+            arc = (token - previous) & _U64
+            fractions[owner] += arc
+            previous = token
+        # The zero-length degenerate case (single token) owns everything.
+        total = sum(fractions.values()) or (1 << 64)
+        return {m: arc / total for m, arc in fractions.items()}
+
+
+class ShardMap:
+    """Key -> replica-group placement for the serving tier.
+
+    Wraps a :class:`ConsistentHashRing` over shard ids and resolves each
+    shard to its primary node plus ``replication - 1`` backup nodes
+    (the next distinct shards' primaries clockwise). ``version``
+    increments on every membership change so shard-map-aware clients can
+    detect staleness cheaply.
+    """
+
+    def __init__(self, shard_nodes: Dict[int, int], replication: int = 1,
+                 vnodes: int = 128):
+        if not shard_nodes:
+            raise ValueError("need at least one shard")
+        if not 1 <= replication <= len(shard_nodes):
+            raise ValueError(
+                f"replication {replication} out of range 1.."
+                f"{len(shard_nodes)} (one backup per distinct shard)")
+        #: shard id -> primary node id.
+        self.shard_nodes = dict(shard_nodes)
+        self.replication = replication
+        self.ring = ConsistentHashRing(sorted(shard_nodes), vnodes=vnodes)
+        self.version = 0
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shard_nodes)
+
+    def shard_of(self, key: int) -> int:
+        """The shard owning ``key``."""
+        return self.ring.lookup(key)
+
+    def replica_shards(self, shard: int) -> List[int]:
+        """The shard's replica group: itself plus the next shards in id
+        order (a deterministic rotation — per-*shard*, not per-key, so
+        every key of a shard shares one backup table geometry)."""
+        if self.replication == 1:
+            return [shard]
+        ordered = sorted(self.shard_nodes)
+        at = ordered.index(shard)
+        return [ordered[(at + i) % len(ordered)]
+                for i in range(self.replication)]
+
+    def replica_nodes(self, shard: int) -> List[int]:
+        """Node ids serving ``shard``'s table (primary first)."""
+        return [self.shard_nodes[s] for s in self.replica_shards(shard)]
+
+    def route(self, key: int) -> Tuple[int, List[int]]:
+        """(shard, [primary node, backup nodes...]) for ``key``."""
+        shard = self.shard_of(key)
+        return shard, self.replica_nodes(shard)
+
+    def remove_shard(self, shard: int) -> None:
+        """Membership change: drop a shard (its arcs remap minimally)."""
+        self.ring.remove(shard)
+        del self.shard_nodes[shard]
+        self.version += 1
+
+    def add_shard(self, shard: int, node: int) -> None:
+        """Membership change: add a shard (steals only its own arcs)."""
+        self.ring.add(shard)
+        self.shard_nodes[shard] = node
+        self.version += 1

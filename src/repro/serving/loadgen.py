@@ -1,0 +1,145 @@
+"""Open-loop traffic generation for the serving tier.
+
+A serving benchmark is only honest if arrivals are *open loop*: requests
+arrive on a Poisson process at a configured rate whether or not the
+system keeps up, and latency is measured from the arrival time — so
+queueing delay under overload lands in the tail instead of silently
+vanishing (the coordinated-omission trap DRackSim's full-distribution
+reporting is designed to avoid).
+
+The generator models ``num_clients`` *logical* clients (10^6+ by
+default) multiplexed over a handful of pipelined sessions, the way a
+front-end fleet multiplexes user connections over a few rack-internal
+QPs. Key popularity is Zipf-skewed (seeded, deterministic) and every
+request carries the logical client id that issued it.
+
+Everything is a pure function of the arguments: the same seed yields a
+bit-identical trace on every rank of a partitioned run, which is what
+makes the serving outcome worker-count-invariant.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from .hashring import hash64
+
+__all__ = ["Request", "TraceConfig", "generate_trace", "trace_digest",
+           "value_of_key", "split_by_shard"]
+
+
+@dataclass(frozen=True)
+class Request:
+    """One logical-client GET arrival."""
+
+    seq: int            # global arrival order (ties broken by seq)
+    arrival_ns: float
+    client_id: int      # logical client in [0, num_clients)
+    key: int            # 1.. (0 is the empty-bucket sentinel)
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """Knobs of the open-loop arrival process."""
+
+    rate_mops: float = 4.0          # offered load, million req/s (= req/us)
+    duration_ns: float = 50_000.0   # arrival window
+    num_clients: int = 1_000_000    # logical client population
+    num_keys: int = 256             # keys 1..num_keys
+    zipf_s: float = 0.99            # Zipf skew exponent (0 = uniform)
+    seed: int = 1234
+
+    def __post_init__(self):
+        if self.rate_mops <= 0 or self.duration_ns <= 0:
+            raise ValueError("rate and duration must be positive")
+        if self.num_clients < 1 or self.num_keys < 1:
+            raise ValueError("need at least one client and one key")
+
+
+def _zipf_cdf(num_keys: int, s: float) -> List[float]:
+    weights = [1.0 / (rank ** s) for rank in range(1, num_keys + 1)]
+    total = sum(weights)
+    cdf, acc = [], 0.0
+    for w in weights:
+        acc += w
+        cdf.append(acc / total)
+    return cdf
+
+
+def generate_trace(config: TraceConfig) -> List[Request]:
+    """Materialize the arrival trace (sorted by arrival time).
+
+    Inter-arrivals are exponential (Poisson process at ``rate_mops``
+    requests/us), keys are sampled from a Zipf distribution over key
+    *ranks* whose rank->key mapping is itself a seeded shuffle (so the
+    hot keys are spread over the table instead of clustering in bucket
+    order), and the issuing logical client is drawn uniformly from the
+    ``num_clients`` population.
+    """
+    rng = random.Random(config.seed)
+    cdf = _zipf_cdf(config.num_keys, config.zipf_s)
+    # rank -> key: seeded shuffle decouples popularity from key id.
+    keys = list(range(1, config.num_keys + 1))
+    rng.shuffle(keys)
+    rate_per_ns = config.rate_mops * 1e-3
+    trace: List[Request] = []
+    now = 0.0
+    seq = 0
+    while True:
+        now += rng.expovariate(rate_per_ns)
+        if now >= config.duration_ns:
+            break
+        point = rng.random()
+        # Binary search over the CDF.
+        lo, hi = 0, len(cdf) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cdf[mid] < point:
+                lo = mid + 1
+            else:
+                hi = mid
+        trace.append(Request(
+            seq=seq, arrival_ns=now,
+            client_id=rng.randrange(config.num_clients),
+            key=keys[lo]))
+        seq += 1
+    return trace
+
+
+def trace_digest(trace: Sequence[Request]) -> str:
+    """Stable digest of a trace (the bit-determinism golden)."""
+    h = hashlib.sha256()
+    for r in trace:
+        h.update(f"{r.seq},{r.arrival_ns!r},{r.client_id},{r.key};"
+                 .encode())
+    return h.hexdigest()
+
+
+def value_of_key(key: int,
+                 value_mix: Sequence[Tuple[int, int]] = ((16, 3), (54, 1))
+                 ) -> bytes:
+    """Deterministic stored value for ``key``.
+
+    ``value_mix`` is a weighted list of (size_bytes, weight); the size
+    is picked by the key's stable hash so the mix is reproduced exactly
+    on every node that materializes the table, and the content encodes
+    the key so GET responses are verifiable.
+    """
+    total = sum(weight for _, weight in value_mix)
+    point = hash64(key.to_bytes(8, "little") + b"value-mix") % total
+    for size, weight in value_mix:
+        if point < weight:
+            break
+        point -= weight
+    return bytes((key + i) % 251 for i in range(size))
+
+
+def split_by_shard(trace: Sequence[Request], shard_of) -> Dict[int, List[Request]]:
+    """Partition a trace by ``shard_of(key)`` preserving arrival order."""
+    shards: Dict[int, List[Request]] = {}
+    for request in trace:
+        shards.setdefault(shard_of(request.key), []).append(request)
+    return shards

@@ -10,11 +10,124 @@ its core executed nothing").
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 __all__ = ["NodeSnapshot", "ClusterSnapshot", "snapshot",
-           "merge_snapshots", "format_report"]
+           "merge_snapshots", "format_report", "LogLinearHistogram"]
+
+
+class LogLinearHistogram:
+    """Fixed-bucket log-linear latency histogram (HdrHistogram-style).
+
+    The serving tier records one sample per request at rates where
+    keeping raw samples (as :class:`~repro.sim.LatencyStat` does) would
+    dominate memory, so quantiles come from a fixed bucket layout
+    instead: values below ``min_value_ns`` share bucket 0; above it,
+    each power-of-two decade is split into ``sub_buckets`` equal linear
+    buckets. Relative quantile error is bounded by ``1 / sub_buckets``
+    (3.1% at the default 32), every bucket count is an integer, and
+    bucket boundaries depend only on the constructor arguments — so
+    histograms recorded on different workers or shards :meth:`merge`
+    exactly and the reported percentiles are bit-deterministic.
+
+    Quantiles are reported as the *upper bound* of the bucket holding
+    the target rank (a conservative estimate: the true quantile is never
+    above the reported one by construction).
+    """
+
+    def __init__(self, min_value_ns: float = 16.0, sub_buckets: int = 32,
+                 name: str = ""):
+        if min_value_ns <= 0:
+            raise ValueError("min_value_ns must be positive")
+        if sub_buckets < 1:
+            raise ValueError("need at least one sub-bucket per decade")
+        self.min_value_ns = float(min_value_ns)
+        self.sub_buckets = sub_buckets
+        self.name = name
+        self.buckets: Dict[int, int] = {}
+        self.count = 0
+        self.max_recorded = 0.0
+
+    def _index(self, value: float) -> int:
+        if value < self.min_value_ns:
+            return 0
+        ratio = value / self.min_value_ns
+        mantissa, exponent = math.frexp(ratio)   # ratio = m * 2**e, m in [0.5, 1)
+        decade = exponent - 1                    # floor(log2(ratio)) >= 0
+        low = float(1 << decade)
+        width = low / self.sub_buckets
+        sub = min(int((ratio - low) / width), self.sub_buckets - 1)
+        return 1 + decade * self.sub_buckets + sub
+
+    def bucket_upper_ns(self, index: int) -> float:
+        """Upper value bound of bucket ``index`` (ns)."""
+        if index <= 0:
+            return self.min_value_ns
+        decade, sub = divmod(index - 1, self.sub_buckets)
+        low = float(1 << decade)
+        width = low / self.sub_buckets
+        return self.min_value_ns * (low + (sub + 1) * width)
+
+    def record(self, value_ns: float) -> None:
+        """Drop one latency sample (ns) into its bucket."""
+        if value_ns < 0:
+            raise ValueError(f"negative latency sample: {value_ns}")
+        index = self._index(value_ns)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
+        self.count += 1
+        if value_ns > self.max_recorded:
+            self.max_recorded = value_ns
+
+    def merge(self, other: "LogLinearHistogram") -> None:
+        """Fold another histogram (same layout) into this one."""
+        if (other.min_value_ns != self.min_value_ns
+                or other.sub_buckets != self.sub_buckets):
+            raise ValueError("cannot merge histograms with different "
+                             "bucket layouts")
+        for index, n in other.buckets.items():
+            self.buckets[index] = self.buckets.get(index, 0) + n
+        self.count += other.count
+        if other.max_recorded > self.max_recorded:
+            self.max_recorded = other.max_recorded
+
+    def quantile(self, q: float) -> float:
+        """Latency (ns) at quantile ``q`` in [0, 1]: the upper bound of
+        the bucket containing the ceil(q * count)-th sample."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile out of range: {q}")
+        if self.count == 0:
+            return 0.0
+        target = max(1, math.ceil(q * self.count))
+        seen = 0
+        for index in sorted(self.buckets):
+            seen += self.buckets[index]
+            if seen >= target:
+                return self.bucket_upper_ns(index)
+        return self.bucket_upper_ns(max(self.buckets))  # pragma: no cover
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
+    @property
+    def p999(self) -> float:
+        return self.quantile(0.999)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Headline percentiles for reports (all ns)."""
+        return {
+            "count": self.count,
+            "p50_ns": self.p50,
+            "p99_ns": self.p99,
+            "p999_ns": self.p999,
+            "max_ns": self.max_recorded,
+        }
 
 
 @dataclass

@@ -1,0 +1,112 @@
+"""Serving harness goldens: parity, chaos SLO impact, batching ablation.
+
+``run_serving`` must behave like every other harness in the repo: the
+``outcome`` dict is a pure function of the scenario arguments —
+identical for any worker count and any transport, with or without a
+mid-trace primary crash. On top of parity this file pins the two
+headline claims of the serving tier:
+
+* doorbell batching/pipelining lifts served throughput >= 2x over the
+  unbatched fast path at saturating offered load (and shortens the
+  tail, since requests stop queueing behind per-op issue overhead);
+* a crashed shard primary costs tail latency (the lease-expiry window
+  shows up in that shard's p99) but not availability: every GET is
+  served by the backup after failover, with zero wrong values.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving import run_serving
+
+BASE = dict(num_shards=3, replication=2, rate_mops=4.0,
+            duration_ns=20_000.0, num_clients=1_000_000, num_keys=96,
+            num_buckets=256, seed=11)
+
+CHAOS = dict(BASE, duration_ns=40_000.0, crash_shard=1,
+             crash_at_ns=12_000.0)
+
+PARITY_CONFIGS = [(1, "inline"), (2, "inline"), (2, "shm"),
+                  (4, "process")]
+
+
+class TestParity:
+    @pytest.mark.parametrize("workers,transport", PARITY_CONFIGS)
+    def test_outcome_invariant_across_workers_and_transports(
+            self, workers, transport):
+        base = run_serving(workers=1, **BASE)["outcome"]
+        other = run_serving(workers=workers, transport=transport,
+                            **BASE)["outcome"]
+        assert other == base
+
+    @pytest.mark.parametrize("workers,transport", [(2, "shm"),
+                                                   (4, "process")])
+    def test_chaos_outcome_invariant(self, workers, transport):
+        base = run_serving(workers=1, **CHAOS)["outcome"]
+        other = run_serving(workers=workers, transport=transport,
+                            **CHAOS)["outcome"]
+        assert other == base
+
+
+class TestServingSemantics:
+    def test_every_request_served_and_verified(self):
+        out = run_serving(**BASE)["outcome"]
+        assert out["served"] == out["num_requests"] > 0
+        assert out["failed"] == 0
+        assert out["availability"] == 1.0
+        assert out["wrong"] == 0
+        assert out["logical_clients"] == 1_000_000
+        assert out["latency"]["count"] == out["num_requests"]
+        # Every GET costs at least one probe, and linear-probing chains
+        # stay shallow at this load factor.
+        for report in out["shards"].values():
+            assert 1.0 <= report["probes_per_get"] < 3.0
+        # Shard latency histograms merge exactly into the cluster one.
+        assert sum(r["latency"]["count"]
+                   for r in out["shards"].values()) \
+            == out["latency"]["count"]
+
+    def test_chaos_costs_tail_not_availability(self):
+        quiet = run_serving(**BASE)["outcome"]
+        chaos = run_serving(**CHAOS)["outcome"]
+        assert chaos["membership"]["evictions"] == 1
+        assert chaos["availability"] == 1.0   # backups absorb the crash
+        assert chaos["failed"] == 0 and chaos["wrong"] == 0
+        hit = chaos["shards"][CHAOS["crash_shard"]]
+        assert hit["failovers"] > 0
+        assert hit["replica_errors"] >= hit["failovers"]
+        # The lease-expiry window lands in the crashed shard's tail.
+        assert hit["latency"]["p99_ns"] \
+            > 3 * quiet["shards"][CHAOS["crash_shard"]]["latency"]["p99_ns"]
+
+    def test_crash_without_replication_rejected(self):
+        with pytest.raises(ValueError):
+            run_serving(num_shards=2, replication=1, crash_shard=0,
+                        crash_at_ns=1000.0)
+        with pytest.raises(ValueError):
+            run_serving(num_shards=2, replication=2, crash_shard=0)
+        with pytest.raises(ValueError):
+            run_serving(num_shards=2, replication=3)
+
+
+class TestBatchingAblation:
+    def test_doorbell_batching_doubles_served_throughput(self):
+        """The tentpole claim: at saturating offered load the batched
+        fast path serves >= 2x the ops/sec of the per-op doorbell path
+        (one issue overhead + one RGP WQ poll per *batch*), and its
+        p99 is no worse."""
+        kw = dict(num_shards=2, replication=1, rate_mops=48.0,
+                  duration_ns=30_000.0, num_clients=1_000_000,
+                  num_keys=128, num_buckets=512, seed=5, window=64)
+        unbatched = run_serving(batch=1, **kw)["outcome"]
+        batched = run_serving(batch=16, **kw)["outcome"]
+        assert unbatched["posted"] == unbatched["doorbells"]
+        assert batched["posted"] > 2 * batched["doorbells"]
+        assert batched["served_mops"] >= 2.0 * unbatched["served_mops"]
+        assert batched["latency"]["p99_ns"] \
+            <= unbatched["latency"]["p99_ns"]
+        # Both ablation arms answer every request correctly.
+        for out in (unbatched, batched):
+            assert out["failed"] == 0 and out["wrong"] == 0
+            assert out["served"] == out["num_requests"]
