@@ -265,6 +265,26 @@ def serving(quick: bool, rate: float = 24.0, shards: int = 2,
           f"benchmarks/perf/bench_serving.py")
 
 
+def failover(quick: bool):
+    from repro.transport import run_failover
+
+    banner("Transport failover — flapping fabric, hysteresis policy")
+    out = run_failover(num_ops=120 if quick else 240,
+                       flap_cycles=1 if quick else 2)["outcome"]
+    eo = out["exactly_once"]
+    counters = out["stack"]["counters"]
+    print(f"{'policy':>10} {'avail':>6} {'ok':>5} {'degraded':>9} "
+          f"{'failed':>7} {'lost':>5} {'switches':>9} {'replays':>8}")
+    print(f"{out['policy']:>10} {out['availability']:>6.3f} "
+          f"{out['by_status']['ok']:>5} {out['by_status']['degraded']:>9} "
+          f"{out['by_status']['failed']:>7} {eo['lost']:>5} "
+          f"{counters['failovers'] + counters['failbacks']:>9} "
+          f"{counters['replays']:>8}")
+    print(f"segments converged to expectation: "
+          f"{out['segments'] == out['expected']}; full policy x flap "
+          f"grid in benchmarks/test_ablation_transport_failover.py")
+
+
 EXPERIMENTS = {
     "fig1": fig1,
     "fig7": fig7,
@@ -273,6 +293,7 @@ EXPERIMENTS = {
     "fig9": fig9,
     "parallel": parallel_engine,
     "serving": serving,
+    "failover": failover,
 }
 
 #: Experiments that take per-experiment CLI options (forwarded as

@@ -1,0 +1,125 @@
+"""Ablation — failover policy temperament vs flap rate.
+
+Sweep the three failover policies (fail-fast, hysteresis, hedged)
+against an increasingly flappy primary fabric (0, 1, 2 full outages of
+every client link) and measure what the robustness layer costs and
+buys: availability (completions that returned data, at full or degraded
+fidelity), p99 inflation over the flap-free control, switch counts, and
+replay volume — with the exactly-once and zero-lost-write invariants
+pinned on every cell. The sweep is emitted as canonical JSON
+(``ABLATION_failover.json``) built exclusively from simulated
+quantities, so two runs produce byte-identical output, and one cell is
+re-run under the conservative parallel engine to pin cross-worker
+bit-reproducibility of the whole outcome, timeline included.
+"""
+
+import json
+import pathlib
+
+from conftest import print_table
+
+from repro.transport.harness import run_failover
+
+POLICIES = ("fail-fast", "hysteresis", "hedged")
+FLAP_CYCLES = (0, 1, 2)
+NUM_OPS = 120
+FLAP_START_NS = 10_000.0
+FLAP_PERIOD_NS = 30_000.0
+FLAP_DOWN_NS = 12_000.0
+SEED = 7
+JSON_PATH = pathlib.Path("ABLATION_failover.json")
+
+
+def _run(policy, flap_cycles, workers=1):
+    return run_failover(num_ops=NUM_OPS, policy=policy,
+                        flap_cycles=flap_cycles,
+                        flap_start_ns=FLAP_START_NS,
+                        flap_period_ns=FLAP_PERIOD_NS,
+                        flap_down_ns=FLAP_DOWN_NS,
+                        seed=SEED, workers=workers)["outcome"]
+
+
+def _row(policy, flap_cycles, out):
+    eo = out["exactly_once"]
+    return {
+        "policy": policy,
+        "flap_cycles": flap_cycles,
+        "availability": out["availability"],
+        "p50_ns": out["latency"]["p50_ns"],
+        "p99_ns": out["latency"]["p99_ns"],
+        "failovers": out["stack"]["counters"]["failovers"],
+        "failbacks": out["stack"]["counters"]["failbacks"],
+        "replays": out["stack"]["counters"]["replays"],
+        "degraded": out["by_status"].get("degraded", 0),
+        "failed": out["by_status"].get("failed", 0),
+        "lost": eo["lost"],
+        "duplicates": eo["duplicates"],
+        "wrong": out["wrong"],
+        "timeline_events": len(out["timeline"]),
+        "converged": (out["segments"] == out["expected"]
+                      and out["mirror"] == out["expected"]),
+    }
+
+
+def failover_sweep(policies=POLICIES, flap_cycles=FLAP_CYCLES):
+    return [_row(policy, cycles, _run(policy, cycles))
+            for policy in policies for cycles in flap_cycles]
+
+
+def sweep_json(rows):
+    """Canonical JSON: sorted keys, no wall-clock, no object ids."""
+    return json.dumps(rows, sort_keys=True, indent=1)
+
+
+class TestTransportFailoverAblation:
+    def test_availability_holds_and_p99_pays_for_flaps(self):
+        rows = failover_sweep()
+        JSON_PATH.write_text(sweep_json(rows))
+        print_table(
+            "transport-failover ablation (policy x flap rate, "
+            f"{NUM_OPS} ops)",
+            ["policy", "flaps", "avail", "p50_ns", "p99_ns",
+             "switches", "replays", "degraded", "lost", "converged"],
+            [[r["policy"], r["flap_cycles"], r["availability"],
+              r["p50_ns"], r["p99_ns"],
+              r["failovers"] + r["failbacks"], r["replays"],
+              r["degraded"], r["lost"], r["converged"]]
+             for r in rows])
+
+        for r in rows:
+            # The acceptance bars, on every cell of the sweep.
+            assert r["availability"] >= 0.99, r
+            assert r["lost"] == 0 and r["duplicates"] == 0, r
+            assert r["failed"] == 0 and r["wrong"] == 0, r
+            assert r["converged"], r
+
+        by = {(r["policy"], r["flap_cycles"]): r for r in rows}
+        for policy in POLICIES:
+            control = by[policy, 0]
+            assert control["failovers"] == 0
+            assert control["degraded"] == 0
+            for cycles in (1, 2):
+                flapped = by[policy, cycles]
+                # Flaps force at least one switch away and one home...
+                assert flapped["failovers"] >= 1
+                assert flapped["failbacks"] >= 1
+                assert flapped["replays"] >= 1
+                # ...and the detour shows up in the tail, not in a
+                # lower completion count.
+                assert flapped["p99_ns"] > control["p99_ns"]
+        # Temperament ordering: eager failback switches at least as
+        # often as the holding policies under repeated flaps.
+        assert by["fail-fast", 2]["failovers"] >= \
+            by["hysteresis", 2]["failovers"]
+        assert by["fail-fast", 2]["failovers"] >= \
+            by["hedged", 2]["failovers"]
+
+    def test_sweep_json_is_run_to_run_identical(self):
+        cell = (("hysteresis",), (1,))
+        assert sweep_json(failover_sweep(*cell)) == \
+            sweep_json(failover_sweep(*cell))
+
+    def test_parallel_engine_reproduces_the_serial_cell(self):
+        serial = _run("hysteresis", 1)
+        parallel = _run("hysteresis", 1, workers=2)
+        assert parallel == serial

@@ -225,6 +225,13 @@ class AvailabilityStats:
     #: GETs served by decoding coded backup shards after every full
     #: replica was unreachable (coded-backup mode only).
     degraded_reads: int = 0
+    #: Shadow reads sent at a live-again preferred replica to test
+    #: whether it serves the same data as the backup (liveness alone
+    #: can't be trusted: a rejoined node may hold a wiped table).
+    recovery_probes: int = 0
+    #: Times a recovery probe verified and the client moved back to its
+    #: preferred replica.
+    recoveries: int = 0
 
     @property
     def availability(self) -> float:
@@ -237,6 +244,8 @@ class AvailabilityStats:
                 "replica_errors": self.replica_errors,
                 "evicted_skips": self.evicted_skips,
                 "degraded_reads": self.degraded_reads,
+                "recovery_probes": self.recovery_probes,
+                "recoveries": self.recoveries,
                 "availability": self.availability}
 
 
@@ -358,6 +367,9 @@ class FailoverKVClient(KVClient):
         self.replicas = list(replica_nids)
         self.membership = membership
         self.current = 0
+        #: Membership epoch observed at the last failover: recovery
+        #: probes fire only once the control plane has moved past it.
+        self._failover_epoch: Optional[int] = None
         self.availability = AvailabilityStats()
         self.code = code
         self.shard_nids = list(shard_nids)
@@ -378,10 +390,48 @@ class FailoverKVClient(KVClient):
     def _fail_over(self) -> None:
         self.current = (self.current + 1) % len(self.replicas)
         self.availability.failovers += 1
+        if self.membership is not None:
+            self._failover_epoch = self.membership.epoch
+
+    def _recovery_pending(self) -> bool:
+        """Whether this GET should shadow-probe the preferred replica:
+        the client is camped on a backup, the membership epoch has
+        advanced past the failover (an eviction or rejoin happened),
+        and the control plane says the primary is live again. Without
+        recovery the client stays on the backup forever after a
+        transient primary failure — every later GET pays the backup's
+        (possibly remote, possibly slower) path for no reason."""
+        return (self.current != 0
+                and self.membership is not None
+                and self.membership.epoch != self._failover_epoch
+                and self.membership.is_live(self.replicas[0]))
+
+    def _probe_primary(self, key: int, expect):
+        """Timed coroutine: recovery probe. Liveness alone is not
+        enough to send reads home — a rejoined primary may hold a
+        wiped (or stale) table until the application re-syncs it. Read
+        ``key`` from the primary and move back only when it serves the
+        same answer the backup just did; either way, don't probe again
+        until the next membership epoch."""
+        self.availability.recovery_probes += 1
+        self._failover_epoch = self.membership.epoch
+        serving_nid = self.server_nid
+        self.server_nid = self.replicas[0]
+        try:
+            got = yield from super().get(key)
+        except RemoteOpFailed:
+            self.session.consume_errors()
+        else:
+            if got == expect:
+                self.current = 0
+                self.availability.recoveries += 1
+        finally:
+            self.server_nid = serving_nid
 
     def get(self, key: int):   # noqa: C901 - failover loop
         """Timed coroutine: GET with replica failover. Raises the last
         :class:`RemoteOpFailed` only if *every* replica fails."""
+        probe_home = self._recovery_pending()
         last_error: Optional[RemoteOpFailed] = None
         for _ in range(len(self.replicas)):
             target = self.replicas[self.current]
@@ -401,6 +451,8 @@ class FailoverKVClient(KVClient):
                 self.session.consume_errors()
                 self._fail_over()
                 continue
+            if probe_home and self.current != 0:
+                yield from self._probe_primary(key, value)
             self.availability.gets_ok += 1
             return value
         if self.code is not None:

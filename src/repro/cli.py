@@ -191,13 +191,20 @@ def _cmd_serving(args) -> int:
     if args.crash_shard is not None:
         crash = dict(crash_shard=args.crash_shard,
                      crash_at_ns=args.crash_at_ns)
+    failover = {}
+    if args.failover is not None:
+        failover = dict(failover=args.failover,
+                        flap_at_ns=args.flap_at_ns,
+                        flap_cycles=args.flap_cycles,
+                        flap_down_ns=args.flap_down_ns)
     result = run_serving(num_shards=args.shards,
                          replication=args.replication,
                          rate_mops=args.rate,
                          duration_ns=args.duration_ns,
                          num_clients=args.clients,
                          batch=args.batch, window=args.window,
-                         workers=args.workers, seed=args.seed, **crash)
+                         workers=args.workers, seed=args.seed,
+                         **crash, **failover)
     out = result["outcome"]
     latency = out["latency"]
     print(f"serving: {out['num_requests']} requests from "
@@ -224,7 +231,50 @@ def _cmd_serving(args) -> int:
     if out["membership"]["evictions"]:
         print(f"  membership: {out['membership']['evictions']} "
               f"eviction(s), {out['membership']['rejoins']} rejoin(s)")
+    if "transport" in out:
+        counters = out["transport"]["counters"]
+        print(f"  transport: active={out['transport']['active']} "
+              f"policy={out['transport']['policy']} "
+              f"failovers={counters['failovers']} "
+              f"failbacks={counters['failbacks']} "
+              f"degraded_reads={out['degraded_reads']}")
+        for event in out.get("timeline", []):
+            print(f"    t={event['t_ns']:.0f} ns: "
+                  + " ".join(f"{k}={v}" for k, v in event.items()
+                             if k != "t_ns"))
     return 0
+
+
+def _cmd_failover(args) -> int:
+    from .transport import run_failover
+
+    result = run_failover(num_nodes=args.nodes, num_ops=args.ops,
+                          policy=args.policy,
+                          flap_cycles=args.flap_cycles,
+                          flap_down_ns=args.flap_down_ns,
+                          seed=args.seed, workers=args.workers)
+    out = result["outcome"]
+    eo = out["exactly_once"]
+    print(f"failover: {out['num_ops']} ops over "
+          f"{'/'.join(out['backends'])} "
+          f"({out['policy']} policy, {out['flap_cycles']} flap cycle(s))")
+    print(f"  exactly-once: {eo['issued']} issued, "
+          f"{eo['completed']} completed, {eo['duplicates']} duplicate, "
+          f"{eo['lost']} lost")
+    print(f"  availability {out['availability']:.4f}, "
+          f"by status {out['by_status']}, wrong reads {out['wrong']}")
+    counters = out["stack"]["counters"]
+    print(f"  switches: {counters['failovers']} failover(s), "
+          f"{counters['failbacks']} failback(s), "
+          f"{counters['replays']} replayed write(s) over "
+          f"{counters['catchups']} catch-up pass(es)")
+    converged = out["segments"] == out["expected"]
+    print(f"  segments converged to expectation: {converged}")
+    for event in out["timeline"]:
+        print(f"    t={event['t_ns']:.0f} ns: "
+              + " ".join(f"{k}={v}" for k, v in event.items()
+                         if k != "t_ns"))
+    return 0 if converged and not eo["lost"] else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -290,6 +340,28 @@ def build_parser() -> argparse.ArgumentParser:
                        help="chaos: crash this shard's primary "
                             "mid-trace (needs --replication >= 2)")
     serve.add_argument("--crash-at-ns", type=float, default=10_000.0)
+    serve.add_argument("--failover", default=None,
+                       choices=["fail-fast", "hysteresis", "hedged"],
+                       help="serve over degraded transports while the "
+                            "fabric is dark (multi-transport stack)")
+    serve.add_argument("--flap-at-ns", type=float, default=8_000.0,
+                       help="chaos: sever every front-end link at this "
+                            "time (needs --failover)")
+    serve.add_argument("--flap-cycles", type=int, default=1)
+    serve.add_argument("--flap-down-ns", type=float, default=6_000.0)
+
+    fail = sub.add_parser("failover",
+                          help="multi-transport failover chaos scenario")
+    fail.add_argument("--nodes", type=int, default=4)
+    fail.add_argument("--ops", type=int, default=240)
+    fail.add_argument("--policy", default="hysteresis",
+                      choices=["fail-fast", "hysteresis", "hedged"])
+    fail.add_argument("--flap-cycles", type=int, default=2)
+    fail.add_argument("--flap-down-ns", type=float, default=18_000.0)
+    fail.add_argument("--seed", type=int, default=7)
+    fail.add_argument("--workers", type=int, default=1,
+                      help="simulation worker processes (>1 runs the "
+                           "conservative parallel engine)")
 
     return parser
 
@@ -304,6 +376,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "pagerank": _cmd_pagerank,
         "kvstore": _cmd_kvstore,
         "serving": _cmd_serving,
+        "failover": _cmd_failover,
     }
     return handlers[args.command](args)
 

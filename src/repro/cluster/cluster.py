@@ -143,6 +143,10 @@ class Cluster:
         #: node_id -> ResilienceCounters, created on demand by
         #: :meth:`resilience_counters` (telemetry reads this).
         self.resilience: Dict[int, object] = {}
+        #: node_id -> TransportStack for nodes driving a multi-transport
+        #: failover session (telemetry reads health/failover counters
+        #: and the degradation timeline from here).
+        self.transports: Dict[int, object] = {}
 
     def __len__(self) -> int:
         return len(self.nodes)

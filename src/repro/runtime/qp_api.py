@@ -69,10 +69,15 @@ class RMCSession:
         self.qp = qp
         self.ctx = ctx
         self.space = ctx.address_space
-        # wq_index -> (callback, user_arg) for async completions.
+        # wq_index -> (callback, sync_token) for posted operations.
         self._callbacks: Dict[int, Tuple[Optional[Callable], object]] = {}
-        # wq_index -> CQEntry for completions reaped before their waiter.
+        # sync token -> CQEntry for completions reaped before their
+        # waiter resumed. Keyed by a monotonic token, NOT the wq_index:
+        # the WQ slot is released the moment the completion is reaped,
+        # so a concurrent coroutine can repost into the same index and
+        # would otherwise satisfy its wait with the previous op's entry.
         self._finished: Dict[int, CQEntry] = {}
+        self._sync_seq = 0
         # wq_index -> WQEntry for every operation still outstanding
         # (reliability: reset() returns these so reads can be replayed).
         self._posted: Dict[int, WQEntry] = {}
@@ -256,11 +261,11 @@ class RMCSession:
                 self.errors.append(cq_entry)
                 if posted is not None:
                     self.failed_peers.add(posted.dst_nid)
-            registered, _arg = self._callbacks.pop(cq_entry.wq_index,
-                                                   (None, None))
+            registered, token = self._callbacks.pop(cq_entry.wq_index,
+                                                    (None, None))
             if registered is _SYNC_WAITER:
                 # A synchronous operation on this session owns it.
-                self._finished[cq_entry.wq_index] = cq_entry
+                self._finished[token] = cq_entry
                 continue
             chosen = registered if registered is not None else callback
             if chosen is not None and cq_entry.error is None:
@@ -276,29 +281,28 @@ class RMCSession:
                   length: int):
         """Timed coroutine: remote read; returns when data is in the
         local buffer. Raises :class:`RemoteOpError` on error replies."""
-        index = yield from self._post(
+        token = yield from self._post_sync(
             WQEntry(op=Opcode.RREAD, dst_nid=dst_nid, offset=offset,
-                    local_vaddr=local_vaddr, length=length), _SYNC_WAITER)
-        yield from self._wait_completion(index)
+                    local_vaddr=local_vaddr, length=length))
+        yield from self._wait_completion(token)
 
     def write_sync(self, dst_nid: int, offset: int, local_vaddr: int,
                    length: int):
         """Timed coroutine: remote write; returns when acknowledged."""
         self._log_write(dst_nid, offset, local_vaddr, length)
-        index = yield from self._post(
+        token = yield from self._post_sync(
             WQEntry(op=Opcode.RWRITE, dst_nid=dst_nid, offset=offset,
-                    local_vaddr=local_vaddr, length=length), _SYNC_WAITER)
-        yield from self._wait_completion(index)
+                    local_vaddr=local_vaddr, length=length))
+        yield from self._wait_completion(token)
 
     def fetch_add_sync(self, dst_nid: int, offset: int, local_vaddr: int,
                        addend: int):
         """Timed coroutine: remote fetch-and-add on a u64; returns the
         value *before* the addition."""
-        index = yield from self._post(
+        token = yield from self._post_sync(
             WQEntry(op=Opcode.RFETCH_ADD, dst_nid=dst_nid, offset=offset,
-                    local_vaddr=local_vaddr, length=8, operand=addend),
-            _SYNC_WAITER)
-        yield from self._wait_completion(index)
+                    local_vaddr=local_vaddr, length=8, operand=addend))
+        yield from self._wait_completion(token)
         return int.from_bytes(self.buffer_peek(local_vaddr, 8), "little")
 
     def notify_sync(self, dst_nid: int, local_vaddr: int, length: int):
@@ -310,21 +314,20 @@ class RMCSession:
         :class:`RemoteOpError` (``notify_rejected``) if the destination
         has no queue registered or it is full.
         """
-        index = yield from self._post(
+        token = yield from self._post_sync(
             WQEntry(op=Opcode.RNOTIFY, dst_nid=dst_nid, offset=0,
-                    local_vaddr=local_vaddr, length=length), _SYNC_WAITER)
-        yield from self._wait_completion(index)
+                    local_vaddr=local_vaddr, length=length))
+        yield from self._wait_completion(token)
 
     def compare_swap_sync(self, dst_nid: int, offset: int, local_vaddr: int,
                           compare: int, swap: int):
         """Timed coroutine: remote compare-and-swap on a u64; returns the
         observed old value (swap succeeded iff it equals ``compare``)."""
-        index = yield from self._post(
+        token = yield from self._post_sync(
             WQEntry(op=Opcode.RCOMP_SWAP, dst_nid=dst_nid, offset=offset,
                     local_vaddr=local_vaddr, length=8, operand=swap,
-                    compare=compare),
-            _SYNC_WAITER)
-        yield from self._wait_completion(index)
+                    compare=compare))
+        yield from self._wait_completion(token)
         return int.from_bytes(self.buffer_peek(local_vaddr, 8), "little")
 
     # -- failure recovery ------------------------------------------------------
@@ -367,8 +370,8 @@ class RMCSession:
             if entry.op is not Opcode.RREAD:
                 continue
             yield from self.wait_for_slot()
-            index = yield from self._post(entry, _SYNC_WAITER)
-            yield from self._wait_completion(index)
+            token = yield from self._post_sync(entry)
+            yield from self._wait_completion(token)
             replayed += 1
         return replayed
 
@@ -386,10 +389,20 @@ class RMCSession:
         slot_vaddr = self.qp.wq.slot_vaddr(self.qp.wq.next_free())
         yield from self.core.touch(self.space, slot_vaddr, is_write=True)
         index = self.qp.wq.post(entry)
-        self._callbacks[index] = (callback, None)
+        if callback is _SYNC_WAITER:
+            self._sync_seq += 1
+            self._callbacks[index] = (callback, self._sync_seq)
+        else:
+            self._callbacks[index] = (callback, None)
         self._posted[index] = entry
         self.ops_issued += 1
         return index
+
+    def _post_sync(self, entry: WQEntry):
+        """Post with a sync waiter registered; returns the completion
+        token to pass to :meth:`_wait_completion`."""
+        index = yield from self._post(entry, _SYNC_WAITER)
+        return self._callbacks[index][1]
 
     def _poll_cq_once(self, callback: Optional[Callable] = None):
         """One CQ polling loop iteration (software + coherent load).
@@ -414,12 +427,12 @@ class RMCSession:
             self.errors.append(cq_entry)
             if posted is not None:
                 self.failed_peers.add(posted.dst_nid)
-        registered, _arg = self._callbacks.pop(cq_entry.wq_index,
-                                               (None, None))
+        registered, token = self._callbacks.pop(cq_entry.wq_index,
+                                                (None, None))
         if registered is _SYNC_WAITER:
             # A synchronous operation is (or will be) spinning for this
             # exact completion.
-            self._finished[cq_entry.wq_index] = cq_entry
+            self._finished[token] = cq_entry
             return cq_entry
         chosen = registered if registered is not None else callback
         if chosen is not None and cq_entry.error is None:
@@ -427,10 +440,10 @@ class RMCSession:
             chosen(cq_entry)
         return cq_entry
 
-    def _wait_completion(self, wq_index: int):
-        """Spin on the CQ until ``wq_index`` completes."""
-        while wq_index not in self._finished:
+    def _wait_completion(self, token: int):
+        """Spin on the CQ until the sync op holding ``token`` completes."""
+        while token not in self._finished:
             yield from self._poll_cq_once()
-        cq_entry = self._finished.pop(wq_index)
+        cq_entry = self._finished.pop(token)
         if cq_entry.error is not None:
-            raise RemoteOpError(wq_index, cq_entry.error)
+            raise RemoteOpError(cq_entry.wq_index, cq_entry.error)

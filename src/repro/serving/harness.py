@@ -28,12 +28,15 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..apps.bsp import _paired_cluster_config
 from ..apps.kvstore import BUCKET_BYTES, _bucket_index, _pack_bucket
 from ..cluster.cluster import Cluster, ClusterConfig
+from ..fabric.faults import FaultInjector
 from ..node.node import NodeConfig
 from ..rmc.rmc import RMCConfig
 from ..runtime.qp_api import RMCSession
 from ..sim import (Simulator, default_transport, plan_from_spec,
                    run_partitioned)
 from ..telemetry import LogLinearHistogram
+from ..transport import (DegradationTimeline, HealthConfig, MemoryStore,
+                         TransportStack, build_transport)
 from ..vm.address import PAGE_SIZE
 from .hashring import ShardMap
 from .loadgen import (TraceConfig, generate_trace, split_by_shard,
@@ -93,7 +96,17 @@ def run_serving(num_shards: int = 2,
                 restart_after_ns: Optional[float] = None,
                 hb_interval_ns: float = 2_000.0,
                 lease_ns: float = 6_000.0,
-                fault_seed: int = 0) -> dict:
+                fault_seed: int = 0,
+                failover: Optional[str] = None,
+                failover_backends: Sequence[str] = ("sonuma", "rdma",
+                                                    "shm"),
+                flap_at_ns: Optional[float] = None,
+                flap_cycles: int = 1,
+                flap_period_ns: float = 15_000.0,
+                flap_down_ns: float = 6_000.0,
+                probe_interval_ns: float = 1_500.0,
+                retransmit_timeout_ns: Optional[float] = None,
+                max_retries: Optional[int] = None) -> dict:
     """Run the serving scenario; returns ``{"outcome", "perf"}``.
 
     ``outcome`` holds only deterministic, partition-invariant facts:
@@ -107,6 +120,16 @@ def run_serving(num_shards: int = 2,
     service evicts the node one lease later on every rank, and the
     pipelined clients fail over to the backups — the SLO impact shows
     up in the shard's tail quantiles and failover counters.
+
+    ``failover`` (a policy name: ``fail-fast`` / ``hysteresis`` /
+    ``hedged``) opts the front end into the multi-transport stack: a
+    probe session watches the soNUMA fabric's health, and while the
+    fabric is dark the pipelined clients serve GETs over the degraded
+    backends (``failover_backends``) instead of failing them.
+    ``flap_at_ns`` schedules ``flap_cycles`` full outages of every
+    front-end link (each ``flap_down_ns`` long, one per
+    ``flap_period_ns``) — the chaos scenario that shows availability
+    holding at degraded throughput.
     """
     if num_shards < 1:
         raise ValueError("need at least one shard")
@@ -121,6 +144,14 @@ def run_serving(num_shards: int = 2,
         if replication < 2:
             raise ValueError("chaos runs need replication >= 2 "
                              "(otherwise the shard is just gone)")
+
+    if failover is None and flap_at_ns is not None:
+        raise ValueError("flap_at_ns needs failover=<policy>")
+    if failover is not None \
+            and (not failover_backends
+                 or failover_backends[0] != "sonuma"):
+        raise ValueError("the soNUMA fabric must be the priority-0 "
+                         "failover backend")
 
     num_nodes = 1 + num_shards
     shard_map = ShardMap({s: 1 + s for s in range(num_shards)},
@@ -150,11 +181,29 @@ def run_serving(num_shards: int = 2,
         schedule = ((shard_map.shard_nodes[crash_shard], crash_at_ns,
                      restart_after_ns),)
 
+    # A flapping fabric needs snappy error completions (the stock
+    # 100 us retransmit budget would outlast the whole trace); explicit
+    # values always win, failover mode tightens the defaults, and a
+    # plain run keeps the stock config bit-for-bit.
+    rmc_kwargs = {"doorbell_batch": max(1, batch)}
+    if retransmit_timeout_ns is not None:
+        rmc_kwargs["retransmit_timeout_ns"] = retransmit_timeout_ns
+    elif failover is not None:
+        rmc_kwargs["retransmit_timeout_ns"] = 1_500.0
+    if max_retries is not None:
+        rmc_kwargs["max_retries"] = max_retries
+    elif failover is not None:
+        rmc_kwargs["max_retries"] = 1
     config = _paired_cluster_config(
         ClusterConfig(num_nodes=num_nodes,
-                      node=NodeConfig(
-                          rmc=RMCConfig(doorbell_batch=max(1, batch)))),
+                      node=NodeConfig(rmc=RMCConfig(**rmc_kwargs))),
         num_nodes)
+
+    flap_end = 0.0
+    if flap_at_ns is not None and flap_cycles:
+        flap_end = (flap_at_ns + (flap_cycles - 1) * flap_period_ns
+                    + flap_down_ns)
+    probe_until = max(duration_ns, flap_end) + 30_000.0
 
     def build(rank, plan):
         sim = Simulator()
@@ -166,8 +215,20 @@ def run_serving(num_shards: int = 2,
         for victim, at_ns, restart in schedule:
             controller.schedule_crash(victim, at_ns=at_ns,
                                       restart_after_ns=restart)
+        if flap_at_ns is not None:
+            # Replicated identically on every rank: the partitioned
+            # crossbar re-checks reachability at frame delivery.
+            injector = FaultInjector(seed=fault_seed,
+                                     per_link_streams=True)
+            cluster.fabric.install_fault_injector(injector)
+            for cycle in range(flap_cycles):
+                at = flap_at_ns + cycle * flap_period_ns
+                for nid in range(1, num_nodes):
+                    injector.flap_link(SERVING_CLIENT, nid, after_ns=at,
+                                       down_ns=flap_down_ns)
+        qps_per_node = num_shards + (1 if failover is not None else 0)
         gctx = cluster.create_global_context(_SERVING_CTX, segment_size,
-                                             qps_per_node=num_shards)
+                                             qps_per_node=qps_per_node)
         # Untimed preload: each holder node gets its shard tables at
         # the per-shard region offset (identical geometry on every
         # replica, so one bucket offset works against any of them).
@@ -179,8 +240,36 @@ def run_serving(num_shards: int = 2,
         out = {}
         clients: List[PipelinedShardClient] = []
 
+        stack = None
+        timeline = None
         if SERVING_CLIENT in cluster.nodes:
             node = cluster.nodes[SERVING_CLIENT]
+            if failover is not None:
+                # The probe session rides its own QP so health checks
+                # never contend with the serving windows; the mirror
+                # holds every shard table at the same region geometry
+                # the real replicas use.
+                probe_session = RMCSession(
+                    node.core, gctx.qp(SERVING_CLIENT, index=num_shards),
+                    gctx.entry(SERVING_CLIENT))
+                store = MemoryStore()
+                for s in range(num_shards):
+                    for nid in shard_map.replica_nodes(s):
+                        store.write(nid, s * region_bytes, tables[s])
+                transports = [
+                    build_transport(name, sim, store, seed=seed,
+                                    session=probe_session)
+                    for name in failover_backends]
+                timeline = DegradationTimeline()
+                stack = TransportStack(
+                    sim, transports, policy=failover,
+                    membership=membership,
+                    health=HealthConfig(
+                        probe_interval_ns=probe_interval_ns),
+                    timeline=timeline)
+                stack.start_probes(list(range(1, num_nodes)),
+                                   probe_until)
+                cluster.transports[SERVING_CLIENT] = stack
             for s in range(num_shards):
                 session = RMCSession(node.core,
                                      gctx.qp(SERVING_CLIENT, index=s),
@@ -192,7 +281,8 @@ def run_serving(num_shards: int = 2,
                     table_offset=s * region_bytes,
                     window=window, batch=batch, max_probes=max_probes,
                     membership=membership,
-                    expected=shard_keys[s])
+                    expected=shard_keys[s],
+                    failover_stack=stack)
                 clients.append(client)
                 sim.process(client.serve(shard_traces.get(s, [])),
                             name=f"serve-shard{s}")
@@ -222,6 +312,11 @@ def run_serving(num_shards: int = 2,
                                     for c in clients)
                 out["served_mops"] = (served / span * 1e3
                                       if span > 0 else 0.0)
+                out["degraded_reads"] = sum(
+                    c.availability.degraded_reads for c in clients)
+                if stack is not None:
+                    out["transport"] = stack.stats()
+                    out["timeline"] = timeline.as_list()
             out["membership"] = {"evictions": membership.evictions,
                                  "rejoins": membership.rejoins}
             return out
@@ -246,7 +341,8 @@ def run_serving(num_shards: int = 2,
     for part in run.results.values():
         for field in ("shards", "latency", "served", "failed",
                       "availability", "wrong", "doorbells", "posted",
-                      "served_mops"):
+                      "served_mops", "degraded_reads", "transport",
+                      "timeline"):
             if field in part:
                 merged[field] = part[field]
         # Replicated control-plane state: identical on every rank.

@@ -33,7 +33,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..apps.kvstore import (AvailabilityStats, BUCKET_BYTES, KVStats,
                             _unpack_bucket)
-from ..runtime.qp_api import RMCSession
+from ..runtime.qp_api import RemoteOpFailed, RMCSession
 from ..telemetry import LogLinearHistogram
 
 __all__ = ["PipelinedShardClient"]
@@ -62,7 +62,8 @@ class PipelinedShardClient:
                  batch: int = 8, max_probes: int = 16,
                  membership=None,
                  histogram: Optional[LogLinearHistogram] = None,
-                 expected: Optional[Dict[int, bytes]] = None):
+                 expected: Optional[Dict[int, bytes]] = None,
+                 failover_stack=None):
         if not replicas:
             raise ValueError("need at least one replica")
         if window < 1 or batch < 1:
@@ -87,6 +88,13 @@ class PipelinedShardClient:
         self.wrong = 0
         self.first_arrival_ns: Optional[float] = None
         self.last_completion_ns = 0.0
+        #: Opt-in multi-transport degradation: when the stack's primary
+        #: channel (the soNUMA fabric itself) is unusable — or every
+        #: fabric replica is exhausted — GETs are served over the best
+        #: degraded channel instead of failing.
+        self.failover_stack = failover_stack
+        self._degraded_open = 0
+        self._degraded_poll_ns = 200.0
         # One bounce line per window slot (a flight owns its slot for
         # its whole lifetime, across probes and failovers).
         self._bounce = session.alloc_buffer(BUCKET_BYTES * window)
@@ -141,26 +149,19 @@ class PipelinedShardClient:
                 request = arrivals.popleft()
                 flight = _Flight(request, self._free_slots.popleft(),
                                  len(self.replicas))
+                if self.failover_stack is not None \
+                        and not self.failover_stack.primary_usable():
+                    # The fabric itself is dark: don't even try the
+                    # replicas, serve over the degraded channel.
+                    self._go_degraded(flight)
+                    continue
                 if not self._pick_replica(flight):
-                    self._finish_failed(flight)
+                    if not self._go_degraded(flight):
+                        self._finish_failed(flight)
                     continue
                 issue_q.append(flight)
 
-        def complete(flight: _Flight, value: Optional[bytes]) -> None:
-            self.stats.gets += 1
-            if value is not None:
-                self.stats.hits += 1
-            if self.expected is not None \
-                    and value != self.expected.get(flight.request.key):
-                self.wrong += 1
-            self.values[flight.request.key] = value
-            self.availability.gets_ok += 1
-            latency = sim.now - flight.request.arrival_ns
-            self.histogram.record(latency)
-            self.last_completion_ns = sim.now
-            self._free_slots.append(flight.buf_slot)
-
-        while arrivals or issue_q or inflight:
+        while arrivals or issue_q or inflight or self._degraded_open:
             admit()
             room = self.session.qp.wq.free_slots
             if issue_q and room:
@@ -198,7 +199,7 @@ class PipelinedShardClient:
                             self.availability.failovers += 1
                             flight.probe = 0
                             issue_q.append(flight)
-                        else:
+                        elif not self._go_degraded(flight):
                             self._finish_failed(flight)
                         continue
                     raw = self.session.buffer_peek(
@@ -206,18 +207,97 @@ class PipelinedShardClient:
                         BUCKET_BYTES)
                     found_key, value = _unpack_bucket(raw)
                     if found_key == flight.request.key:
-                        complete(flight, value)
+                        self._finish_ok(flight, value)
                     elif found_key == 0 \
                             or flight.probe + 1 >= self.max_probes:
-                        complete(flight, None)   # chain end: key absent
+                        # Chain end: key absent.
+                        self._finish_ok(flight, None)
                     else:
                         flight.probe += 1
                         issue_q.append(flight)
                 continue
             if arrivals:
-                # Window idle: sleep until the next arrival.
-                yield sim.timeout(arrivals[0].arrival_ns - sim.now)
+                # Window idle: sleep until the next arrival (or, when
+                # degraded flights hold every window slot, poll for one
+                # to free up).
+                wait = arrivals[0].arrival_ns - sim.now
+                yield sim.timeout(wait if wait > 0
+                                  else self._degraded_poll_ns)
+                continue
+            if self._degraded_open:
+                yield sim.timeout(self._degraded_poll_ns)
         return self.availability.gets_ok
+
+    def _finish_ok(self, flight: _Flight,
+                   value: Optional[bytes]) -> None:
+        sim = self.session.core.sim
+        self.stats.gets += 1
+        if value is not None:
+            self.stats.hits += 1
+        if self.expected is not None \
+                and value != self.expected.get(flight.request.key):
+            self.wrong += 1
+        self.values[flight.request.key] = value
+        self.availability.gets_ok += 1
+        self.histogram.record(sim.now - flight.request.arrival_ns)
+        self.last_completion_ns = sim.now
+        self._free_slots.append(flight.buf_slot)
+
+    # -- degraded-mode serving (multi-transport failover) ---------------------
+
+    def _go_degraded(self, flight: _Flight) -> bool:
+        """Hand the GET to the degraded-serve coroutine; False when no
+        failover stack is attached (the GET then fails as before)."""
+        if self.failover_stack is None:
+            return False
+        self._degraded_open += 1
+        sim = self.session.core.sim
+        sim.process(self._serve_degraded(flight),
+                    name=f"shard{self.shard}-degraded")
+        return True
+
+    def _serve_degraded(self, flight: _Flight):
+        """Timed coroutine: walk the probe chain over the stack's best
+        non-primary channel (RDMA/TCP model or the local mirror) against
+        the primary replica's region. Completions count as served and
+        as ``degraded_reads`` — availability holds, at degraded cost."""
+        stack = self.failover_stack
+        sim = self.session.core.sim
+        nid = self.replicas[0]
+        probe = 0
+        attempts = 0
+        budget = 2 * len(stack.transports) + self.max_probes
+        try:
+            while attempts < budget:
+                attempts += 1
+                index, transport = stack.route(
+                    nid, exclude=(stack.primary_name,))
+                if transport is None:
+                    yield sim.timeout(self._degraded_poll_ns)
+                    continue
+                try:
+                    raw = yield from transport.read(
+                        nid,
+                        self._bucket_offset(flight.request.key, probe),
+                        BUCKET_BYTES)
+                except RemoteOpFailed:
+                    stack.note_result(index, False)
+                    continue
+                stack.note_result(index, True)
+                found_key, value = _unpack_bucket(raw)
+                if found_key == flight.request.key:
+                    pass
+                elif found_key != 0 and probe + 1 < self.max_probes:
+                    probe += 1
+                    continue
+                else:
+                    value = None   # chain end: key absent
+                self.availability.degraded_reads += 1
+                self._finish_ok(flight, value)
+                return
+            self._finish_failed(flight)
+        finally:
+            self._degraded_open -= 1
 
     def _finish_failed(self, flight: _Flight) -> None:
         """No live replica left: the GET fails (true unavailability)."""
@@ -242,6 +322,7 @@ class PipelinedShardClient:
             "failovers": self.availability.failovers,
             "replica_errors": self.availability.replica_errors,
             "evicted_skips": self.availability.evicted_skips,
+            "degraded_reads": self.availability.degraded_reads,
             "probes_per_get": self.stats.probes_per_get,
             "wrong": self.wrong,
             "latency": self.histogram.as_dict(),

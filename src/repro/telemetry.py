@@ -159,6 +159,11 @@ class NodeSnapshot:
     #: Resilience counters (coded checkpoints / op log / degraded
     #: reads); empty dict when the node never touched the subsystem.
     resilience: Dict[str, int] = field(default_factory=dict)
+    #: Multi-transport stack health: per-channel state/EWMAs plus
+    #: failover/failback/veto counters for nodes driving a
+    #: :class:`~repro.transport.session.FailoverSession`; empty dict
+    #: otherwise.
+    transport: Dict[str, object] = field(default_factory=dict)
 
 
 @dataclass
@@ -196,6 +201,11 @@ def _resilience_dict(cluster, node_id: int) -> Dict[str, int]:
     return counters.as_dict() if counters is not None else {}
 
 
+def _transport_dict(cluster, node_id: int) -> Dict[str, object]:
+    stack = getattr(cluster, "transports", {}).get(node_id)
+    return stack.stats() if stack is not None else {}
+
+
 def snapshot(cluster) -> ClusterSnapshot:
     """Collect a :class:`ClusterSnapshot` from a live cluster."""
     nodes = []
@@ -224,6 +234,7 @@ def snapshot(cluster) -> ClusterSnapshot:
             suspected_nodes=len(node.driver.suspects),
             ni_epoch_fenced=getattr(node.ni, "epoch_fenced", 0),
             resilience=_resilience_dict(cluster, node.node_id),
+            transport=_transport_dict(cluster, node.node_id),
         ))
     membership = getattr(cluster, "membership", None)
     return ClusterSnapshot(time_ns=cluster.sim.now, nodes=nodes,
@@ -326,6 +337,18 @@ def format_report(snap: ClusterSnapshot) -> str:
             lines.append(f"  reliability: {reliability}")
         if any(node.resilience.values()):
             lines.append(f"  resilience: {node.resilience}")
+        if node.transport:
+            counters = node.transport.get("counters", {})
+            channels = node.transport.get("channels", {})
+            states = {name: ch.get("state")
+                      for name, ch in channels.items()}
+            lines.append(
+                f"  transport: active={node.transport.get('active')} "
+                f"policy={node.transport.get('policy')} "
+                f"failovers={counters.get('failovers', 0)} "
+                f"failbacks={counters.get('failbacks', 0)} "
+                f"vetoes={counters.get('vetoes', 0)} "
+                f"channels={states}")
         if node.driver_failures:
             lines.append(f"  fabric failures seen: {node.driver_failures}")
         if node.suspected_nodes:

@@ -1,0 +1,48 @@
+"""Pluggable multi-transport session stack (failover + degradation).
+
+Layering: :mod:`.base` defines the :class:`Transport` contract and the
+backends (the soNUMA fabric plus the RDMA/TCP/shared-memory baselines
+rendered as functional channels); :mod:`.health` scores each channel
+(probe RTT and loss EWMAs, flap quarantine); :mod:`.policy` picks the
+channel to carry traffic; :mod:`.session` wires them into a
+:class:`TransportStack` and the exactly-once :class:`FailoverSession`;
+:mod:`.harness` is the partitionable chaos scenario.
+"""
+
+from .base import (LocalMirrorTransport, MemoryStore, ModelTransport,
+                   RDMATransport, SonumaTransport, TCPTransport,
+                   Transport, build_transport)
+from .harness import FAILOVER_CLIENT, generate_ops, run_failover
+from .health import (ChannelState, DegradationTimeline, HealthChecker,
+                     HealthConfig)
+from .policy import (FailFastPolicy, FailoverPolicy, HedgedProbePolicy,
+                     HysteresisPolicy, parse_policy)
+from .session import (FailoverCompletion, FailoverSession,
+                      TransportCounters, TransportStack)
+
+__all__ = [
+    "ChannelState",
+    "DegradationTimeline",
+    "FailFastPolicy",
+    "FailoverCompletion",
+    "FailoverPolicy",
+    "FailoverSession",
+    "FAILOVER_CLIENT",
+    "HealthChecker",
+    "HealthConfig",
+    "HedgedProbePolicy",
+    "HysteresisPolicy",
+    "LocalMirrorTransport",
+    "MemoryStore",
+    "ModelTransport",
+    "RDMATransport",
+    "SonumaTransport",
+    "TCPTransport",
+    "Transport",
+    "TransportCounters",
+    "TransportStack",
+    "build_transport",
+    "generate_ops",
+    "parse_policy",
+    "run_failover",
+]

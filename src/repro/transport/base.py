@@ -1,0 +1,331 @@
+"""The pluggable transport layer: one op interface, many fabrics.
+
+The paper's sessions are welded to the soNUMA fabric; the ROADMAP's
+"degraded links" scenario needs the opposite — a session that can carry
+one-sided reads and writes over whichever channel is currently healthy.
+A :class:`Transport` is that contract: timed ``read``/``write``/``probe``
+coroutines addressed by ``(dst_nid, offset)``, raising
+:class:`~repro.runtime.qp_api.RemoteOpFailed` on loss, identical across
+backends so a :class:`~.session.FailoverSession` can switch mid-stream.
+
+Two families implement it:
+
+* :class:`SonumaTransport` wraps a live :class:`RMCSession` — the real
+  simulated data path (QPs, RGP/RRPP pipelines, retransmission). Ops
+  move actual segment bytes; a severed link surfaces as a ``timeout``
+  error completion after the RMC exhausts its retransmission budget.
+* :class:`ModelTransport` subclasses render the ``repro/baselines``
+  analytical models (RDMA, TCP, and a local shared-memory mirror) as
+  *functional* channels: each op charges the model's latency (plus a
+  seeded jitter draw) and then executes against a :class:`MemoryStore`
+  — a per-node byte mirror the failover layer keeps write-through
+  coherent. They are the degraded paths: slower (RDMA), much slower
+  (TCP), or last-resort-local (the mirror, which alone survives the
+  loss of the peer itself).
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from collections import deque
+from typing import Dict, Optional
+
+from ..baselines.rdma import RDMAConfig, RDMAModel
+from ..baselines.tcp import TCPConfig, TCPNetworkModel
+from ..runtime.qp_api import RemoteOpFailed
+
+__all__ = ["MemoryStore", "Transport", "SonumaTransport",
+           "ModelTransport", "RDMATransport", "TCPTransport",
+           "LocalMirrorTransport", "build_transport"]
+
+
+class MemoryStore:
+    """Per-node byte mirror backing the model transports.
+
+    A plain ``nid -> bytearray`` map with zero-fill growth: the
+    functional half of a model channel (the timing half is the
+    baseline's latency model). The failover session keeps it coherent
+    by writing every *completed* write through, whatever backend
+    carried it — so a degraded read observes every acknowledged write.
+    """
+
+    def __init__(self):
+        self._mem: Dict[int, bytearray] = {}
+
+    def _segment(self, nid: int, upto: int) -> bytearray:
+        seg = self._mem.setdefault(nid, bytearray())
+        if len(seg) < upto:
+            seg.extend(b"\x00" * (upto - len(seg)))
+        return seg
+
+    def write(self, nid: int, offset: int, data: bytes) -> None:
+        seg = self._segment(nid, offset + len(data))
+        seg[offset:offset + len(data)] = data
+
+    def read(self, nid: int, offset: int, length: int) -> bytes:
+        seg = self._segment(nid, offset + length)
+        return bytes(seg[offset:offset + length])
+
+
+class Transport:
+    """One channel able to carry one-sided ops to remote segments.
+
+    Subclasses provide the timed coroutines ``read``/``write`` (and may
+    override ``probe``); all raise :class:`RemoteOpFailed` when the op
+    is lost, which is what the health checker and failover session key
+    off. ``requires_peer`` declares whether the channel is useless once
+    the destination *node* (not just a link) is gone — membership
+    gray-fail state vetoes those per destination.
+    """
+
+    name = "transport"
+    #: False only for channels that do not traverse the fabric at all
+    #: (the local mirror): they stay routable when membership declares
+    #: the destination dead.
+    requires_peer = True
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.ops_ok = 0
+        self.ops_failed = 0
+        self.bytes_moved = 0
+        self.probes = 0
+        #: Offset/length every probe reads (must be mapped on peers).
+        self.probe_offset = 0
+        self.probe_bytes = 8
+
+    def read(self, dst_nid: int, offset: int, length: int):
+        """Timed coroutine: fetch ``length`` bytes; returns them."""
+        raise NotImplementedError
+
+    def write(self, dst_nid: int, offset: int, data: bytes):
+        """Timed coroutine: store ``data``; returns when acknowledged."""
+        raise NotImplementedError
+
+    def probe(self, dst_nid: int):
+        """Timed coroutine: one round trip; returns the RTT in ns."""
+        self.probes += 1
+        start = self.sim.now
+        yield from self.read(dst_nid, self.probe_offset, self.probe_bytes)
+        return self.sim.now - start
+
+    def stats(self) -> Dict[str, int]:
+        return {"ops_ok": self.ops_ok, "ops_failed": self.ops_failed,
+                "bytes_moved": self.bytes_moved, "probes": self.probes}
+
+
+class SonumaTransport(Transport):
+    """The primary channel: a real :class:`RMCSession` underneath.
+
+    Ops go through the full simulated data path, so a degrading fabric
+    shows up exactly as it would to an application — retransmissions,
+    then ``timeout`` error completions. A small pool of pinned scratch
+    lines decouples concurrent coroutines (each op borrows a line for
+    its bounce buffer); size ``pool`` at least the caller's op window.
+    """
+
+    name = "sonuma"
+
+    def __init__(self, session, max_op_bytes: int = 256, pool: int = 16):
+        super().__init__(session.core.sim)
+        self.session = session
+        self.max_op_bytes = max_op_bytes
+        self._free = deque(session.alloc_buffer(max_op_bytes)
+                           for _ in range(pool))
+
+    def _borrow(self) -> int:
+        if not self._free:
+            raise RuntimeError(
+                "sonuma transport scratch pool exhausted: "
+                "size pool >= concurrent ops")
+        return self._free.popleft()
+
+    def _issue(self, entry_coro_factory):
+        """Run one sync op, waiting out transient WQ-full conditions
+        (concurrent coroutines share the QP)."""
+        while True:
+            try:
+                yield from entry_coro_factory()
+            except RuntimeError as exc:
+                if "WQ full" not in str(exc):
+                    raise
+                yield from self.session.wait_for_slot()
+                continue
+            return
+
+    def read(self, dst_nid: int, offset: int, length: int):
+        if length > self.max_op_bytes:
+            raise ValueError(f"op of {length} B exceeds scratch line "
+                             f"({self.max_op_bytes} B)")
+        slot = self._borrow()
+        try:
+            yield from self._issue(
+                lambda: self.session.read_sync(dst_nid, offset, slot,
+                                               length))
+            data = self.session.buffer_peek(slot, length)
+        except RemoteOpFailed:
+            self.ops_failed += 1
+            self.session.consume_errors()
+            raise
+        finally:
+            self._free.append(slot)
+        self.ops_ok += 1
+        self.bytes_moved += length
+        return data
+
+    def write(self, dst_nid: int, offset: int, data: bytes):
+        if len(data) > self.max_op_bytes:
+            raise ValueError(f"op of {len(data)} B exceeds scratch line "
+                             f"({self.max_op_bytes} B)")
+        slot = self._borrow()
+        try:
+            self.session.buffer_poke(slot, data)
+            yield from self._issue(
+                lambda: self.session.write_sync(dst_nid, offset, slot,
+                                                len(data)))
+        except RemoteOpFailed:
+            self.ops_failed += 1
+            self.session.consume_errors()
+            raise
+        finally:
+            self._free.append(slot)
+        self.ops_ok += 1
+        self.bytes_moved += len(data)
+
+
+class ModelTransport(Transport):
+    """Analytical-model channel: modeled latency + functional mirror.
+
+    Each op charges ``rtt_ns(length, op)`` from the subclass's baseline
+    model, inflated by a seeded uniform jitter draw (consumed in issue
+    order, so a fixed seed reproduces the exact delay sequence). Tests
+    and scenarios can degrade the channel directly: ``down`` makes every
+    op time out after ``down_timeout_ns``; ``loss_prob`` drops a seeded
+    fraction of ops.
+    """
+
+    def __init__(self, sim, store: MemoryStore, seed: int = 0,
+                 jitter_frac: float = 0.05,
+                 down_timeout_ns: float = 10_000.0):
+        super().__init__(sim)
+        self.store = store
+        self.jitter_frac = jitter_frac
+        self.down_timeout_ns = down_timeout_ns
+        #: Scenario knobs (health-checker test hooks).
+        self.down = False
+        self.loss_prob = 0.0
+        self._rng = random.Random(
+            ((seed & 0xFFFF_FFFF) << 32) ^ zlib.crc32(self.name.encode()))
+
+    def rtt_ns(self, length: int, op: str) -> float:
+        raise NotImplementedError
+
+    def _delay(self, length: int, op: str) -> float:
+        base = self.rtt_ns(length, op)
+        if self.jitter_frac:
+            base += base * self.jitter_frac * self._rng.random()
+        return base
+
+    def _carry(self, dst_nid: int, length: int, op: str):
+        """Charge the op's fate: latency on success, a timeout then a
+        raised error on loss."""
+        delay = self._delay(length, op)
+        lost = self.down or (self.loss_prob
+                             and self._rng.random() < self.loss_prob)
+        if lost:
+            self.ops_failed += 1
+            yield self.sim.timeout(self.down_timeout_ns)
+            raise RemoteOpFailed(-1, f"{self.name}_timeout")
+        yield self.sim.timeout(delay)
+        self.ops_ok += 1
+        self.bytes_moved += length
+
+    def read(self, dst_nid: int, offset: int, length: int):
+        yield from self._carry(dst_nid, length, "read")
+        return self.store.read(dst_nid, offset, length)
+
+    def write(self, dst_nid: int, offset: int, data: bytes):
+        yield from self._carry(dst_nid, len(data), "write")
+        self.store.write(dst_nid, offset, data)
+
+
+class RDMATransport(ModelTransport):
+    """Degraded path #1: the ConnectX-3-class RDMA baseline (Table 2).
+
+    ~4x the primary's small-op RTT (the PCIe terms soNUMA eliminates),
+    but a perfectly serviceable fabric when the primary flaps.
+    """
+
+    name = "rdma"
+
+    def __init__(self, sim, store: MemoryStore, seed: int = 0,
+                 config: Optional[RDMAConfig] = None, **kwargs):
+        super().__init__(sim, store, seed=seed, **kwargs)
+        self.model = RDMAModel(config or RDMAConfig())
+
+    def rtt_ns(self, length: int, op: str) -> float:
+        # Acked one-sided writes traverse the same post/DMA/completion
+        # path as reads; the model's read RTT covers both.
+        return self.model.read_rtt_ns(length)
+
+
+class TCPTransport(ModelTransport):
+    """Degraded path #2: the commodity TCP baseline (Fig. 1) — the
+    channel of last resort before going local, ~40 us a direction."""
+
+    name = "tcp"
+
+    def __init__(self, sim, store: MemoryStore, seed: int = 0,
+                 config: Optional[TCPConfig] = None, **kwargs):
+        kwargs.setdefault("down_timeout_ns", 120_000.0)
+        super().__init__(sim, store, seed=seed, **kwargs)
+        self.model = TCPNetworkModel(config or TCPConfig())
+
+    def rtt_ns(self, length: int, op: str) -> float:
+        if op == "read":
+            # Request out, data back.
+            return (self.model.one_way_latency_ns(64)
+                    + self.model.one_way_latency_ns(max(length, 1)))
+        # Data out, short ack back.
+        return (self.model.one_way_latency_ns(max(length, 1))
+                + self.model.one_way_latency_ns(64))
+
+
+class LocalMirrorTransport(ModelTransport):
+    """Last resort: serve from the local write-through mirror.
+
+    The one channel that does not need the peer at all
+    (``requires_peer = False``): when membership declares the
+    destination dead, this is what keeps reads answerable — at
+    shared-memory cost, from the mirror's (possibly lagging only by
+    in-flight ops) copy. Completions carried here are always typed
+    ``degraded``.
+    """
+
+    name = "shm"
+    requires_peer = False
+
+    def __init__(self, sim, store: MemoryStore, seed: int = 0,
+                 base_ns: float = 180.0, bytes_per_ns: float = 12.8,
+                 **kwargs):
+        super().__init__(sim, store, seed=seed, **kwargs)
+        self.base_ns = base_ns
+        self.bytes_per_ns = bytes_per_ns
+
+    def rtt_ns(self, length: int, op: str) -> float:
+        return self.base_ns + length / self.bytes_per_ns
+
+
+def build_transport(name: str, sim, store: MemoryStore, seed: int = 0,
+                    session=None, **kwargs) -> Transport:
+    """Construct a backend by name (the harness/CLI spelling)."""
+    if name == "sonuma":
+        if session is None:
+            raise ValueError("sonuma transport needs an RMCSession")
+        return SonumaTransport(session, **kwargs)
+    cls = {"rdma": RDMATransport, "tcp": TCPTransport,
+           "shm": LocalMirrorTransport}.get(name)
+    if cls is None:
+        raise ValueError(f"unknown transport backend: {name!r}")
+    return cls(sim, store, seed=seed, **kwargs)

@@ -1,0 +1,287 @@
+"""Per-channel health scoring: probes, EWMAs, and flap hysteresis.
+
+Each transport channel gets a :class:`HealthChecker` running a
+deadline-bounded probe loop (one small read per interval, round-robin
+over the peers). Every probe — and every data-path op the session
+reports via :meth:`HealthChecker.note_op` — feeds two EWMAs:
+
+* a **loss rate** (1 per lost op, 0 per success) that marks the channel
+  ``DEGRADED`` above a threshold, and
+* a **probe RTT** whose inflation past a factor of the first-observed
+  baseline also degrades the channel.
+
+``DOWN`` needs ``down_after`` *consecutive* losses; leaving it needs
+``up_after`` consecutive successes — the basic hysteresis that keeps a
+single dropped probe from bouncing the failover policy. On top of that
+sits flap detection: ``flap_threshold`` DOWN transitions inside
+``flap_window_ns`` quarantine the channel for ``quarantine_ns`` — a
+link that keeps coming back just long enough to attract traffic is
+*worse* than one that stays down, so the checker refuses to call it
+healthy until it holds still.
+
+Every transition is appended to a shared :class:`DegradationTimeline`
+— plain dicts, deterministic under a fixed seed, the artifact the
+telemetry layer and the ablation export.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, replace
+from typing import Deque, List, Optional, Sequence
+
+from ..runtime.qp_api import RemoteOpFailed
+
+__all__ = ["ChannelState", "HealthConfig", "DegradationTimeline",
+           "HealthChecker"]
+
+
+class ChannelState(enum.Enum):
+    HEALTHY = "healthy"
+    DEGRADED = "degraded"
+    DOWN = "down"
+
+
+@dataclass(frozen=True)
+class HealthConfig:
+    """Knobs for one checker (shared across a stack's channels, with
+    per-channel probe phases to de-lockstep the loops)."""
+
+    probe_interval_ns: float = 2_000.0
+    #: First-probe delay; the stack staggers channels automatically.
+    probe_phase_ns: float = 0.0
+    ewma_alpha: float = 0.3
+    #: Loss EWMA above this marks the channel DEGRADED.
+    loss_degraded: float = 0.25
+    #: Probe RTT above ``factor * first-observed baseline`` degrades.
+    rtt_degraded_factor: float = 3.0
+    #: Consecutive losses before DOWN.
+    down_after: int = 2
+    #: Consecutive successes required to leave DOWN.
+    up_after: int = 2
+    #: Flap detection: this many DOWN transitions ...
+    flap_threshold: int = 3
+    #: ... within this window quarantines the channel ...
+    flap_window_ns: float = 50_000.0
+    #: ... for this long (DOWN regardless of probe results).
+    quarantine_ns: float = 20_000.0
+
+    def __post_init__(self):
+        if self.probe_interval_ns <= 0:
+            raise ValueError("probe interval must be positive")
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        if min(self.down_after, self.up_after, self.flap_threshold) < 1:
+            raise ValueError("hysteresis counts must be >= 1")
+
+
+class DegradationTimeline:
+    """Ordered, canonical record of health/failover events.
+
+    Each event is a plain dict with a fixed key set per ``kind``
+    (``state``, ``switch``, ``catchup``) — simulated times and counter
+    values only, so the list is bit-identical run to run under a fixed
+    seed and across worker counts (everything that records into it runs
+    on the session owner's rank).
+    """
+
+    def __init__(self):
+        self.events: List[dict] = []
+
+    def record(self, time_ns: float, kind: str, **fields) -> None:
+        event = {"t_ns": time_ns, "kind": kind}
+        event.update(sorted(fields.items()))
+        self.events.append(event)
+
+    def as_list(self) -> List[dict]:
+        return [dict(e) for e in self.events]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class HealthChecker:
+    """Health state machine for one transport channel."""
+
+    def __init__(self, sim, transport, config: Optional[HealthConfig]
+                 = None, timeline: Optional[DegradationTimeline] = None,
+                 on_change=None):
+        self.sim = sim
+        self.transport = transport
+        self.config = config or HealthConfig()
+        self.timeline = timeline
+        #: Called (with no args) after every state transition — the
+        #: stack hooks this to re-run its failover policy.
+        self.on_change = on_change
+        self.state = ChannelState.HEALTHY
+        self.loss_ewma = 0.0
+        self.rtt_ewma: Optional[float] = None
+        self.rtt_baseline: Optional[float] = None
+        self.healthy_since = sim.now
+        self.quarantined_until = float("-inf")
+        self.probes_sent = 0
+        self.probes_lost = 0
+        self.flaps_detected = 0
+        self.transitions = 0
+        self._consec_ok = 0
+        self._consec_fail = 0
+        self._down_times: Deque[float] = deque()
+
+    # -- the probe loop ------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.transport.name
+
+    @property
+    def usable(self) -> bool:
+        """Whether the failover policy may route over this channel."""
+        return self.state is not ChannelState.DOWN
+
+    def start(self, peers: Sequence[int], until_ns: float,
+              peer_alive=None) -> None:
+        """Spawn the probe loop (deadline-bounded, not a daemon: runs
+        quiesce deterministically once ``until_ns`` passes).
+        ``peer_alive(nid)``, when given, is consulted each round so an
+        evicted peer stops being probed — a permanently dead node must
+        not keep the channel's loss score poisoned for the live ones."""
+        if not peers:
+            raise ValueError("need at least one peer to probe")
+        self.sim.process(self._probe_loop(list(peers), until_ns,
+                                          peer_alive),
+                         name=f"health.{self.name}")
+
+    def _probe_loop(self, peers: List[int], until_ns: float,
+                    peer_alive=None):
+        if self.config.probe_phase_ns:
+            yield self.sim.timeout(self.config.probe_phase_ns)
+        target = 0
+        while self.sim.now < until_ns:
+            dst = None
+            for _ in range(len(peers)):
+                candidate = peers[target % len(peers)]
+                target += 1
+                if peer_alive is None or peer_alive(candidate):
+                    dst = candidate
+                    break
+            if dst is None:
+                # Every peer evicted: idle until one rejoins.
+                yield self.sim.timeout(self.config.probe_interval_ns)
+                continue
+            self.probes_sent += 1
+            start = self.sim.now
+            try:
+                rtt = yield from self.transport.probe(dst)
+            except RemoteOpFailed:
+                self.probes_lost += 1
+                self.observe(False, self.sim.now - start)
+            else:
+                self.observe(True, rtt)
+            yield self.sim.timeout(self.config.probe_interval_ns)
+
+    # -- scoring -------------------------------------------------------------
+
+    def note_op(self, ok: bool) -> None:
+        """Data-path feedback: a session op completed (or failed) on
+        this channel. Feeds the loss EWMA and the consecutive counters
+        but not the RTT score (op sizes vary)."""
+        self.observe(ok, None)
+
+    def observe(self, ok: bool, rtt_ns: Optional[float]) -> None:
+        cfg = self.config
+        alpha = cfg.ewma_alpha
+        self.loss_ewma = (alpha * (0.0 if ok else 1.0)
+                          + (1.0 - alpha) * self.loss_ewma)
+        if ok:
+            self._consec_ok += 1
+            self._consec_fail = 0
+            if rtt_ns is not None:
+                if self.rtt_baseline is None:
+                    self.rtt_baseline = rtt_ns
+                    self.rtt_ewma = rtt_ns
+                else:
+                    self.rtt_ewma = (alpha * rtt_ns
+                                     + (1.0 - alpha) * self.rtt_ewma)
+            if self.state is ChannelState.DOWN:
+                if self._consec_ok >= cfg.up_after \
+                        and self.sim.now >= self.quarantined_until:
+                    self._transition(ChannelState.HEALTHY, "recovered")
+            elif self.state is ChannelState.DEGRADED:
+                if self.loss_ewma <= cfg.loss_degraded / 2 \
+                        and not self._rtt_inflated():
+                    self._transition(ChannelState.HEALTHY, "recovered")
+            elif self._rtt_inflated():
+                self._transition(ChannelState.DEGRADED, "rtt-inflation")
+        else:
+            self._consec_fail += 1
+            self._consec_ok = 0
+            if self.state is not ChannelState.DOWN \
+                    and self._consec_fail >= cfg.down_after:
+                self._go_down()
+            elif self.state is ChannelState.HEALTHY \
+                    and self.loss_ewma > cfg.loss_degraded:
+                self._transition(ChannelState.DEGRADED, "loss-ewma")
+        # Every observation re-runs the stack's policy (not just
+        # transitions): failback holds expire between transitions.
+        if self.on_change is not None:
+            self.on_change()
+
+    def _rtt_inflated(self) -> bool:
+        return (self.rtt_baseline is not None
+                and self.rtt_ewma is not None
+                and self.rtt_ewma
+                > self.config.rtt_degraded_factor * self.rtt_baseline)
+
+    def _go_down(self) -> None:
+        cfg = self.config
+        now = self.sim.now
+        self._down_times.append(now)
+        while self._down_times \
+                and self._down_times[0] < now - cfg.flap_window_ns:
+            self._down_times.popleft()
+        reason = "consecutive-loss"
+        if len(self._down_times) >= cfg.flap_threshold:
+            # Flapping: refuse to come back up until it holds still.
+            self.quarantined_until = now + cfg.quarantine_ns
+            self.flaps_detected += 1
+            self._down_times.clear()
+            reason = "flap-quarantine"
+        self._transition(ChannelState.DOWN, reason)
+
+    def _transition(self, to: ChannelState, reason: str) -> None:
+        if to is self.state:
+            return
+        if self.timeline is not None:
+            self.timeline.record(self.sim.now, "state",
+                                 channel=self.name,
+                                 frm=self.state.value, to=to.value,
+                                 reason=reason)
+        self.state = to
+        self.transitions += 1
+        if to is ChannelState.HEALTHY:
+            self.healthy_since = self.sim.now
+
+    # -- observability -------------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "state": self.state.value,
+            "loss_ewma": round(self.loss_ewma, 6),
+            "rtt_ewma_ns": (round(self.rtt_ewma, 3)
+                            if self.rtt_ewma is not None else None),
+            "probes_sent": self.probes_sent,
+            "probes_lost": self.probes_lost,
+            "flaps_detected": self.flaps_detected,
+            "transitions": self.transitions,
+        }
+
+
+def staggered(config: HealthConfig, index: int,
+              channels: int) -> HealthConfig:
+    """Per-channel copy of ``config`` with a deterministic probe phase
+    so a stack's probe loops do not fire in lockstep."""
+    if channels <= 1:
+        return config
+    phase = config.probe_interval_ns * index / channels
+    return replace(config, probe_phase_ns=config.probe_phase_ns + phase)

@@ -1,0 +1,123 @@
+"""Failover policies: which channel carries the next op.
+
+A policy is a pure selection function over the stack's priority-ordered
+health checkers — given the current simulated time, the per-channel
+health views, and the currently-active index, return the index to use.
+The stack re-runs it after every health transition and every data-path
+error, so the policy is where failover *and* failback temperament
+lives:
+
+* **fail-fast** — always the highest-priority usable channel. Fastest
+  possible failback, but on a flapping primary it bounces with every
+  flap (the ablation's worst-case switch count).
+* **hysteresis** — leave the active channel only when it goes DOWN;
+  fail back only once a higher-priority channel has been continuously
+  HEALTHY for ``hold_ns``. The production default.
+* **hedged** — hysteresis plus comparative probe RTTs: while the
+  active channel is merely DEGRADED, switch if another channel's probe
+  RTT EWMA undercuts the active one by ``hedge_factor`` — paying the
+  switch early when the probes prove the detour is actually faster.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .health import ChannelState
+
+__all__ = ["FailoverPolicy", "FailFastPolicy", "HysteresisPolicy",
+           "HedgedProbePolicy", "parse_policy"]
+
+
+class FailoverPolicy:
+    """Base: pick a channel index given health views (see module doc)."""
+
+    name = "base"
+
+    def select(self, now: float, channels: Sequence,
+               active: int) -> int:
+        raise NotImplementedError
+
+    def _first_usable(self, channels: Sequence,
+                      fallback: int) -> int:
+        for index, channel in enumerate(channels):
+            if channel.usable:
+                return index
+        return fallback
+
+
+class FailFastPolicy(FailoverPolicy):
+    """Always the best usable channel — instant failback, flappy."""
+
+    name = "fail-fast"
+
+    def select(self, now, channels, active):
+        return self._first_usable(channels, active)
+
+
+class HysteresisPolicy(FailoverPolicy):
+    """Stick with the active channel; fail back only after a hold."""
+
+    name = "hysteresis"
+
+    def __init__(self, hold_ns: float = 10_000.0):
+        if hold_ns < 0:
+            raise ValueError("hold must be non-negative")
+        self.hold_ns = hold_ns
+
+    def select(self, now, channels, active):
+        if not channels[active].usable:
+            return self._first_usable(channels, active)
+        for index in range(active):
+            channel = channels[index]
+            if channel.usable \
+                    and channel.state is ChannelState.HEALTHY \
+                    and now - channel.healthy_since >= self.hold_ns:
+                return index
+        return active
+
+
+class HedgedProbePolicy(HysteresisPolicy):
+    """Hysteresis + RTT-comparing hedge while the active channel is
+    DEGRADED (probes on every channel keep running, so the comparison
+    is always fresh)."""
+
+    name = "hedged"
+
+    def __init__(self, hold_ns: float = 4_000.0,
+                 hedge_factor: float = 0.8):
+        super().__init__(hold_ns)
+        if not 0.0 < hedge_factor <= 1.0:
+            raise ValueError("hedge_factor must be in (0, 1]")
+        self.hedge_factor = hedge_factor
+
+    def select(self, now, channels, active):
+        chosen = super().select(now, channels, active)
+        current = channels[chosen]
+        if not (current.usable
+                and current.state is ChannelState.DEGRADED
+                and current.rtt_ewma is not None):
+            return chosen
+        for index, channel in enumerate(channels):
+            if index == chosen or not channel.usable:
+                continue
+            if channel.state is ChannelState.HEALTHY \
+                    and channel.rtt_ewma is not None \
+                    and channel.rtt_ewma \
+                    < current.rtt_ewma * self.hedge_factor:
+                return index
+        return chosen
+
+
+def parse_policy(spec) -> FailoverPolicy:
+    """Accepts a policy instance or one of the canonical names."""
+    if isinstance(spec, FailoverPolicy):
+        return spec
+    policies = {"fail-fast": FailFastPolicy,
+                "hysteresis": HysteresisPolicy,
+                "hedged": HedgedProbePolicy}
+    cls = policies.get(spec)
+    if cls is None:
+        raise ValueError(f"unknown failover policy {spec!r}; "
+                         f"expected one of {sorted(policies)}")
+    return cls()

@@ -205,6 +205,61 @@ class TestReplicatedKVFailover:
         assert client.availability.failovers == 1
         assert client.active_replica == 2
 
+    def test_primary_rejoin_unsticks_failover_client(self):
+        """Regression: after a failover the client camped on the backup
+        forever — ``current`` was never reset once the primary rejoined,
+        so every later GET paid the backup path for no reason. An epoch
+        advance plus a live preferred replica must trigger a recovery
+        probe, and reads go home once the primary provably serves the
+        same data the backup does (liveness alone is not enough: a
+        rejoined node holds a wiped table until the app re-syncs)."""
+        cluster, ms, ctrl, sessions, server, client = self._build()
+        outcome = {}
+
+        def scenario(sim):
+            for k, v in self.KEYS.items():
+                yield from server.put_replicated(k, v)
+            ctrl.crash(1)
+            yield sim.timeout(3 * LEASE)          # eviction fires
+            v = yield from client.get(1)
+            assert v == self.KEYS[1]              # served by the backup
+            outcome["after_crash"] = client.active_replica
+            ctrl.restart(1)
+            for _ in range(50):
+                if ms.is_live(1):
+                    break
+                yield sim.timeout(INTERVAL)
+            assert ms.is_live(1)
+            # The rebooted primary came back with wiped memory and no
+            # QPs; the application builds a fresh session and re-syncs
+            # the table before reads return home.
+            node1 = cluster.nodes[1]
+            fresh = ReplicatedKVServer(
+                RMCSession(node1.core,
+                           node1.driver.create_qp(CTX, size=64),
+                           sessions[1].ctx),
+                backups=[2], num_buckets=self.BUCKETS)
+            for k, v in self.KEYS.items():
+                yield from fresh.put_replicated(k, v)
+            final = {}
+            for k in self.KEYS:
+                final[k] = yield from client.get(k)
+            outcome["final"] = final
+            outcome["after_rejoin"] = client.active_replica
+
+        cluster.sim.process(scenario(cluster.sim))
+        cluster.run(until=10_000_000)
+        assert outcome["after_crash"] == 2        # failed over
+        assert outcome["after_rejoin"] == 1       # recovered
+        assert outcome["final"] == self.KEYS
+        # Exactly one shadow probe (the first GET after the rejoin
+        # epoch), verified against the backup's answer, sent reads home.
+        assert client.availability.recovery_probes == 1
+        assert client.availability.recoveries == 1
+        assert client.availability.failovers == 1
+        assert client.availability.gets_failed == 0
+        assert ms.evictions == 1 and ms.rejoins == 1
+
 
 class TestControllerDeterminism:
     def _run_once(self):

@@ -1,0 +1,285 @@
+"""Unit tests for the transport stack's building blocks.
+
+Health state machine (EWMAs, consecutive-loss hysteresis, flap
+quarantine), failover policies as pure selection functions, the
+analytical model transports' degradation knobs, and the functional
+:class:`MemoryStore` mirror. Everything here is deterministic — no
+cluster, no chaos; the end-to-end story lives in
+``test_transport_failover.py``.
+"""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.transport import (
+    ChannelState,
+    DegradationTimeline,
+    FailFastPolicy,
+    HealthChecker,
+    HealthConfig,
+    HedgedProbePolicy,
+    HysteresisPolicy,
+    MemoryStore,
+    build_transport,
+    parse_policy,
+)
+from repro.transport.health import staggered
+
+
+class _FakeSim:
+    """Just a clock: the checker only reads ``now`` outside start()."""
+
+    def __init__(self):
+        self.now = 0.0
+
+
+class _FakeTransport:
+    name = "fake"
+
+
+def _checker(**overrides):
+    sim = _FakeSim()
+    timeline = DegradationTimeline()
+    config = HealthConfig(**overrides) if overrides else HealthConfig()
+    checker = HealthChecker(sim, _FakeTransport(), config=config,
+                            timeline=timeline)
+    return sim, timeline, checker
+
+
+class TestHealthChecker:
+    def test_down_needs_consecutive_losses(self):
+        _, _, hc = _checker(down_after=3, ewma_alpha=0.01)
+        hc.observe(False, None)
+        hc.observe(True, None)          # streak broken
+        hc.observe(False, None)
+        hc.observe(False, None)
+        assert hc.state is ChannelState.HEALTHY
+        hc.observe(False, None)         # third in a row
+        assert hc.state is ChannelState.DOWN
+        assert not hc.usable
+
+    def test_recovery_needs_consecutive_oks(self):
+        _, timeline, hc = _checker(down_after=1, up_after=2,
+                                   quarantine_ns=0.0)
+        hc.observe(False, None)
+        assert hc.state is ChannelState.DOWN
+        hc.observe(True, None)
+        assert hc.state is ChannelState.DOWN    # one ok is not enough
+        hc.observe(True, None)
+        assert hc.state is ChannelState.HEALTHY
+        kinds = [(e["frm"], e["to"]) for e in timeline.as_list()]
+        assert kinds == [("healthy", "down"), ("down", "healthy")]
+
+    def test_loss_ewma_degrades_before_down(self):
+        _, _, hc = _checker(down_after=10, loss_degraded=0.25,
+                            ewma_alpha=0.3)
+        hc.observe(False, None)
+        hc.observe(True, None)
+        hc.observe(False, None)         # ewma ~ 0.447 > 0.25
+        assert hc.state is ChannelState.DEGRADED
+        assert hc.usable                # degraded still routes
+
+    def test_rtt_inflation_degrades(self):
+        _, _, hc = _checker(rtt_degraded_factor=2.0, ewma_alpha=1.0)
+        hc.observe(True, 100.0)         # baseline
+        assert hc.state is ChannelState.HEALTHY
+        hc.observe(True, 500.0)         # 5x baseline
+        assert hc.state is ChannelState.DEGRADED
+        hc.observe(True, 100.0)
+        assert hc.state is ChannelState.HEALTHY
+
+    def test_flap_quarantine_refuses_early_recovery(self):
+        sim, _, hc = _checker(down_after=1, up_after=1,
+                              flap_threshold=2, flap_window_ns=1_000.0,
+                              quarantine_ns=500.0)
+        hc.observe(False, None)         # down #1
+        hc.observe(True, None)          # instant recovery
+        assert hc.state is ChannelState.HEALTHY
+        sim.now = 100.0
+        hc.observe(False, None)         # down #2 inside the window: flap
+        assert hc.flaps_detected == 1
+        hc.observe(True, None)          # quarantined: stays DOWN
+        assert hc.state is ChannelState.DOWN
+        sim.now = 700.0                 # quarantine expired
+        hc.observe(True, None)
+        assert hc.state is ChannelState.HEALTHY
+
+    def test_on_change_fires_every_observation(self):
+        calls = []
+        _, _, hc = _checker()
+        hc.on_change = lambda: calls.append(hc.state)
+        hc.observe(True, 10.0)
+        hc.observe(True, 10.0)
+        assert len(calls) == 2          # not just on transitions
+
+    def test_staggered_phases_are_distinct(self):
+        config = HealthConfig(probe_interval_ns=3_000.0)
+        phases = {staggered(config, i, 4).probe_phase_ns
+                  for i in range(4)}
+        assert len(phases) == 4
+        assert staggered(config, 0, 1) is config
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            HealthConfig(probe_interval_ns=0)
+        with pytest.raises(ValueError):
+            HealthConfig(ewma_alpha=0.0)
+        with pytest.raises(ValueError):
+            HealthConfig(down_after=0)
+
+
+class _Chan:
+    """Minimal health view for the pure-policy tests."""
+
+    def __init__(self, state=ChannelState.HEALTHY, healthy_since=0.0,
+                 rtt=None):
+        self.state = state
+        self.healthy_since = healthy_since
+        self.rtt_ewma = rtt
+
+    @property
+    def usable(self):
+        return self.state is not ChannelState.DOWN
+
+
+class TestPolicies:
+    def test_fail_fast_always_takes_best_usable(self):
+        policy = FailFastPolicy()
+        chans = [_Chan(ChannelState.DOWN), _Chan(), _Chan()]
+        assert policy.select(0.0, chans, 0) == 1
+        chans[0].state = ChannelState.HEALTHY
+        assert policy.select(0.0, chans, 1) == 0    # instant failback
+
+    def test_fail_fast_sticks_when_nothing_usable(self):
+        policy = FailFastPolicy()
+        chans = [_Chan(ChannelState.DOWN), _Chan(ChannelState.DOWN)]
+        assert policy.select(0.0, chans, 1) == 1
+
+    def test_hysteresis_fails_over_only_when_down(self):
+        policy = HysteresisPolicy(hold_ns=1_000.0)
+        chans = [_Chan(ChannelState.DEGRADED), _Chan()]
+        assert policy.select(0.0, chans, 0) == 0    # degraded: stay
+        chans[0].state = ChannelState.DOWN
+        assert policy.select(0.0, chans, 0) == 1
+
+    def test_hysteresis_failback_waits_out_the_hold(self):
+        policy = HysteresisPolicy(hold_ns=1_000.0)
+        chans = [_Chan(healthy_since=500.0), _Chan()]
+        assert policy.select(600.0, chans, 1) == 1  # 100 ns healthy
+        assert policy.select(1_500.0, chans, 1) == 0
+
+    def test_hedged_switches_on_proven_faster_probe(self):
+        policy = HedgedProbePolicy(hold_ns=1_000.0, hedge_factor=0.8)
+        chans = [_Chan(ChannelState.DEGRADED, rtt=1_000.0),
+                 _Chan(rtt=700.0), _Chan(rtt=900.0)]
+        assert policy.select(0.0, chans, 0) == 1    # 700 < 0.8 * 1000
+        chans[1].rtt_ewma = 850.0
+        assert policy.select(0.0, chans, 0) == 0    # hedge not proven
+
+    def test_parse_policy(self):
+        assert isinstance(parse_policy("fail-fast"), FailFastPolicy)
+        assert isinstance(parse_policy("hysteresis"), HysteresisPolicy)
+        assert isinstance(parse_policy("hedged"), HedgedProbePolicy)
+        policy = HysteresisPolicy(hold_ns=5.0)
+        assert parse_policy(policy) is policy
+        with pytest.raises(ValueError):
+            parse_policy("carrier-pigeon")
+
+
+class TestModelTransports:
+    def _run(self, coro, sim):
+        out = {}
+
+        def wrap():
+            out["value"] = yield from coro
+        sim.process(wrap())
+        sim.run()
+        return out.get("value")
+
+    def test_down_knob_times_out_every_op(self):
+        from repro.runtime.qp_api import RemoteOpFailed
+
+        sim = Simulator()
+        transport = build_transport("rdma", sim, MemoryStore(), seed=0)
+        transport.down = True
+        failed = {}
+
+        def attempt():
+            try:
+                yield from transport.read(1, 0, 8)
+            except RemoteOpFailed as exc:
+                failed["error"] = exc.error
+        sim.process(attempt())
+        sim.run()
+        assert failed["error"] == "rdma_timeout"
+        assert sim.now == transport.down_timeout_ns
+        assert transport.ops_failed == 1
+
+    def test_loss_prob_is_seed_deterministic(self):
+        def losses(seed):
+            sim = Simulator()
+            transport = build_transport("tcp", sim, MemoryStore(),
+                                        seed=seed)
+            transport.loss_prob = 0.3
+            fates = []
+
+            def run():
+                from repro.runtime.qp_api import RemoteOpFailed
+                for _ in range(40):
+                    try:
+                        yield from transport.read(1, 0, 8)
+                        fates.append(True)
+                    except RemoteOpFailed:
+                        fates.append(False)
+            sim.process(run())
+            sim.run()
+            return fates
+
+        assert losses(7) == losses(7)
+        assert losses(7) != losses(8)
+
+    def test_probe_returns_elapsed_rtt(self):
+        sim = Simulator()
+        transport = build_transport("rdma", sim, MemoryStore(), seed=0,
+                                    jitter_frac=0.0)
+        rtt = self._run(transport.probe(1), sim)
+        assert rtt == transport.rtt_ns(transport.probe_bytes, "read")
+        assert transport.probes == 1
+
+    def test_write_then_read_round_trips_through_store(self):
+        sim = Simulator()
+        store = MemoryStore()
+        transport = build_transport("shm", sim, store, seed=0)
+
+        def run():
+            yield from transport.write(2, 64, b"\xabcd-mirror")
+            return (yield from transport.read(2, 64, 10))
+        assert self._run(run(), sim) == b"\xabcd-mirror"
+
+    def test_baseline_rtts_keep_the_paper_ordering(self):
+        sim = Simulator()
+        store = MemoryStore()
+        named = {name: build_transport(name, sim, store, seed=0)
+                 for name in ("rdma", "tcp", "shm")}
+        rtts = {name: t.rtt_ns(64, "read") for name, t in named.items()}
+        assert rtts["shm"] < rtts["rdma"] < rtts["tcp"]
+
+    def test_build_transport_rejects_bad_specs(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            build_transport("sonuma", sim, MemoryStore())
+        with pytest.raises(ValueError):
+            build_transport("avian", sim, MemoryStore())
+
+
+class TestMemoryStore:
+    def test_segments_grow_zero_filled(self):
+        store = MemoryStore()
+        assert store.read(3, 100, 8) == bytes(8)
+        store.write(3, 104, b"\x01\x02")
+        assert store.read(3, 100, 8) == bytes(4) + b"\x01\x02" + bytes(2)
+
+    def test_nodes_are_isolated(self):
+        store = MemoryStore()
+        store.write(1, 0, b"one")
+        assert store.read(2, 0, 3) == bytes(3)

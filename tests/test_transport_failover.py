@@ -1,0 +1,117 @@
+"""End-to-end failover chaos: the multi-transport session under fire.
+
+Drives :func:`repro.transport.harness.run_failover` — a windowed
+read/write workload over a :class:`FailoverSession` while the primary
+fabric flaps (every client link severed and restored on a schedule) or
+a peer is crashed outright. The acceptance bars from the issue:
+
+* **exactly-once**: every issued op completes exactly once across
+  backend switches — no losses, no duplicates, replays reconciled
+  against the op log;
+* **zero lost writes**: remote segments and the local mirror both
+  converge to the fault-free expected digests;
+* **bit-reproducible**: the whole outcome — timeline included — is
+  identical run to run and across 1/2/4 conservative-DES workers;
+* the membership veto keeps fabric transports away from an evicted
+  peer while the local mirror keeps its reads answerable (degraded).
+"""
+
+import pytest
+
+from repro.transport.harness import run_failover
+
+FAST = dict(num_ops=120, flap_cycles=1, flap_start_ns=10_000.0,
+            flap_down_ns=15_000.0)
+
+
+def _outcome(**kwargs):
+    merged = dict(FAST)
+    merged.update(kwargs)
+    return run_failover(**merged)["outcome"]
+
+
+class TestFlapSurvival:
+    def test_exactly_once_across_backend_switches(self, chaos_seed):
+        out = _outcome(seed=chaos_seed(7))
+        eo = out["exactly_once"]
+        assert eo["issued"] == eo["completed"] == eo["distinct"] == 120
+        assert eo["duplicates"] == 0
+        assert eo["lost"] == 0
+        # Replays happened (the flap error-completed in-flight writes)
+        # and every one reconciled against the op log.
+        assert out["oplog"]["pending"] == 0
+        assert out["stack"]["counters"]["failovers"] >= 1
+        assert out["stack"]["counters"]["failbacks"] >= 1
+
+    def test_zero_lost_writes_segments_and_mirror_converge(self,
+                                                           chaos_seed):
+        out = _outcome(seed=chaos_seed(7))
+        assert out["wrong"] == 0
+        assert out["reads_checked"] > 0
+        assert out["segments"] == out["expected"]
+        assert out["mirror"] == out["expected"]
+
+    def test_availability_held_through_the_outage(self, chaos_seed):
+        out = _outcome(seed=chaos_seed(7))
+        assert out["availability"] >= 0.99
+        by = out["by_status"]
+        assert by.get("failed", 0) == 0
+
+    def test_timeline_tells_the_failover_story(self, chaos_seed):
+        out = _outcome(seed=chaos_seed(7))
+        kinds = [e["kind"] for e in out["timeline"]]
+        assert "state" in kinds and "switch" in kinds
+        switches = [e for e in out["timeline"] if e["kind"] == "switch"]
+        assert switches[0]["to"] != "sonuma"        # away from primary
+        assert switches[-1]["to"] == "sonuma"       # and back home
+        times = [e["t_ns"] for e in out["timeline"]]
+        assert times == sorted(times)
+
+
+class TestPolicyTemperament:
+    def test_fail_fast_switches_at_least_as_often(self, chaos_seed):
+        seed = chaos_seed(7)
+        eager = _outcome(seed=seed, policy="fail-fast", flap_cycles=2)
+        calm = _outcome(seed=seed, policy="hysteresis", flap_cycles=2)
+        eager_n = eager["stack"]["counters"]["failovers"]
+        calm_n = calm["stack"]["counters"]["failovers"]
+        assert eager_n >= calm_n >= 1
+        for out in (eager, calm):
+            assert out["exactly_once"]["lost"] == 0
+            assert out["segments"] == out["expected"]
+
+
+class TestDeterminism:
+    def test_same_seed_same_outcome(self, chaos_seed):
+        seed = chaos_seed(11)
+        assert _outcome(seed=seed) == _outcome(seed=seed)
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_worker_count_invariance(self, workers, chaos_seed):
+        seed = chaos_seed(7)
+        serial = _outcome(seed=seed)
+        parallel = _outcome(seed=seed, workers=workers)
+        # The whole outcome — digests, counters, every timeline event
+        # and its timestamp — must be bit-identical across partitions.
+        assert parallel == serial
+
+
+class TestMembershipVeto:
+    def test_evicted_peer_served_from_the_mirror(self, chaos_seed):
+        out = _outcome(seed=chaos_seed(7), flap_cycles=0,
+                       crash_node=2, crash_at_ns=8_000.0)
+        assert out["membership"]["evictions"] == 1
+        counters = out["stack"]["counters"]
+        assert counters["vetoes"] >= 1
+        # Ops on the dead peer complete degraded off the local mirror;
+        # nothing is lost and nothing fails outright.
+        eo = out["exactly_once"]
+        assert eo["lost"] == 0 and eo["duplicates"] == 0
+        assert out["by_status"].get("degraded", 0) > 0
+        assert out["by_status"].get("failed", 0) == 0
+        # The mirror holds the full fault-free state for every peer;
+        # the survivors' real segments match it too.
+        assert out["mirror"] == out["expected"]
+        for nid, digest in out["segments"].items():
+            if nid != 2:
+                assert digest == out["expected"][nid]
